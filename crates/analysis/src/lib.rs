@@ -1,0 +1,161 @@
+//! Analytical models from §5.1 of the DPS paper.
+//!
+//! * [`complexity`] — the worst-case **message complexity** closed forms for the
+//!   four scheme combinations, in terms of the tree depth `h`, the maximal group
+//!   size `S`, the epidemic fanout `k` and the inter-level fanout `k'`:
+//!
+//!   | scheme            | messages                              |
+//!   |-------------------|---------------------------------------|
+//!   | leader, root      | `h(S + 1) − 2`                        |
+//!   | leader, generic   | `2h(S + 1) − 4`                       |
+//!   | epidemic, root    | `kS(1 + k'(h − 1)) + k'(h − 2)`       |
+//!   | epidemic, generic | `2(kS(1 + k'(h − 1)) + k'(h − 2))`    |
+//!
+//! * [`reliability`] — the probability `p = Σ_{i<j<k} p_i p_j s_k` that a
+//!   subscription concurrent with a publication *misses* it under the generic
+//!   traversal (both pick contact points at levels `i`/`j`; the subscription's
+//!   group lies at level `k`). Among `f` concurrent matching events, `f(1 − p)`
+//!   are received; root-based traversal makes `p = 0` (both start at the root
+//!   and subscriptions have priority), which is why the paper calls it the more
+//!   reliable scheme.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Message-complexity closed forms (§5.1, *Message complexity*).
+pub mod complexity {
+    /// Leader-based communication, root-based traversal: traversing one branch
+    /// costs `Σ_{i=0}^{h−1} S_i + (h − 2)`; with a uniform bound `S` per group
+    /// this is `h(S + 1) − 2`.
+    pub fn leader_root(h: u64, s: u64) -> u64 {
+        (h * (s + 1)).saturating_sub(2)
+    }
+
+    /// Leader-based, generic traversal: the event may climb the current branch to
+    /// the root and descend the other subtree — twice the root-based cost:
+    /// `2h(S + 1) − 4`.
+    pub fn leader_generic(h: u64, s: u64) -> u64 {
+        (2 * h * (s + 1)).saturating_sub(4)
+    }
+
+    /// Epidemic, root-based: `kS(1 + k'(h − 1)) + k'(h − 2)` — gossip floods each
+    /// group (`kS`) at every level reached through `k'` inter-level copies.
+    pub fn epidemic_root(h: u64, s: u64, k: u64, k_prime: u64) -> u64 {
+        k * s * (1 + k_prime * h.saturating_sub(1)) + k_prime * h.saturating_sub(2)
+    }
+
+    /// Epidemic, generic: twice the root-based cost (up and down).
+    pub fn epidemic_generic(h: u64, s: u64, k: u64, k_prime: u64) -> u64 {
+        2 * epidemic_root(h, s, k, k_prime)
+    }
+}
+
+/// The reliability model (§5.1, *Reliability*).
+pub mod reliability {
+    /// Probability that a generic-traversal subscription concurrent with a
+    /// matching publication misses it: `p = Σ_{i<j<k} p_i p_j s_k`, where `p_l`
+    /// is the probability of picking a contact point at level `l` and `s_l` the
+    /// probability that the subscription's group sits at level `l`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two distributions have different lengths.
+    pub fn miss_probability(contact_levels: &[f64], group_levels: &[f64]) -> f64 {
+        assert_eq!(
+            contact_levels.len(),
+            group_levels.len(),
+            "level distributions must cover the same depth"
+        );
+        let n = contact_levels.len();
+        let mut p = 0.0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                for k in (j + 1)..n {
+                    p += contact_levels[i] * contact_levels[j] * group_levels[k];
+                }
+            }
+        }
+        p
+    }
+
+    /// Expected number of events received out of `f` concurrently published
+    /// matching events: `f(1 − p)`.
+    pub fn expected_received(f: u64, miss_p: f64) -> f64 {
+        f as f64 * (1.0 - miss_p)
+    }
+
+    /// Uniform level distribution over a tree of depth `h` (levels `0..=h`).
+    pub fn uniform_levels(h: usize) -> Vec<f64> {
+        vec![1.0 / (h + 1) as f64; h + 1]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leader_formulas_match_the_paper_examples() {
+        // h = 1 (root + nothing below), S = 1: a single exchange.
+        assert_eq!(complexity::leader_root(1, 1), 0);
+        // The generic cost is exactly twice the root cost (minus the shared
+        // constant): 2(h(S+1) - 2) = 2h(S+1) - 4.
+        for h in 1..10 {
+            for s in 1..10 {
+                assert_eq!(
+                    complexity::leader_generic(h, s),
+                    2 * complexity::leader_root(h, s),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn epidemic_costs_exceed_leader_costs() {
+        // With k = k' = 1 the epidemic flood of each group already costs about as
+        // much as the leader fan-out; any k > 1 strictly dominates.
+        for h in 2..8 {
+            for s in 2..8 {
+                assert!(
+                    complexity::epidemic_root(h, s, 2, 2) > complexity::leader_root(h, s),
+                    "h={h} s={s}"
+                );
+                assert_eq!(
+                    complexity::epidemic_generic(h, s, 2, 2),
+                    2 * complexity::epidemic_root(h, s, 2, 2)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn miss_probability_is_zero_for_shallow_trees() {
+        // With fewer than three levels no i < j < k exists: nothing can be missed.
+        let l = reliability::uniform_levels(1);
+        assert_eq!(reliability::miss_probability(&l, &l), 0.0);
+    }
+
+    #[test]
+    fn miss_probability_grows_with_depth() {
+        let mut last = 0.0;
+        for h in 2..10 {
+            let l = reliability::uniform_levels(h);
+            let p = reliability::miss_probability(&l, &l);
+            assert!(p > last, "depth {h}");
+            assert!(p < 1.0);
+            last = p;
+        }
+    }
+
+    #[test]
+    fn expected_received_is_f_when_p_zero() {
+        assert_eq!(reliability::expected_received(10, 0.0), 10.0);
+        assert!(reliability::expected_received(10, 0.3) - 7.0 < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "same depth")]
+    fn mismatched_levels_panic() {
+        reliability::miss_probability(&[0.5, 0.5], &[1.0]);
+    }
+}

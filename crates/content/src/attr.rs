@@ -1,0 +1,189 @@
+//! Attribute names, types and values.
+
+use std::fmt;
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+/// The name of an attribute, e.g. `"price"` or `"symbol"`.
+///
+/// Attribute names are interned behind an [`Arc`] so that cloning them (which the
+/// overlay does constantly while routing) is a reference-count bump, not an
+/// allocation.
+///
+/// ```
+/// use dps_content::AttrName;
+///
+/// let a = AttrName::from("price");
+/// let b: AttrName = "price".into();
+/// assert_eq!(a, b);
+/// assert_eq!(a.as_str(), "price");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct AttrName(Arc<str>);
+
+impl AttrName {
+    /// Returns the name as a string slice.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl From<&str> for AttrName {
+    fn from(s: &str) -> Self {
+        AttrName(Arc::from(s))
+    }
+}
+
+impl From<String> for AttrName {
+    fn from(s: String) -> Self {
+        AttrName(Arc::from(s))
+    }
+}
+
+impl fmt::Display for AttrName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl AsRef<str> for AttrName {
+    fn as_ref(&self) -> &str {
+        &self.0
+    }
+}
+
+/// The type of an attribute: the paper's model supports numerical attributes
+/// (operators `=`, `<`, `>`) and string attributes (equality plus prefix, suffix
+/// and substring wildcards).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum AttrType {
+    /// 64-bit signed integer attribute.
+    Int,
+    /// UTF-8 string attribute.
+    Str,
+}
+
+impl fmt::Display for AttrType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttrType::Int => f.write_str("int"),
+            AttrType::Str => f.write_str("string"),
+        }
+    }
+}
+
+/// A concrete attribute value carried by an event, or the constant of a predicate.
+///
+/// ```
+/// use dps_content::{AttrType, Value};
+///
+/// let v = Value::from(42);
+/// assert_eq!(v.attr_type(), AttrType::Int);
+/// let s = Value::from("abc");
+/// assert_eq!(s.attr_type(), AttrType::Str);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Value {
+    /// An integer value.
+    Int(i64),
+    /// A string value. Interned for cheap cloning.
+    Str(Arc<str>),
+}
+
+impl Value {
+    /// The type of this value.
+    pub fn attr_type(&self) -> AttrType {
+        match self {
+            Value::Int(_) => AttrType::Int,
+            Value::Str(_) => AttrType::Str,
+        }
+    }
+
+    /// Returns the integer payload, if this is an [`Value::Int`].
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            Value::Str(_) => None,
+        }
+    }
+
+    /// Returns the string payload, if this is a [`Value::Str`].
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Int(_) => None,
+            Value::Str(s) => Some(s),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(i: i32) -> Self {
+        Value::Int(i64::from(i))
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(Arc::from(s))
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(Arc::from(s))
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attr_name_round_trip() {
+        let n = AttrName::from("price");
+        assert_eq!(n.to_string(), "price");
+        assert_eq!(n.as_ref(), "price");
+        assert_eq!(AttrName::from(String::from("price")), n);
+    }
+
+    #[test]
+    fn value_types() {
+        assert_eq!(Value::from(3).attr_type(), AttrType::Int);
+        assert_eq!(Value::from("x").attr_type(), AttrType::Str);
+        assert_eq!(Value::from(3).as_int(), Some(3));
+        assert_eq!(Value::from(3).as_str(), None);
+        assert_eq!(Value::from("x").as_str(), Some("x"));
+        assert_eq!(Value::from("x").as_int(), None);
+    }
+
+    #[test]
+    fn value_ordering_within_type() {
+        assert!(Value::from(1) < Value::from(2));
+        assert!(Value::from("a") < Value::from("b"));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::from(7).to_string(), "7");
+        assert_eq!(Value::from("abc").to_string(), "abc");
+        assert_eq!(AttrType::Int.to_string(), "int");
+        assert_eq!(AttrType::Str.to_string(), "string");
+    }
+}

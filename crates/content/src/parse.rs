@@ -1,0 +1,231 @@
+//! A small textual syntax for predicates, filters and events, used pervasively by
+//! the examples and tests (it mirrors the notation of the paper's Figure 1).
+//!
+//! Grammar (whitespace-insensitive):
+//!
+//! ```text
+//! filter    := predicate ( '&' predicate )*
+//! predicate := name '<' int | name '>' int | name '=' rhs
+//! rhs       := int                 (numeric equality)
+//!            | word                (string equality)
+//!            | word '*'            (prefix)
+//!            | '*' word            (suffix)
+//!            | '*' word '*'        (substring)
+//! event     := name '=' value ( '&' name '=' value )*
+//! ```
+//!
+//! ```
+//! use dps_content::{Filter, Predicate};
+//!
+//! # fn main() -> Result<(), dps_content::ParseError> {
+//! let f: Filter = "a > 2 & a < 500".parse()?;
+//! assert_eq!(f.len(), 2);
+//! let p: Predicate = "c = ab*".parse()?;
+//! assert_eq!(p.to_string(), "c = ab*");
+//! # Ok(())
+//! # }
+//! ```
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::{Event, Filter, Predicate, Value};
+
+/// Error produced when parsing the textual predicate/filter/event syntax.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    input: String,
+    reason: &'static str,
+}
+
+impl ParseError {
+    fn new(input: &str, reason: &'static str) -> Self {
+        ParseError {
+            input: input.to_owned(),
+            reason,
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid syntax in {:?}: {}", self.input, self.reason)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn parse_predicate(s: &str) -> Result<Predicate, ParseError> {
+    let s = s.trim();
+    for (i, ch) in s.char_indices() {
+        match ch {
+            '<' | '>' => {
+                let name = s[..i].trim();
+                let rhs = s[i + 1..].trim();
+                if name.is_empty() {
+                    return Err(ParseError::new(s, "missing attribute name"));
+                }
+                let c: i64 = rhs
+                    .parse()
+                    .map_err(|_| ParseError::new(s, "expected integer constant"))?;
+                return Ok(if ch == '<' {
+                    Predicate::lt(name, c)
+                } else {
+                    Predicate::gt(name, c)
+                });
+            }
+            '=' => {
+                let name = s[..i].trim();
+                let rhs = s[i + 1..].trim();
+                if name.is_empty() {
+                    return Err(ParseError::new(s, "missing attribute name"));
+                }
+                if rhs.is_empty() {
+                    return Err(ParseError::new(s, "missing right-hand side"));
+                }
+                if let Ok(c) = rhs.parse::<i64>() {
+                    return Ok(Predicate::eq(name, c));
+                }
+                let starts = rhs.starts_with('*');
+                let ends = rhs.ends_with('*') && rhs.len() > 1;
+                let core = rhs.trim_matches('*');
+                if core.is_empty() {
+                    return Err(ParseError::new(s, "empty wildcard pattern"));
+                }
+                if core.contains('*') {
+                    return Err(ParseError::new(s, "wildcard only allowed at the ends"));
+                }
+                return Ok(match (starts, ends) {
+                    (true, true) => Predicate::contains(name, core),
+                    (true, false) => Predicate::suffix(name, core),
+                    (false, true) => Predicate::prefix(name, core),
+                    (false, false) => Predicate::str_eq(name, core),
+                });
+            }
+            _ => {}
+        }
+    }
+    Err(ParseError::new(s, "expected one of <, >, ="))
+}
+
+impl FromStr for Predicate {
+    type Err = ParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        parse_predicate(s)
+    }
+}
+
+impl FromStr for Filter {
+    type Err = ParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let s = s.trim();
+        if s.is_empty() {
+            return Ok(Filter::all());
+        }
+        s.split('&').map(parse_predicate).collect::<Result<_, _>>()
+    }
+}
+
+impl FromStr for Event {
+    type Err = ParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let s = s.trim();
+        if s.is_empty() {
+            return Ok(Event::empty());
+        }
+        let mut pairs = Vec::new();
+        for part in s.split('&') {
+            let part = part.trim();
+            let eq = part
+                .find('=')
+                .ok_or_else(|| ParseError::new(part, "expected name = value"))?;
+            let name = part[..eq].trim();
+            let rhs = part[eq + 1..].trim();
+            if name.is_empty() || rhs.is_empty() {
+                return Err(ParseError::new(part, "expected name = value"));
+            }
+            let value = match rhs.parse::<i64>() {
+                Ok(i) => Value::from(i),
+                Err(_) => {
+                    if rhs.contains('*') {
+                        return Err(ParseError::new(part, "event values cannot be wildcards"));
+                    }
+                    Value::from(rhs)
+                }
+            };
+            pairs.push((name, value));
+        }
+        Ok(Event::new(pairs))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Op;
+
+    #[test]
+    fn parses_every_figure1_subscription() {
+        // The twelve subscriptions s0..s11 from Figure 1 of the paper.
+        let subs = [
+            "a > 2 & b > 0",
+            "a > 2 & a < 500",
+            "a > 5 & b < 2",
+            "b > 3 & c = abc",
+            "a < 4 & b > 20",
+            "a = 4 & c = abc",
+            "a < 3 & b > 3 & b < 7",
+            "b > 3 & c = ab*",
+            "a > 2 & a < 20 & c = a*",
+            "a < 11",
+            "a > 50 & b < 5",
+            "a > 3 & b < 50",
+        ];
+        for s in subs {
+            let f: Filter = s.parse().unwrap_or_else(|e| panic!("{s}: {e}"));
+            assert!(!f.is_empty(), "{s}");
+        }
+    }
+
+    #[test]
+    fn wildcard_forms() {
+        assert_eq!("c = ab*".parse::<Predicate>().unwrap().op(), Op::Prefix);
+        assert_eq!("c = *ab".parse::<Predicate>().unwrap().op(), Op::Suffix);
+        assert_eq!("c = *ab*".parse::<Predicate>().unwrap().op(), Op::Contains);
+        assert_eq!("c = ab".parse::<Predicate>().unwrap().op(), Op::StrEq);
+        assert_eq!("c = 17".parse::<Predicate>().unwrap().op(), Op::Eq);
+    }
+
+    #[test]
+    fn parse_event() {
+        let e: Event = "a = 4 & c = abc".parse().unwrap();
+        assert_eq!(e.get(&"a".into()), Some(&Value::from(4)));
+        assert_eq!(e.get(&"c".into()), Some(&Value::from("abc")));
+        assert!("".parse::<Event>().unwrap().is_empty());
+    }
+
+    #[test]
+    fn errors() {
+        assert!("a".parse::<Predicate>().is_err());
+        assert!("< 3".parse::<Predicate>().is_err());
+        assert!("a < x".parse::<Predicate>().is_err());
+        assert!("a = *".parse::<Predicate>().is_err());
+        assert!("a = x*y*".parse::<Predicate>().is_err());
+        assert!("a".parse::<Event>().is_err());
+        assert!("a = x*".parse::<Event>().is_err());
+        let err = "a".parse::<Predicate>().unwrap_err();
+        assert!(err.to_string().contains("expected"));
+    }
+
+    #[test]
+    fn round_trip_display_parse() {
+        for s in ["a > 2", "a < 20", "a = 4", "c = abc", "c = ab*", "c = *bc", "c = *b*"] {
+            let p: Predicate = s.parse().unwrap();
+            let again: Predicate = p.to_string().parse().unwrap();
+            assert_eq!(p, again, "{s}");
+        }
+    }
+}

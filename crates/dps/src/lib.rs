@@ -1,0 +1,50 @@
+//! **DPS** — Dynamic Publish/Subscribe: a self-\* peer-to-peer content-based
+//! publish/subscribe system.
+//!
+//! This crate is the user-facing entry point of the reproduction of
+//! *"A Semantic Overlay for Self-\* Peer-to-Peer Publish/Subscribe"*
+//! (Anceaume, Datta, Gradinariu, Simon, Virgillito — ICDCS 2006). It re-exports
+//! the content model ([`dps_content`]), the protocol engine ([`dps_overlay`]) and
+//! the simulator ([`dps_sim`]), and adds [`DpsNetwork`]: a batteries-included
+//! driver that builds a network of DPS nodes, runs it step by step, injects
+//! subscriptions, publications and failures, and measures delivery against an
+//! omniscient oracle.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use dps::{DpsNetwork, DpsConfig};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // A small network running the root-based + leader-based flavor.
+//! let mut net = DpsNetwork::new(DpsConfig::default(), 42);
+//! let nodes = net.add_nodes(8);
+//!
+//! // Subscribers self-organize into per-attribute semantic trees.
+//! net.subscribe(nodes[0], "price > 100".parse()?);
+//! net.subscribe(nodes[1], "price > 100 & price < 200".parse()?);
+//! net.subscribe(nodes[2], "price < 50".parse()?);
+//! net.run(120); // let the overlay converge
+//!
+//! // Publish an event; only matching subscribers are notified.
+//! net.publish(nodes[7], "price = 150".parse()?);
+//! net.run(40);
+//!
+//! assert_eq!(net.delivered_ratio(), 1.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod network;
+
+pub use dps_content::{AttrName, AttrType, Event, Filter, Op, ParseError, Predicate, Value};
+pub use dps_overlay::{
+    model, CommKind, CountingSink, DpsConfig, DpsMsg, DpsNode, GroupLabel, JoinRule, PubId,
+    StatsSink, SubId, TraversalKind,
+};
+pub use dps_sim::{ChurnEvent, ChurnPlan, Metrics, MsgClass, NodeId, Sim, Step};
+
+pub use network::{DeliveryReport, DpsNetwork, GroupSnapshot};

@@ -1,0 +1,328 @@
+//! [`DpsNetwork`]: the high-level driver tying protocol nodes, the cycle-based
+//! simulator and the omniscient oracle together.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+use dps_content::{Event, Filter};
+use dps_overlay::model::ForestModel;
+use dps_overlay::{CountingSink, DpsConfig, DpsNode, GroupLabel, JoinRule, PubId, SubId};
+use dps_sim::{Metrics, NodeId, Sim, SimSnapshot, Step};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Delivery accounting for one published event.
+#[derive(Debug, Clone)]
+pub struct DeliveryReport {
+    /// The publication.
+    pub id: PubId,
+    /// Step at which it was published.
+    pub published_at: Step,
+    /// Subscribers that were alive and matching at publish time.
+    pub expected: HashSet<NodeId>,
+    /// Of those, how many were actually notified (so far).
+    pub delivered: usize,
+    /// Distinct nodes the dissemination touched (so far).
+    pub contacted: usize,
+}
+
+/// A snapshot of one distributed group, collected from live node state; used by
+/// tests to compare the distributed overlay against the reference model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupSnapshot {
+    /// The group's label.
+    pub label: GroupLabel,
+    /// Label of its parent group, as recorded at the group leader.
+    pub parent: Option<GroupLabel>,
+    /// Members, sorted.
+    pub members: Vec<NodeId>,
+}
+
+/// A network of DPS nodes under simulation. See the [crate docs](crate).
+pub struct DpsNetwork {
+    sim: Sim<DpsNode>,
+    cfg: DpsConfig,
+    sink: Arc<CountingSink>,
+    oracle: ForestModel,
+    /// Filters per node, maintained by subscribe/unsubscribe (the oracle's
+    /// subscription list is append-only, so matching uses this registry).
+    filters: HashMap<NodeId, Vec<(SubId, Filter)>>,
+    pubs: Vec<(PubId, Event, Step, HashSet<NodeId>)>,
+    rng: StdRng,
+}
+
+impl DpsNetwork {
+    /// Creates an empty network; all nodes will run `cfg`. Runs are a pure
+    /// function of `seed` and the sequence of driver calls.
+    pub fn new(cfg: DpsConfig, seed: u64) -> Self {
+        DpsNetwork {
+            sim: Sim::new(seed),
+            cfg,
+            sink: Arc::new(CountingSink::new()),
+            oracle: ForestModel::new(),
+            filters: HashMap::new(),
+            pubs: Vec::new(),
+            rng: StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15),
+        }
+    }
+
+    /// Adds one node, bootstrapped with a random sample of existing nodes as
+    /// peers (and registered as a peer of a few existing nodes, so joins are
+    /// discoverable in both directions).
+    pub fn add_node(&mut self) -> NodeId {
+        let sink: Arc<dyn dps_overlay::StatsSink> = self.sink.clone();
+        let mut node = DpsNode::with_sink(self.cfg.clone(), sink);
+        let alive = self.sim.alive_ids();
+        let sample = self.sample(&alive, self.cfg.peer_view.min(8));
+        node.seed_peers(sample.clone());
+        let id = self.sim.add_node(node);
+        // Symmetric introduction: a few existing peers learn about the newcomer.
+        for p in self.sample(&alive, 3) {
+            if let Some(n) = self.sim.node_mut(p) {
+                n.seed_peers(vec![id]);
+            }
+        }
+        id
+    }
+
+    /// Adds `n` nodes.
+    pub fn add_nodes(&mut self, n: usize) -> Vec<NodeId> {
+        (0..n).map(|_| self.add_node()).collect()
+    }
+
+    fn sample(&mut self, from: &[NodeId], n: usize) -> Vec<NodeId> {
+        if from.is_empty() {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        for _ in 0..n.min(from.len()) * 2 {
+            let pick = from[self.rng.random_range(0..from.len())];
+            if !out.contains(&pick) {
+                out.push(pick);
+                if out.len() == n {
+                    break;
+                }
+            }
+        }
+        out
+    }
+
+    /// Issues a subscription from `node`. The predicate used to join the overlay
+    /// is the filter's first one under [`JoinRule::First`], or picked uniformly at
+    /// random under [`JoinRule::Explicit`] (the paper's "arbitrarily chosen").
+    /// Returns `None` if the node is dead or the filter empty.
+    pub fn subscribe(&mut self, node: NodeId, filter: Filter) -> Option<SubId> {
+        if filter.is_empty() || !self.sim.is_alive(node) {
+            return None;
+        }
+        let join_idx = match self.cfg.join_rule {
+            JoinRule::First => 0,
+            JoinRule::Explicit => self.rng.random_range(0..filter.predicates().len()),
+        };
+        self.oracle.subscribe(node, &filter, join_idx);
+        let mut out = None;
+        let f = filter.clone();
+        self.sim.invoke(node, |n, ctx| {
+            out = Some(n.subscribe_with(f, join_idx, ctx));
+        });
+        let sub_id = out?;
+        self.filters.entry(node).or_default().push((sub_id, filter));
+        Some(sub_id)
+    }
+
+    /// Cancels a subscription.
+    pub fn unsubscribe(&mut self, node: NodeId, sub_id: SubId) {
+        if let Some(v) = self.filters.get_mut(&node) {
+            v.retain(|(s, _)| *s != sub_id);
+        }
+        self.sim.invoke(node, |n, ctx| n.unsubscribe(sub_id, ctx));
+    }
+
+    /// Publishes `event` from `node`, recording the ground-truth recipient set
+    /// (alive matching subscribers at publish time) for delivery accounting.
+    pub fn publish(&mut self, node: NodeId, event: Event) -> Option<PubId> {
+        if !self.sim.is_alive(node) {
+            return None;
+        }
+        let expected: HashSet<NodeId> = self
+            .filters
+            .iter()
+            .filter(|(n, _)| self.sim.is_alive(**n))
+            .filter(|(_, subs)| subs.iter().any(|(_, f)| f.matches(&event)))
+            .map(|(n, _)| *n)
+            .collect();
+        let mut out = None;
+        let ev = event.clone();
+        self.sim.invoke(node, |n, ctx| {
+            out = Some(n.publish(ev, ctx));
+        });
+        let id = out?;
+        let now = self.sim.now();
+        self.pubs.push((id, event, now, expected));
+        Some(id)
+    }
+
+    /// Runs `steps` simulation steps.
+    pub fn run(&mut self, steps: u64) {
+        self.sim.run(steps);
+    }
+
+    /// Runs until every issued subscription is placed in a group, or `max_steps`
+    /// elapse. Returns whether the overlay fully converged.
+    pub fn quiesce(&mut self, max_steps: u64) -> bool {
+        for _ in 0..max_steps {
+            if self.pending_subscriptions() == 0 {
+                return true;
+            }
+            self.sim.step();
+        }
+        self.pending_subscriptions() == 0
+    }
+
+    /// Total subscriptions still in flight across alive nodes.
+    pub fn pending_subscriptions(&self) -> usize {
+        self.sim
+            .alive_ids()
+            .into_iter()
+            .filter_map(|id| self.sim.node(id))
+            .map(|n| n.pending_subscriptions())
+            .sum()
+    }
+
+    /// Crashes a specific node.
+    pub fn crash(&mut self, node: NodeId) {
+        self.sim.crash(node);
+    }
+
+    /// Crashes a uniformly random alive node; returns it.
+    pub fn crash_random(&mut self) -> Option<NodeId> {
+        let alive = self.sim.alive_ids();
+        if alive.is_empty() {
+            return None;
+        }
+        let victim = alive[self.rng.random_range(0..alive.len())];
+        self.sim.crash(victim);
+        Some(victim)
+    }
+
+    // ---- measurement ----
+
+    /// Per-publication delivery reports.
+    pub fn reports(&self) -> Vec<DeliveryReport> {
+        self.pubs
+            .iter()
+            .map(|(id, _, at, expected)| DeliveryReport {
+                id: *id,
+                published_at: *at,
+                expected: expected.clone(),
+                delivered: expected
+                    .iter()
+                    .filter(|n| self.sink.was_notified(*id, **n))
+                    .count(),
+                contacted: self.sink.contacted(*id),
+            })
+            .collect()
+    }
+
+    /// Ratio of correctly delivered events: over all `(publication, matching
+    /// alive subscriber)` pairs, the fraction that were notified (the measure of
+    /// Figures 3(a)/3(b)). Returns 1.0 when nothing was expected.
+    pub fn delivered_ratio(&self) -> f64 {
+        self.delivered_ratio_between(0, Step::MAX)
+    }
+
+    /// [`delivered_ratio`](Self::delivered_ratio) restricted to publications
+    /// issued in `[from, to)`.
+    pub fn delivered_ratio_between(&self, from: Step, to: Step) -> f64 {
+        let mut expected = 0usize;
+        let mut delivered = 0usize;
+        for (id, _, at, exp) in &self.pubs {
+            if *at < from || *at >= to {
+                continue;
+            }
+            expected += exp.len();
+            delivered += exp.iter().filter(|n| self.sink.was_notified(*id, **n)).count();
+        }
+        if expected == 0 {
+            1.0
+        } else {
+            delivered as f64 / expected as f64
+        }
+    }
+
+    /// The instrumentation sink (contact/notify pairs).
+    pub fn sink(&self) -> &CountingSink {
+        &self.sink
+    }
+
+    /// The omniscient reference model fed with every subscription issued through
+    /// this driver.
+    pub fn oracle(&self) -> &ForestModel {
+        &self.oracle
+    }
+
+    /// Message-traffic metrics from the simulator.
+    pub fn metrics(&self) -> &Metrics {
+        self.sim.metrics()
+    }
+
+    /// Direct access to the underlying simulator.
+    pub fn sim(&self) -> &Sim<DpsNode> {
+        &self.sim
+    }
+
+    /// Mutable access to the underlying simulator (scenario drivers).
+    pub fn sim_mut(&mut self) -> &mut Sim<DpsNode> {
+        &mut self.sim
+    }
+
+    /// Summary snapshot.
+    pub fn snapshot(&self) -> SimSnapshot {
+        self.sim.snapshot()
+    }
+
+    /// Collects the distributed forest as recorded at group leaders: one
+    /// [`GroupSnapshot`] per led group. With leader-based communication and a
+    /// quiesced network this is directly comparable to [`Self::oracle`].
+    pub fn distributed_groups(&self) -> Vec<GroupSnapshot> {
+        let mut out = Vec::new();
+        for id in self.sim.alive_ids() {
+            let Some(n) = self.sim.node(id) else { continue };
+            for m in n.memberships() {
+                if !m.is_leader() {
+                    continue;
+                }
+                let mut members = m.members.clone();
+                members.sort_unstable();
+                members.dedup();
+                out.push(GroupSnapshot {
+                    label: m.label.clone(),
+                    parent: m.predview.first().map(|r| r.label.clone()),
+                    members,
+                });
+            }
+        }
+        out.sort_by_key(|g| format!("{}", g.label));
+        out
+    }
+}
+
+impl std::fmt::Debug for DpsNetwork {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DpsNetwork")
+            .field("snapshot", &self.sim.snapshot())
+            .field("pubs", &self.pubs.len())
+            .finish_non_exhaustive()
+    }
+}
+
+// The facade's own sink wiring: nodes must share the network-wide CountingSink.
+// `DpsNetwork::new` builds nodes through this constructor.
+impl DpsNetwork {
+    /// Replaces the node factory wiring: rebuilds the network empty with the same
+    /// seed but a fresh sink. (Internal convenience for tests.)
+    #[doc(hidden)]
+    pub fn reset(&mut self, seed: u64) {
+        *self = DpsNetwork::new(self.cfg.clone(), seed);
+    }
+}

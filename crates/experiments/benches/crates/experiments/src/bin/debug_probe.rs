@@ -1,0 +1,26 @@
+use dps::*;
+use dps_workload::Workload;
+
+fn main() {
+    let mut cfg = DpsConfig::named(TraversalKind::Root, CommKind::Leader);
+    cfg.join_rule = JoinRule::Explicit;
+    let w = Workload::multiplayer_game();
+    let mut net = DpsNetwork::new(cfg, 42);
+    let nodes = net.add_nodes(250);
+    net.run(30);
+    let mut rng: rand::rngs::StdRng = rand::SeedableRng::seed_from_u64(1);
+    for round in 0..3 {
+        for (i, node) in nodes.iter().enumerate() {
+            net.subscribe(*node, w.subscription(&mut rng));
+            if i % 25 == 24 { net.run(1); }
+        }
+        let _ = round;
+        net.run(20);
+        println!("after round: {:?} pending={}", net.snapshot(), net.pending_subscriptions());
+    }
+    for k in 0..40 {
+        net.run(100);
+        println!("k={k} {:?} pending={}", net.snapshot(), net.pending_subscriptions());
+        if net.pending_subscriptions() == 0 && k > 2 { break; }
+    }
+}

@@ -1,0 +1,9 @@
+//! Regenerates Figure 3(a) — dependability under uniform failures.
+
+use dps_experiments::{figures, output, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    let rows = figures::fig3a(scale);
+    output::write_json("fig3a", &rows);
+}

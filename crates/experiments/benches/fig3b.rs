@@ -1,0 +1,9 @@
+//! Regenerates Figure 3(b) — recovery from a failure storm.
+
+use dps_experiments::{figures, output, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    let rows = figures::fig3b(scale);
+    output::write_json("fig3b", &rows);
+}

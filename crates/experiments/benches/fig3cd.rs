@@ -1,0 +1,9 @@
+//! Regenerates Figures 3(c) and 3(d) — scalability of per-event load.
+
+use dps_experiments::{figures, output, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    let rows = figures::fig3cd(scale);
+    output::write_json("fig3cd", &rows);
+}

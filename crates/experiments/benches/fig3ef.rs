@@ -1,0 +1,9 @@
+//! Regenerates Figures 3(e) and 3(f) — leader vs epidemic per-node load.
+
+use dps_experiments::{figures, output, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    let rows = figures::fig3ef(scale);
+    output::write_json("fig3ef", &rows);
+}

@@ -1,0 +1,9 @@
+//! Regenerates Figure 3(g) — root vs generic per-node load.
+
+use dps_experiments::{figures, output, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    let rows = figures::fig3g(scale);
+    output::write_json("fig3g", &rows);
+}

@@ -1,0 +1,113 @@
+//! Criterion micro-benchmarks: the hot paths of the content model, the
+//! placement logic, the reference tree and the simulator.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use dps_content::placement::choose_branch;
+use dps_content::{Event, Filter, Predicate};
+use dps_overlay::model::TreeModel;
+use dps_sim::NodeId;
+use dps_workload::Workload;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_matching(c: &mut Criterion) {
+    let w = Workload::multiplayer_game();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let filters: Vec<Filter> = (0..1000).map(|_| w.subscription(&mut rng)).collect();
+    let events: Vec<Event> = (0..100).map(|_| w.event(&mut rng)).collect();
+    c.bench_function("match_1000_filters_x_100_events", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for e in &events {
+                for f in &filters {
+                    if f.matches(black_box(e)) {
+                        hits += 1;
+                    }
+                }
+            }
+            black_box(hits)
+        })
+    });
+}
+
+fn bench_inclusion(c: &mut Criterion) {
+    let preds: Vec<Predicate> = (0..200)
+        .map(|i| {
+            if i % 2 == 0 {
+                Predicate::gt("a", i)
+            } else {
+                Predicate::lt("a", i)
+            }
+        })
+        .collect();
+    c.bench_function("inclusion_200x200", |b| {
+        b.iter(|| {
+            let mut n = 0usize;
+            for p in &preds {
+                for q in &preds {
+                    if p.includes(black_box(q)) {
+                        n += 1;
+                    }
+                }
+            }
+            black_box(n)
+        })
+    });
+}
+
+fn bench_choose_branch(c: &mut Criterion) {
+    let children: Vec<Predicate> = (0..64).map(|i| Predicate::gt("a", i * 10)).collect();
+    let target = Predicate::eq("a", 317);
+    c.bench_function("choose_branch_64_children", |b| {
+        b.iter(|| black_box(choose_branch(children.iter(), black_box(&target))))
+    });
+}
+
+fn bench_tree_insert(c: &mut Criterion) {
+    let w = Workload::multiplayer_game();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+    let subs: Vec<Predicate> = (0..1000)
+        .map(|_| w.subscription(&mut rng).predicates()[0].clone())
+        .filter(|p| p.name().as_str() == "x")
+        .collect();
+    c.bench_function("reference_tree_insert_all", |b| {
+        b.iter_batched(
+            || TreeModel::new("x".into()),
+            |mut t| {
+                for (i, p) in subs.iter().enumerate() {
+                    t.insert(p, NodeId::from_index(i));
+                }
+                black_box(t.groups().len())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_sim_step(c: &mut Criterion) {
+    use dps::{DpsConfig, DpsNetwork};
+    c.bench_function("overlay_100_nodes_one_step", |b| {
+        let mut net = DpsNetwork::new(DpsConfig::default(), 3);
+        let nodes = net.add_nodes(100);
+        net.run(30);
+        let w = Workload::multiplayer_game();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        for n in &nodes {
+            net.subscribe(*n, w.subscription(&mut rng));
+        }
+        net.quiesce(3000);
+        b.iter(|| {
+            net.run(1);
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_matching,
+    bench_inclusion,
+    bench_choose_branch,
+    bench_tree_insert,
+    bench_sim_step
+);
+criterion_main!(benches);

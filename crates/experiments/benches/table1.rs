@@ -1,0 +1,10 @@
+//! Regenerates Table 1 (run with `cargo bench -p dps-experiments --bench table1`;
+//! set `DPS_SCALE=paper` for the full 10k × 10k runs).
+
+use dps_experiments::{output, table1, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    let rows = table1::run(scale);
+    output::write_json("table1", &rows);
+}

@@ -1,0 +1,402 @@
+//! Figure runners: the dependability, recovery, scalability and comparison
+//! plots of §5.2 (Figures 3(a)–3(g)).
+
+use dps::{CommKind, DpsConfig, DpsNetwork, JoinRule, MsgClass, NodeId, TraversalKind};
+use dps_sim::{ChurnEvent, ChurnPlan};
+use dps_workload::Workload;
+use serde::Serialize;
+
+use crate::Scale;
+
+/// The six configurations of Figure 3(a), in the paper's legend order.
+pub fn fig3a_configs() -> Vec<DpsConfig> {
+    let mut v = vec![
+        DpsConfig::named(TraversalKind::Root, CommKind::Leader),
+        DpsConfig::named(TraversalKind::Generic, CommKind::Leader),
+        DpsConfig::named(TraversalKind::Root, CommKind::Epidemic),
+        DpsConfig::named(TraversalKind::Generic, CommKind::Epidemic),
+        DpsConfig::named(TraversalKind::Root, CommKind::Epidemic).with_fanout(2),
+        DpsConfig::named(TraversalKind::Generic, CommKind::Epidemic).with_fanout(2),
+    ];
+    for c in &mut v {
+        c.join_rule = JoinRule::Explicit;
+    }
+    v
+}
+
+/// Builds a converged overlay of `n` nodes with `subs_per_node` workload-2
+/// subscriptions each (the paper's dependability setup).
+fn build_overlay(cfg: DpsConfig, n: usize, subs_per_node: usize, seed: u64) -> DpsNetwork {
+    let w = Workload::multiplayer_game();
+    let mut net = DpsNetwork::new(cfg, seed);
+    let nodes = net.add_nodes(n);
+    net.run(30);
+    let mut rng = rand::SeedableRng::seed_from_u64(seed ^ 0xabcd);
+    let rng: &mut rand::rngs::StdRng = &mut { rng };
+    for round in 0..subs_per_node {
+        for (i, node) in nodes.iter().enumerate() {
+            net.subscribe(*node, w.subscription(rng));
+            if i % 25 == 24 {
+                net.run(1);
+            }
+        }
+        let _ = round;
+        net.run(20);
+    }
+    net.quiesce(1500);
+    net.run(150);
+    net
+}
+
+/// One measured point of Figure 3(a).
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig3aPoint {
+    /// Configuration label (paper legend).
+    pub config: String,
+    /// Per-step failure probability (one crash every `1/p` steps).
+    pub p: f64,
+    /// Ratio of correctly delivered events.
+    pub delivered_ratio: f64,
+}
+
+/// Figure 3(a) — *Dependability*: delivered ratio vs failure probability.
+pub fn fig3a(scale: Scale) -> Vec<Fig3aPoint> {
+    crate::banner("Figure 3(a) — dependability under uniform failures", scale);
+    let n = scale.pick(250usize, 1000);
+    // Keep the paper's survivor fractions: 3000 steps per 1000 nodes means
+    // 3 × n steps at any scale (p = 0.25 then kills 75% of the population).
+    let steps = scale.pick(750u64, 3000);
+    let ps = [0.0, 0.05, 0.10, 0.15, 0.20, 0.25];
+    let mut rows = Vec::new();
+    println!(
+        "{:<26} {}",
+        "config",
+        ps.iter().map(|p| format!("p={p:<5}")).collect::<Vec<_>>().join(" ")
+    );
+    for cfg in fig3a_configs() {
+        let label = cfg.label();
+        let mut line = format!("{label:<26}");
+        for (pi, p) in ps.iter().enumerate() {
+            let mut net = build_overlay(cfg.clone(), n, 3, 42 + pi as u64);
+            let start = net.sim().now();
+            let plan = ChurnPlan::rate(*p);
+            let mut w_rng: rand::rngs::StdRng = rand::SeedableRng::seed_from_u64(7 ^ pi as u64);
+            let w = Workload::multiplayer_game();
+            for t in 0..steps {
+                for ev in plan.events_at(t) {
+                    if ev == ChurnEvent::CrashRandom {
+                        net.crash_random();
+                    }
+                }
+                // "A new event is published every 10 steps."
+                if t % 10 == 0 {
+                    if let Some(publisher) = random_alive(&mut net) {
+                        net.publish(publisher, w.event(&mut w_rng));
+                    }
+                }
+                net.run(1);
+            }
+            // Deep chains deliver one hop per step: drain proportionally to the
+            // population before measuring.
+            net.run(2 * n as u64 + 400);
+            let ratio = net.delivered_ratio_between(start, u64::MAX);
+            line.push_str(&format!(" {ratio:<7.3}"));
+            rows.push(Fig3aPoint {
+                config: label.clone(),
+                p: *p,
+                delivered_ratio: ratio,
+            });
+        }
+        println!("{line}");
+    }
+    println!("paper shape: all ≥ 0.8; epidemic > leader; epidemic k=2 ≥ 0.97 even at p = 0.25");
+    rows
+}
+
+fn random_alive(net: &mut DpsNetwork) -> Option<NodeId> {
+    let alive = net.sim().alive_ids();
+    if alive.is_empty() {
+        return None;
+    }
+    let i = rand::Rng::random_range(net.sim_mut().rng(), 0..alive.len());
+    Some(alive[i])
+}
+
+/// One measured window of Figure 3(b).
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig3bPoint {
+    /// Configuration label.
+    pub config: String,
+    /// Window start (steps since the failure phase timeline began).
+    pub step: u64,
+    /// Delivered ratio for events published in this window.
+    pub delivered_ratio: f64,
+}
+
+/// Figure 3(b) — *Recovering from failures* (generic traversal): three phases —
+/// calm, storm (one crash every 2 steps), recovery.
+pub fn fig3b(scale: Scale) -> Vec<Fig3bPoint> {
+    crate::banner("Figure 3(b) — recovery from a failure storm (generic)", scale);
+    let n = scale.pick(250usize, 1000);
+    // One crash every 2 steps through the middle phase: phase = n/2 kills 50%
+    // of the population, like the paper's 500 crashes among 1000 nodes.
+    let phase = scale.pick(200u64, 1000);
+    let window = 100u64;
+    let configs = vec![
+        DpsConfig::named(TraversalKind::Generic, CommKind::Epidemic).with_fanout(2),
+        DpsConfig::named(TraversalKind::Generic, CommKind::Epidemic),
+        DpsConfig::named(TraversalKind::Generic, CommKind::Leader),
+    ];
+    let mut rows = Vec::new();
+    for (ci, mut cfg) in configs.into_iter().enumerate() {
+        cfg.join_rule = JoinRule::Explicit;
+        let label = cfg.label();
+        let mut net = build_overlay(cfg, n, 3, 90 + ci as u64);
+        let start = net.sim().now();
+        let plan = ChurnPlan::storm(phase, 2 * phase, 2);
+        let w = Workload::multiplayer_game();
+        let mut w_rng: rand::rngs::StdRng = rand::SeedableRng::seed_from_u64(17 + ci as u64);
+        for t in 0..3 * phase {
+            for ev in plan.events_at(t) {
+                if ev == ChurnEvent::CrashRandom {
+                    net.crash_random();
+                }
+            }
+            if t % 10 == 0 {
+                if let Some(publisher) = random_alive(&mut net) {
+                    net.publish(publisher, w.event(&mut w_rng));
+                }
+            }
+            net.run(1);
+        }
+        net.run(2 * n as u64 + 400);
+        print!("{label:<26}");
+        for wstart in (0..3 * phase).step_by(window as usize) {
+            let ratio = net.delivered_ratio_between(start + wstart, start + wstart + window);
+            print!(" {ratio:.2}");
+            rows.push(Fig3bPoint {
+                config: label.clone(),
+                step: wstart,
+                delivered_ratio: ratio,
+            });
+        }
+        println!();
+    }
+    println!(
+        "(phases: calm 0..{phase}, storm {phase}..{}, recovery after; paper shape: ratio ≥ ~0.95 \
+         in the storm, back to 1.0 shortly after it ends)",
+        2 * phase
+    );
+    rows
+}
+
+/// One measured window of Figures 3(c)/3(d).
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig3cdPoint {
+    /// Configuration label.
+    pub config: String,
+    /// Window start step.
+    pub step: u64,
+    /// Outgoing publication messages per event at the median sender.
+    pub median_per_event: f64,
+    /// Outgoing publication messages per event at the most loaded node.
+    pub max_per_event: f64,
+}
+
+/// Figures 3(c)+3(d) — *Scalability*: outgoing messages per event while the
+/// system grows (a node joins and subscribes every 2 steps).
+pub fn fig3cd(scale: Scale) -> Vec<Fig3cdPoint> {
+    crate::banner(
+        "Figures 3(c)/3(d) — scalability: outgoing messages per event (median / max)",
+        scale,
+    );
+    let n0 = scale.pick(250usize, 1000);
+    let steps = scale.pick(2000u64, 5000);
+    let configs = vec![
+        DpsConfig::named(TraversalKind::Root, CommKind::Leader),
+        DpsConfig::named(TraversalKind::Root, CommKind::Epidemic),
+        DpsConfig::named(TraversalKind::Root, CommKind::Epidemic).with_fanout(2),
+    ];
+    let mut rows = Vec::new();
+    for (ci, mut cfg) in configs.into_iter().enumerate() {
+        cfg.join_rule = JoinRule::Explicit;
+        let label = cfg.label();
+        let mut net = build_overlay(cfg, n0, 1, 700 + ci as u64);
+        let w = Workload::multiplayer_game();
+        let mut w_rng: rand::rngs::StdRng = rand::SeedableRng::seed_from_u64(23 + ci as u64);
+        net.sim_mut().set_metrics_window(100);
+        let base = net.sim().now();
+        for t in 0..steps {
+            // "A new node enters the system every two steps and immediately
+            // emits a new subscription."
+            if t % 2 == 0 {
+                let id = net.add_node();
+                net.subscribe(id, w.subscription(&mut w_rng));
+            }
+            // "10 new events every 100 steps."
+            if t % 10 == 0 {
+                if let Some(publisher) = random_alive(&mut net) {
+                    net.publish(publisher, w.event(&mut w_rng));
+                }
+            }
+            net.run(1);
+        }
+        let series = net.metrics().sent_series(&[MsgClass::Publication]);
+        print!("{label:<26}");
+        for wstat in &series {
+            if wstat.start < base {
+                continue;
+            }
+            let per_event = 10.0; // events per 100-step window
+            let median = wstat.stat.median / per_event;
+            let max = wstat.stat.max / per_event;
+            rows.push(Fig3cdPoint {
+                config: label.clone(),
+                step: wstat.start - base,
+                median_per_event: median,
+                max_per_event: max,
+            });
+        }
+        for (i, p) in rows.iter().filter(|r| r.config == label).enumerate() {
+            if i % 4 == 0 {
+                print!(" {:.1}/{:.0}", p.median_per_event, p.max_per_event);
+            }
+        }
+        println!("   (median/max per event, every 4th window)");
+        let _ = ci;
+    }
+    println!(
+        "paper shape: 3(c) epidemic medians stay flat as the system grows; 3(d) the \
+         leader-root max grows with system size while epidemic maxima stay bounded"
+    );
+    rows
+}
+
+/// One measured point of Figures 3(e)/3(f)/3(g).
+#[derive(Debug, Clone, Serialize)]
+pub struct LoadPoint {
+    /// Configuration label.
+    pub config: String,
+    /// Subscriptions per node at this window.
+    pub subs_per_node: f64,
+    /// Incoming messages (all classes) in the window: median node.
+    pub in_median: f64,
+    /// Incoming messages: most loaded node.
+    pub in_max: f64,
+    /// Outgoing messages: median node.
+    pub out_median: f64,
+    /// Outgoing messages: most loaded node.
+    pub out_max: f64,
+}
+
+fn load_run(mut cfg: DpsConfig, scale: Scale, seed: u64) -> Vec<LoadPoint> {
+    cfg.join_rule = JoinRule::Explicit;
+    let label = cfg.label();
+    let n = scale.pick(250usize, 1000);
+    let steps = scale.pick(1500u64, 3000);
+    let sub_every = scale.pick(150u64, 300);
+    let w = Workload::multiplayer_game();
+    let mut net = DpsNetwork::new(cfg, seed);
+    let nodes = net.add_nodes(n);
+    net.run(30);
+    let mut w_rng: rand::rngs::StdRng = rand::SeedableRng::seed_from_u64(seed ^ 0xfeed);
+    net.sim_mut().set_metrics_window(100);
+    let base = net.sim().now();
+    for t in 0..steps {
+        // Each node emits a new subscription every `sub_every` steps (staggered).
+        for (i, node) in nodes.iter().enumerate() {
+            if (t + i as u64) % sub_every == 0 {
+                net.subscribe(*node, w.subscription(&mut w_rng));
+            }
+        }
+        if t % 10 == 0 {
+            if let Some(publisher) = random_alive(&mut net) {
+                net.publish(publisher, w.event(&mut w_rng));
+            }
+        }
+        net.run(1);
+    }
+    let population = net.sim().alive_ids();
+    let in_series = net
+        .metrics()
+        .series(dps_sim::Dir::Recv, &MsgClass::ALL, Some(&population));
+    let out_series = net
+        .metrics()
+        .series(dps_sim::Dir::Sent, &MsgClass::ALL, Some(&population));
+    in_series
+        .iter()
+        .zip(out_series.iter())
+        .filter(|(i, _)| i.start >= base)
+        .map(|(i, o)| LoadPoint {
+            config: label.clone(),
+            subs_per_node: (i.start - base) as f64 / sub_every as f64,
+            in_median: i.stat.median,
+            in_max: i.stat.max,
+            out_median: o.stat.median,
+            out_max: o.stat.max,
+        })
+        .collect()
+}
+
+/// Figures 3(e)+3(f) — *Leader vs Epidemic*: incoming/outgoing messages per
+/// 100-step window as subscriptions accumulate (root-based traversal).
+pub fn fig3ef(scale: Scale) -> Vec<LoadPoint> {
+    crate::banner("Figures 3(e)/3(f) — leader vs epidemic per-node load", scale);
+    let mut rows = Vec::new();
+    for (ci, cfg) in [
+        DpsConfig::named(TraversalKind::Root, CommKind::Leader),
+        DpsConfig::named(TraversalKind::Root, CommKind::Epidemic),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let pts = load_run(cfg, scale, 300 + ci as u64);
+        summarize_load(&pts);
+        rows.extend(pts);
+    }
+    println!(
+        "paper shape: epidemic receives more than leader overall (redundancy); leader max \
+         outgoing grows steeply with subscriptions while its median stays ~0; epidemic \
+         spreads the sending load (max < half of leader's max)"
+    );
+    rows
+}
+
+/// Figure 3(g) — *Root vs Generic* (leader communication).
+pub fn fig3g(scale: Scale) -> Vec<LoadPoint> {
+    crate::banner("Figure 3(g) — root vs generic per-node load (leader comm)", scale);
+    let mut rows = Vec::new();
+    for (ci, cfg) in [
+        DpsConfig::named(TraversalKind::Root, CommKind::Leader),
+        DpsConfig::named(TraversalKind::Generic, CommKind::Leader),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let pts = load_run(cfg, scale, 500 + ci as u64);
+        summarize_load(&pts);
+        rows.extend(pts);
+    }
+    println!(
+        "paper shape: the root-based max incoming grows with subscriptions (the owner takes \
+         every request); generic spreads it nearly flat; outgoing differs little"
+    );
+    rows
+}
+
+fn summarize_load(pts: &[LoadPoint]) {
+    if pts.is_empty() {
+        return;
+    }
+    println!("{}:", pts[0].config);
+    println!(
+        "  {:<14} {:>8} {:>8} {:>8} {:>8}",
+        "subs/node", "in med", "in max", "out med", "out max"
+    );
+    for p in pts.iter().step_by(2) {
+        println!(
+            "  {:<14.1} {:>8.0} {:>8.0} {:>8.0} {:>8.0}",
+            p.subs_per_node, p.in_median, p.in_max, p.out_median, p.out_max
+        );
+    }
+}

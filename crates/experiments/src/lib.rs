@@ -1,0 +1,55 @@
+//! Experiment harness for the DPS reproduction: one runner per table/figure of
+//! the paper's evaluation (§5.2), shared scenario plumbing, and result output.
+//!
+//! Every runner prints the series the paper plots, next to the paper's headline
+//! expectation, and returns the measured rows so the bench targets can persist
+//! them as JSON under `target/experiments/`.
+//!
+//! Scale is controlled by the `DPS_SCALE` environment variable:
+//!
+//! * unset or `quick` — reduced populations/durations so the full suite runs in
+//!   minutes (defaults used by `cargo bench`);
+//! * `paper` — the paper's parameters (10,000 subscriptions/events for Table 1,
+//!   1,000 nodes and 3,000–5,000 steps for the figures).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod figures;
+pub mod output;
+pub mod table1;
+
+use serde::Serialize;
+
+/// Experiment scale, from the `DPS_SCALE` environment variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum Scale {
+    /// Reduced scale for CI / `cargo bench` (minutes for the whole suite).
+    Quick,
+    /// The paper's parameters.
+    Paper,
+}
+
+impl Scale {
+    /// Reads `DPS_SCALE` (`quick` default, `paper` for full runs).
+    pub fn from_env() -> Self {
+        match std::env::var("DPS_SCALE").as_deref() {
+            Ok("paper") | Ok("PAPER") | Ok("full") => Scale::Paper,
+            _ => Scale::Quick,
+        }
+    }
+
+    /// Picks `quick` or `paper` parameter.
+    pub fn pick<T>(self, quick: T, paper: T) -> T {
+        match self {
+            Scale::Quick => quick,
+            Scale::Paper => paper,
+        }
+    }
+}
+
+/// Prints a section header for a runner.
+pub fn banner(title: &str, scale: Scale) {
+    println!();
+    println!("=== {title} [scale: {scale:?}] ===");
+}

@@ -1,0 +1,32 @@
+//! Result persistence: JSON files under `target/experiments/` so runs can be
+//! diffed and plotted outside the harness.
+
+use std::path::PathBuf;
+
+use serde::Serialize;
+
+/// Writes `rows` as pretty JSON to `target/experiments/<name>.json`, best-effort
+/// (failures are reported to stderr but never abort an experiment).
+pub fn write_json<T: Serialize>(name: &str, rows: &T) {
+    let dir = match std::env::var("CARGO_TARGET_DIR") {
+        Ok(d) => PathBuf::from(d),
+        // Benches run from the package directory; anchor at the workspace root.
+        Err(_) => PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target"),
+    }
+    .join("experiments");
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("cannot create {}: {e}", dir.display());
+        return;
+    }
+    let path = dir.join(format!("{name}.json"));
+    match serde_json::to_string_pretty(rows) {
+        Ok(s) => {
+            if let Err(e) = std::fs::write(&path, s) {
+                eprintln!("cannot write {}: {e}", path.display());
+            } else {
+                println!("(results saved to {})", path.display());
+            }
+        }
+        Err(e) => eprintln!("cannot serialize {name}: {e}"),
+    }
+}

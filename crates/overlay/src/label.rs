@@ -1,0 +1,141 @@
+//! Group labels: the vertices of the semantic trees.
+
+use std::fmt;
+
+use dps_content::placement::{self};
+use dps_content::{AttrName, Event, Predicate};
+use serde::{Deserialize, Serialize};
+
+/// The label of a semantic group: either the virtual root of an attribute tree
+/// (which matches every event carrying the attribute) or a concrete predicate.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum GroupLabel {
+    /// The root vertex of the tree for `attr` (the paper's "a", "b", "c" vertices
+    /// in Figure 1, maintained by the attribute owner).
+    Root(AttrName),
+    /// A predicate group (Definition 2).
+    Pred(Predicate),
+}
+
+impl GroupLabel {
+    /// The attribute this label concerns.
+    pub fn attr(&self) -> &AttrName {
+        match self {
+            GroupLabel::Root(a) => a,
+            GroupLabel::Pred(p) => p.name(),
+        }
+    }
+
+    /// Whether this label is the tree root.
+    pub fn is_root(&self) -> bool {
+        matches!(self, GroupLabel::Root(_))
+    }
+
+    /// The predicate, for non-root labels.
+    pub fn predicate(&self) -> Option<&Predicate> {
+        match self {
+            GroupLabel::Root(_) => None,
+            GroupLabel::Pred(p) => Some(p),
+        }
+    }
+
+    /// Whether an event matches the group predicate — the dissemination pruning
+    /// test of §4.1. The root matches any event that carries the attribute.
+    pub fn matches_event(&self, event: &Event) -> bool {
+        match self {
+            GroupLabel::Root(a) => event.get(a).is_some(),
+            GroupLabel::Pred(p) => event
+                .get(p.name())
+                .is_some_and(|v| p.matches_value(v)),
+        }
+    }
+
+    /// Whether this label lies on the designated path from the root to the group
+    /// of `target` — i.e. a traversal looking for `target` may descend through this
+    /// group. The root is on every path of its attribute.
+    pub fn on_path_to(&self, target: &Predicate) -> bool {
+        match self {
+            GroupLabel::Root(a) => a == target.name(),
+            GroupLabel::Pred(p) => placement::on_designated_path(p, target),
+        }
+    }
+
+    /// Whether a group labeled `self` must hand its child branch labeled `child`
+    /// over to a newly created sibling group `new_group` (re-parenting on insert,
+    /// constraint C2).
+    pub fn branch_reparents_to(child: &GroupLabel, new_group: &Predicate) -> bool {
+        match child {
+            GroupLabel::Root(_) => false,
+            GroupLabel::Pred(c) => placement::must_reparent(new_group, c),
+        }
+    }
+}
+
+impl fmt::Display for GroupLabel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GroupLabel::Root(a) => write!(f, "⟨{a}⟩"),
+            GroupLabel::Pred(p) => write!(f, "⟨{p}⟩"),
+        }
+    }
+}
+
+impl From<Predicate> for GroupLabel {
+    fn from(p: Predicate) -> Self {
+        GroupLabel::Pred(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Predicate {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn root_matches_any_event_with_attr() {
+        let root = GroupLabel::Root("a".into());
+        assert!(root.matches_event(&"a = 4".parse().unwrap()));
+        assert!(!root.matches_event(&"b = 4".parse().unwrap()));
+        assert!(root.is_root());
+        assert_eq!(root.predicate(), None);
+    }
+
+    #[test]
+    fn pred_label_matching() {
+        let l = GroupLabel::from(p("a > 2"));
+        assert!(l.matches_event(&"a = 4".parse().unwrap()));
+        assert!(!l.matches_event(&"a = 1".parse().unwrap()));
+        assert!(!l.matches_event(&"b = 4".parse().unwrap()));
+        assert_eq!(l.attr().as_str(), "a");
+    }
+
+    #[test]
+    fn on_path_rules() {
+        let root = GroupLabel::Root("a".into());
+        assert!(root.on_path_to(&p("a = 4")));
+        assert!(!root.on_path_to(&p("b = 4")));
+        assert!(GroupLabel::from(p("a > 2")).on_path_to(&p("a = 4")));
+        assert!(!GroupLabel::from(p("a < 11")).on_path_to(&p("a = 4"))); // C1
+        assert!(!GroupLabel::from(p("a > 2")).on_path_to(&p("a > 2")));
+    }
+
+    #[test]
+    fn reparenting_via_labels() {
+        let child = GroupLabel::from(p("a > 5"));
+        assert!(GroupLabel::branch_reparents_to(&child, &p("a > 3")));
+        assert!(!GroupLabel::branch_reparents_to(&child, &p("a > 7")));
+        assert!(!GroupLabel::branch_reparents_to(
+            &GroupLabel::Root("a".into()),
+            &p("a > 3")
+        ));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(GroupLabel::Root("a".into()).to_string(), "⟨a⟩");
+        assert_eq!(GroupLabel::from(p("a > 2")).to_string(), "⟨a > 2⟩");
+    }
+}

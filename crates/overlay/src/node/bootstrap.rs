@@ -1,0 +1,505 @@
+//! Bootstrap substrate: random peer sampling, tree-discovery random walks, owner
+//! announcements, tree creation and duplicate-tree dissolution (§4.1: "it is
+//! always possible to locate a contact point in any of the trees, for example by
+//! propagating a request message with random walks. ... the node that creates a
+//! tree starts periodically a new traversal, in order to detect duplicate trees
+//! and merge them into one").
+
+use dps_content::AttrName;
+use dps_sim::{Context, NodeId};
+use rand::seq::IteratorRandom;
+use rand::Rng;
+
+use crate::config::TraversalKind;
+use crate::label::GroupLabel;
+use crate::msg::{DpsMsg, Ticket};
+use crate::node::{claim_beats, DpsNode, PendingWalk, SubPhase, TreeContact};
+
+impl DpsNode {
+    pub(crate) fn handle_shuffle(
+        &mut self,
+        from: NodeId,
+        peers: Vec<NodeId>,
+        ctx: &mut Context<'_, DpsMsg>,
+    ) {
+        let mine = self.peer_sample(ctx, 4);
+        self.merge_peers(&peers);
+        if !self.peers.contains(&from) && from != self.id {
+            self.peers.push(from);
+            self.trim_peers(ctx);
+        }
+        ctx.send(from, DpsMsg::ShuffleReply { peers: mine });
+    }
+
+    pub(crate) fn merge_peers(&mut self, peers: &[NodeId]) {
+        for p in peers {
+            if *p != self.id && !self.peers.contains(p) && !self.suspected.contains(p) {
+                self.peers.push(*p);
+            }
+        }
+        // Trim oldest-first beyond capacity (newest information is freshest).
+        let cap = self.cfg.peer_view;
+        if self.peers.len() > cap {
+            self.peers.drain(0..self.peers.len() - cap);
+        }
+    }
+
+    fn trim_peers(&mut self, _ctx: &mut Context<'_, DpsMsg>) {
+        let cap = self.cfg.peer_view;
+        if self.peers.len() > cap {
+            self.peers.drain(0..self.peers.len() - cap);
+        }
+    }
+
+    pub(crate) fn peer_sample(&mut self, ctx: &mut Context<'_, DpsMsg>, n: usize) -> Vec<NodeId> {
+        let me = self.id;
+        self.peers
+            .iter()
+            .copied()
+            .filter(|p| *p != me)
+            .choose_multiple(ctx.rng(), n)
+    }
+
+    /// Starts (or restarts) a random walk looking for the tree of `attr`.
+    pub(crate) fn start_walk(&mut self, attr: AttrName, ctx: &mut Context<'_, DpsMsg>) {
+        let deadline = ctx.now() + self.cfg.request_timeout;
+        match self.walks.iter_mut().find(|w| w.attr == attr) {
+            Some(w) => w.deadline = deadline,
+            None => self.walks.push(PendingWalk {
+                attr: attr.clone(),
+                deadline,
+            }),
+        }
+        let ttl = self.cfg.walk_ttl;
+        let origin = self.id;
+        // Launch two parallel walks ("random walks", §4.1): a single walk dies
+        // whenever one hop lands on a crashed peer, which is common under churn.
+        for peer in self.peer_sample(ctx, 2) {
+            ctx.send(
+                peer,
+                DpsMsg::FindTree {
+                    attr: attr.clone(),
+                    origin,
+                    ttl,
+                },
+            );
+        }
+        // With no peers at all, the walk deadline will expire and the caller-side
+        // retry logic concludes "no tree" (and creates one if subscribing).
+    }
+
+    pub(crate) fn handle_find_tree(
+        &mut self,
+        attr: AttrName,
+        origin: NodeId,
+        ttl: u32,
+        ctx: &mut Context<'_, DpsMsg>,
+    ) {
+        // Am I in the tree?
+        if !self.memberships_in(&attr).is_empty() {
+            let (owner, epoch) = match self.known_owner_claim(&attr) {
+                Some((o, e)) => (Some(o), e),
+                None => (None, 0),
+            };
+            ctx.send(
+                origin,
+                DpsMsg::TreeFound {
+                    attr,
+                    contact: self.id,
+                    owner,
+                    epoch,
+                },
+            );
+            return;
+        }
+        // Do I know a (live, as far as we can tell) contact?
+        if let Some(c) = self.tree_cache.get(&attr) {
+            let (contact, owner, epoch) = (c.contact, c.owner, c.epoch);
+            if !self.suspected.contains(&contact) {
+                ctx.send(
+                    origin,
+                    DpsMsg::TreeFound {
+                        attr,
+                        contact,
+                        owner,
+                        epoch,
+                    },
+                );
+                return;
+            }
+        }
+        let next = {
+            let me = self.id;
+            let suspected = &self.suspected;
+            self.peers
+                .iter()
+                .copied()
+                .filter(|p| *p != origin && *p != me && !suspected.contains(p))
+                .choose(ctx.rng())
+        };
+        match next {
+            Some(p) if ttl > 0 => ctx.send(
+                p,
+                DpsMsg::FindTree {
+                    attr,
+                    origin,
+                    ttl: ttl - 1,
+                },
+            ),
+            _ => ctx.send(origin, DpsMsg::TreeNotFound { attr }),
+        }
+    }
+
+    /// A walk came back empty: retry (or create the tree) right away by expiring
+    /// the pending requests waiting on this attribute.
+    pub(crate) fn handle_tree_not_found(
+        &mut self,
+        attr: AttrName,
+        ctx: &mut Context<'_, DpsMsg>,
+    ) {
+        if !self.walks.iter().any(|w| w.attr == attr) {
+            return; // stale answer from an earlier walk
+        }
+        self.walks.retain(|w| w.attr != attr);
+        let now = ctx.now();
+        for p in &mut self.pending_subs {
+            if p.phase == SubPhase::FindingTree && p.pred.name() == &attr {
+                p.deadline = now;
+            }
+        }
+        for p in &mut self.pending_pubs {
+            if p.attrs.contains(&attr) {
+                p.deadline = now;
+            }
+        }
+        // The expired deadlines are picked up by this step's `on_tick` — never
+        // retry inline here: several parallel walks answering in one step would
+        // each spawn a fresh retry (and fresh walks), snowballing exponentially.
+        let _ = ctx;
+    }
+
+    pub(crate) fn handle_tree_found(
+        &mut self,
+        attr: AttrName,
+        contact: NodeId,
+        owner: Option<NodeId>,
+        epoch: u64,
+        ctx: &mut Context<'_, DpsMsg>,
+    ) {
+        if self.suspected.contains(&contact) {
+            return; // stale answer naming a contact we know is dead; keep walking
+        }
+        self.walks.retain(|w| w.attr != attr);
+        // Duplicate-tree detection: we own this attribute but the walk came back
+        // with a different owner — one of the two trees must dissolve (§4.1).
+        if self.owns_tree(&attr) {
+            if let Some(o) = owner {
+                self.maybe_dissolve_own_tree(&attr, o, epoch, contact, ctx);
+            }
+            return;
+        }
+        // Ignore claims older than what we already hold.
+        if let Some(best) = self.known_owner_claim(&attr) {
+            if let Some(o) = owner {
+                if !claim_beats((o, epoch), best) && (o, epoch) != best {
+                    self.resume_for_attr(&attr, ctx);
+                    return;
+                }
+            }
+        }
+        self.tree_cache
+            .insert(attr.clone(), TreeContact { contact, owner, epoch });
+        self.resume_for_attr(&attr, ctx);
+    }
+
+    /// Caches an owner announcement. When two owners are claimed for the same
+    /// attribute (concurrent tree creations, or a re-rooting racing stale state),
+    /// everyone deterministically sides with the higher epoch — then the smaller
+    /// node id — and tips the loser off, so its duplicate-tree dissolution
+    /// triggers immediately instead of waiting for a lucky walk.
+    pub(crate) fn handle_owner_announce(
+        &mut self,
+        attr: AttrName,
+        owner: NodeId,
+        epoch: u64,
+        ctx: &mut Context<'_, DpsMsg>,
+    ) {
+        let prev = self
+            .tree_cache
+            .get(&attr)
+            .and_then(|c| c.owner.map(|o| (o, c.epoch)));
+        let claim = (owner, epoch);
+        let (winner, loser) = match prev {
+            Some(p) if p.0 != owner => {
+                if claim_beats(claim, p) {
+                    (claim, Some(p.0))
+                } else {
+                    (p, Some(owner))
+                }
+            }
+            _ => (claim, None),
+        };
+        let improved = prev != Some(winner);
+        self.tree_cache.insert(
+            attr.clone(),
+            TreeContact {
+                contact: winner.0,
+                owner: Some(winner.0),
+                epoch: winner.1,
+            },
+        );
+        // Epidemic broadcast of ownership: forward strictly-better claims to a
+        // few peers. Claims form a lattice (epoch, then min id), so every node
+        // forwards at most once per improvement and the flood terminates.
+        if improved {
+            let peers = self.peer_sample(ctx, 3);
+            for p in peers {
+                ctx.send(
+                    p,
+                    DpsMsg::OwnerAnnounce {
+                        attr: attr.clone(),
+                        owner: winner.0,
+                        epoch: winner.1,
+                    },
+                );
+            }
+        }
+        if let Some(l) = loser {
+            ctx.send(
+                l,
+                DpsMsg::TreeFound {
+                    attr,
+                    contact: winner.0,
+                    owner: Some(winner.0),
+                    epoch: winner.1,
+                },
+            );
+        }
+    }
+
+    /// Creates the tree for `attr` with ourselves as owner — either as the first
+    /// subscriber to an attribute nobody serves yet, or as a survivor re-rooting
+    /// an orphaned subtree — and tells our peers.
+    pub(crate) fn create_tree(&mut self, attr: AttrName, ctx: &mut Context<'_, DpsMsg>) {
+        let label = GroupLabel::Root(attr.clone());
+        if self.membership(&label).is_some() {
+            return;
+        }
+        // Fresh trees start at epoch 0; only re-rooting over an owner we believe
+        // DEAD bumps the epoch past its claim. Bumping over a live owner would
+        // let every racing duplicate creation trump the established tree,
+        // triggering endless dissolve/re-subscribe wars.
+        let epoch = match self.known_owner_claim(&attr) {
+            Some((o, e)) if self.suspected.contains(&o) => e + 1,
+            Some((_, e)) => e,
+            None => 0,
+        };
+        let idx = self.new_led_membership(None, label, self.id);
+        self.memberships[idx].owner_epoch = epoch;
+        let announce = DpsMsg::OwnerAnnounce {
+            attr: attr.clone(),
+            owner: self.id,
+            epoch,
+        };
+        let peers = self.peers.clone();
+        for p in peers {
+            ctx.send(p, announce.clone());
+        }
+        self.tree_cache.insert(
+            attr,
+            TreeContact {
+                contact: self.id,
+                owner: Some(self.id),
+                epoch,
+            },
+        );
+    }
+
+    /// Re-drives pending subscriptions/publications blocked on discovering the
+    /// tree of `attr`.
+    pub(crate) fn resume_for_attr(&mut self, attr: &AttrName, ctx: &mut Context<'_, DpsMsg>) {
+        // Subscriptions waiting for this tree.
+        let waiting: Vec<_> = self
+            .pending_subs
+            .iter()
+            .filter(|p| p.phase == SubPhase::FindingTree && p.pred.name() == attr)
+            .map(|p| p.sub_id)
+            .collect();
+        for sub_id in waiting {
+            self.drive_subscription(sub_id, ctx);
+        }
+        // Publications waiting for this tree: (re)send them; the attribute stays
+        // pending until a tree member acknowledges.
+        let ready: Vec<(crate::msg::PubId, dps_content::Event)> = self
+            .pending_pubs
+            .iter()
+            .filter(|p| p.attrs.contains(attr))
+            .map(|p| (p.id, p.event.clone()))
+            .collect();
+        for (id, event) in ready {
+            self.send_publication(id, &event, attr.clone(), ctx);
+        }
+    }
+
+    /// Periodic duplicate-tree detection: owners walk the network; discovering a
+    /// tree for the same attribute under a smaller-id owner, they dissolve their
+    /// own (§4.1). The comparison must be deterministic and agreed by both sides —
+    /// node id order serves as the tiebreak.
+    pub(crate) fn owner_merge_walk(&mut self, ctx: &mut Context<'_, DpsMsg>) {
+        let owned = self.owned_attrs();
+        if owned.is_empty() {
+            return;
+        }
+        let attr = {
+            let i = ctx.rng().random_range(0..owned.len());
+            owned[i].clone()
+        };
+        let ttl = self.cfg.walk_ttl;
+        let origin = self.id;
+        if let Some(peer) = self.peer_sample(ctx, 1).first().copied() {
+            ctx.send(peer, DpsMsg::FindTree { attr, origin, ttl });
+        }
+    }
+
+    /// Part of `handle_tree_found`'s duty when we own the attribute: a duplicate
+    /// tree exists if the reported owner differs from us. The weaker claim
+    /// (lower epoch, then higher node id) dissolves; the stronger survives. A
+    /// claim naming a node we believe dead never wins.
+    pub(crate) fn maybe_dissolve_own_tree(
+        &mut self,
+        attr: &AttrName,
+        other_owner: NodeId,
+        other_epoch: u64,
+        contact: NodeId,
+        ctx: &mut Context<'_, DpsMsg>,
+    ) {
+        if other_owner == self.id || self.suspected.contains(&other_owner) {
+            return;
+        }
+        let mine = self
+            .membership_owner_claim(attr)
+            .unwrap_or((self.id, 0));
+        if claim_beats((other_owner, other_epoch), mine) {
+            self.handle_dissolve(attr.clone(), contact, other_owner, other_epoch, ctx);
+        }
+    }
+
+    /// Tears down our membership(s) in a duplicate tree and re-subscribes the
+    /// affected subscriptions through the surviving one. Leaders forward the
+    /// dissolution down their branches and out to members first.
+    pub(crate) fn handle_dissolve(
+        &mut self,
+        attr: AttrName,
+        contact: NodeId,
+        new_owner: NodeId,
+        epoch: u64,
+        ctx: &mut Context<'_, DpsMsg>,
+    ) {
+        if self.suspected.contains(&new_owner) {
+            return; // never dissolve toward a dead owner
+        }
+        let idxs = self.memberships_in(&attr);
+        if idxs.is_empty() {
+            return;
+        }
+        // If the dissolution came from the surviving tree's owner-walk answer, our
+        // own memberships may actually belong to the *surviving* tree. Only
+        // dissolve when the tree we are IN differs and holds the weaker claim.
+        let mine = self.membership_owner_claim(&attr);
+        if mine.map(|(o, _)| o) == Some(new_owner) {
+            return;
+        }
+        if let Some(m) = mine {
+            if !claim_beats((new_owner, epoch), m) {
+                return;
+            }
+        }
+        // Update the cache toward the surviving tree.
+        self.tree_cache.insert(
+            attr.clone(),
+            TreeContact {
+                contact,
+                owner: Some(new_owner),
+                epoch,
+            },
+        );
+        let msg = DpsMsg::DissolveTree {
+            attr: attr.clone(),
+            contact,
+            new_owner,
+            epoch,
+        };
+        let mut resubscribe: Vec<crate::msg::SubId> = Vec::new();
+        // Walk in reverse so removal by index stays valid.
+        for i in idxs.into_iter().rev() {
+            let m = self.memberships.remove(i);
+            if m.is_leader() {
+                for b in &m.branches {
+                    if let Some(n) = b.primary() {
+                        ctx.send(n, msg.clone());
+                    }
+                }
+                for member in &m.members {
+                    if *member != self.id {
+                        ctx.send(*member, msg.clone());
+                    }
+                }
+            }
+            resubscribe.extend(m.sub_ids);
+        }
+        for sub_id in resubscribe {
+            if let Some((_, filter)) = self.subs.iter().find(|(s, _)| *s == sub_id).cloned() {
+                let pred = filter
+                    .predicates()
+                    .iter()
+                    .find(|p| p.name() == &attr)
+                    .cloned();
+                if let Some(pred) = pred {
+                    self.enqueue_subscription(sub_id, pred, ctx);
+                }
+            }
+        }
+    }
+
+    /// Sends a `FIND_GROUP` toward the tree of the pending subscription's
+    /// attribute using the configured traversal: to the owner for root-based
+    /// visits, to any contact for generic ones.
+    pub(crate) fn send_find_group(
+        &mut self,
+        sub_id: crate::msg::SubId,
+        pred: dps_content::Predicate,
+        ctx: &mut Context<'_, DpsMsg>,
+    ) -> bool {
+        let attr = pred.name().clone();
+        let ticket = Ticket {
+            origin: self.id,
+            sub_id,
+            pred,
+            mode: self.cfg.traversal,
+            descending: false,
+            // Descents visit one group per hop and chains can be very deep; the
+            // ttl is only a loop backstop.
+            ttl: 100_000,
+        };
+        let target = match self.cfg.traversal {
+            TraversalKind::Root => self
+                .known_owner(&attr)
+                .or_else(|| self.tree_cache.get(&attr).map(|c| c.contact)),
+            TraversalKind::Generic => {
+                // Any contact will do; prefer ourselves when we are in the tree.
+                if !self.memberships_in(&attr).is_empty() {
+                    Some(self.id)
+                } else {
+                    self.tree_cache.get(&attr).map(|c| c.contact)
+                }
+            }
+        };
+        match target {
+            Some(t) => {
+                ctx.send(t, DpsMsg::FindGroup(ticket));
+                true
+            }
+            None => false,
+        }
+    }
+}

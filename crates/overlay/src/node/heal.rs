@@ -1,0 +1,947 @@
+//! Self-healing (§4.3): heartbeat failure detection over the view pointers,
+//! co-leader promotion, whole-group failure recovery through multi-level views,
+//! reattachment of orphaned branches, and the periodic view-exchange / merge
+//! processes that keep the overlay consistent under churn.
+
+use std::collections::BTreeSet;
+
+use dps_sim::{Context, NodeId};
+use rand::seq::IteratorRandom;
+use rand::Rng;
+
+use crate::config::CommKind;
+use crate::label::GroupLabel;
+use crate::msg::{BranchInfo, DpsMsg, GroupRef};
+use crate::node::{claim_beats, DpsNode, Probe};
+use crate::views::{Branch, Role};
+
+impl DpsNode {
+    // ---- heartbeat probing ----
+
+    /// The neighbors this node monitors: "nodes in the predview and succview
+    /// structure are periodically monitored for failures" (§4.3), plus the group
+    /// leadership a member depends on.
+    pub(crate) fn monitor_targets(&self) -> BTreeSet<NodeId> {
+        let mut set = BTreeSet::new();
+        for m in &self.memberships {
+            match self.cfg.comm {
+                CommKind::Leader => {
+                    if m.is_leader() {
+                        set.extend(m.co_leaders.iter().copied());
+                        for b in &m.branches {
+                            set.extend(b.primary());
+                        }
+                        set.extend(m.predview.first().map(|r| r.node));
+                    } else {
+                        set.insert(m.leader);
+                        set.extend(m.co_leaders.iter().copied());
+                    }
+                }
+                CommKind::Epidemic => {
+                    set.extend(m.members.iter().take(3).copied());
+                    set.extend(m.predview.iter().take(2).map(|r| r.node));
+                    for b in &m.branches {
+                        set.extend(b.refs.first().map(|r| r.node));
+                    }
+                }
+            }
+        }
+        set.remove(&self.id);
+        set
+    }
+
+    /// Drives the heartbeat machinery: schedule pings (per-edge period drawn
+    /// uniformly from `[heartbeat_min, heartbeat_max]`, §5.2), time out missing
+    /// pongs and trigger healing.
+    pub(crate) fn tick_probes(&mut self, ctx: &mut Context<'_, DpsMsg>) {
+        let now = ctx.now();
+        let targets = self.monitor_targets();
+        self.probes.retain(|k, _| targets.contains(k));
+        for t in &targets {
+            if !self.probes.contains_key(t) {
+                let every = ctx
+                    .rng()
+                    .random_range(self.cfg.heartbeat_min..=self.cfg.heartbeat_max);
+                let phase = ctx.rng().random_range(0..every);
+                self.probes.insert(
+                    *t,
+                    Probe {
+                        every,
+                        next_at: now + phase,
+                        outstanding: None,
+                    },
+                );
+            }
+        }
+        let timeout = self.cfg.probe_timeout;
+        let mut dead: Vec<NodeId> = Vec::new();
+        let mut pings: Vec<(NodeId, u64)> = Vec::new();
+        for (t, p) in self.probes.iter_mut() {
+            match p.outstanding {
+                Some((_, sent)) if now.saturating_sub(sent) > timeout => dead.push(*t),
+                Some(_) => {}
+                None if p.next_at <= now => {
+                    pings.push((*t, 0)); // nonce assigned below (needs &mut self)
+                    p.next_at = now + p.every;
+                    p.outstanding = Some((0, now));
+                }
+                None => {}
+            }
+        }
+        for (t, _) in &pings {
+            let nonce = self.fresh_nonce();
+            if let Some(p) = self.probes.get_mut(t) {
+                if let Some((_, sent)) = p.outstanding {
+                    p.outstanding = Some((nonce, sent));
+                }
+            }
+            ctx.send(*t, DpsMsg::Ping { nonce });
+        }
+        for d in dead {
+            self.probes.remove(&d);
+            self.on_dead(d, ctx);
+        }
+    }
+
+    pub(crate) fn handle_pong(&mut self, from: NodeId, nonce: u64) {
+        if let Some(p) = self.probes.get_mut(&from) {
+            if matches!(p.outstanding, Some((n, _)) if n == nonce) {
+                p.outstanding = None;
+            }
+        }
+    }
+
+    // ---- failure reactions ----
+
+    /// A monitored neighbor was declared dead: scrub it everywhere and run the
+    /// role-specific healing of §4.3.
+    pub(crate) fn on_dead(&mut self, dead: NodeId, ctx: &mut Context<'_, DpsMsg>) {
+        self.suspected.insert(dead);
+        self.peers.retain(|p| *p != dead);
+        self.tree_cache.retain(|_, c| {
+            if c.owner == Some(dead) {
+                c.owner = None;
+            }
+            c.contact != dead
+        });
+
+
+        for i in 0..self.memberships.len() {
+            let label = self.memberships[i].label.clone();
+            let was_leader_dead = self.memberships[i].leader == dead;
+            let was_my_lead = self.memberships[i].is_leader();
+
+            // Scrub the views first.
+            self.memberships[i].forget_node(dead);
+
+            match self.cfg.comm {
+                CommKind::Leader => {
+                    if was_leader_dead && !was_my_lead {
+                        self.leader_takeover(i, dead, ctx);
+                    }
+                    if was_my_lead {
+                        self.leader_heal_after(i, dead, ctx);
+                    }
+                }
+                CommKind::Epidemic => {
+                    // Pull a fresh view from a surviving member (§4.3: the failed
+                    // node "is immediately replaced by pulling a view update from
+                    // the other alive nodes"), and bridge branches whose whole
+                    // group died using the deeper succview entries.
+                    let me = self.id;
+                    let target = self.memberships[i]
+                        .members
+                        .iter()
+                        .copied()
+                        .filter(|n| *n != me)
+                        .choose(ctx.rng());
+                    if let Some(n) = target {
+                        ctx.send(n, DpsMsg::ViewPull { label: label.clone() });
+                    }
+                    self.bridge_dead_branches(i, dead, ctx);
+                }
+            }
+
+            // Orphaned (no predecessor left)? Reattach or take the root over.
+            if self.memberships[i].predview.is_empty() && !self.memberships[i].label.is_root() {
+                self.reattach_or_promote(i, ctx);
+            }
+        }
+    }
+
+    /// A member or co-leader noticed the leader die. Co-leaders rank themselves:
+    /// the first co-leader not known to be dead promotes itself (§4.3: "one
+    /// co-leader, for example, the one with the lowest identifier, becomes the
+    /// new leader"). Plain members alert the co-leaders.
+    fn leader_takeover(&mut self, i: usize, dead: NodeId, ctx: &mut Context<'_, DpsMsg>) {
+        let label = self.memberships[i].label.clone();
+        match self.memberships[i].role {
+            Role::CoLeader => {
+                let first_alive = self.memberships[i]
+                    .co_leaders
+                    .iter()
+                    .copied()
+                    .find(|c| !self.suspected.contains(c));
+                let me = self.id;
+                if first_alive == Some(me) || self.memberships[i].co_leaders.is_empty() {
+                    self.promote_to_leader(i, ctx);
+                } else if let Some(c) = first_alive {
+                    ctx.send(c, DpsMsg::LeaderGone { label, dead });
+                }
+            }
+            Role::Member => {
+                let cos = self.memberships[i].co_leaders.clone();
+                for c in cos {
+                    ctx.send(c, DpsMsg::LeaderGone { label: label.clone(), dead });
+                }
+            }
+            Role::Leader => {}
+        }
+    }
+
+    /// Become the leader of membership `i`: recruit co-leaders back to `Kc`, then
+    /// announce the new leadership to members, parent and children (§4.3).
+    pub(crate) fn promote_to_leader(&mut self, i: usize, ctx: &mut Context<'_, DpsMsg>) {
+        let me = self.id;
+        {
+            let m = &mut self.memberships[i];
+            m.role = Role::Leader;
+            m.leader = me;
+            m.co_leaders.retain(|c| *c != me);
+            m.add_member(me);
+        }
+        self.recruit_co_leaders(i);
+        let m = &self.memberships[i];
+        let info = DpsMsg::GroupInfo {
+            label: m.label.clone(),
+            leader: me,
+            co_leaders: m.co_leaders.clone(),
+            owner: m.owner,
+            owner_epoch: m.owner_epoch,
+        };
+        let audience: Vec<NodeId> = m
+            .members
+            .iter()
+            .copied()
+            .chain(m.predview.iter().map(|r| r.node))
+            .chain(m.branches.iter().filter_map(|b| b.primary()))
+            .filter(|n| *n != me)
+            .collect();
+        for n in audience {
+            ctx.send(n, info.clone());
+        }
+    }
+
+    /// Top up the co-leader list from ordinary members.
+    fn recruit_co_leaders(&mut self, i: usize) {
+        let me = self.id;
+        let kc = self.cfg.co_leaders;
+        let m = &mut self.memberships[i];
+        let candidates: Vec<NodeId> = m
+            .members
+            .iter()
+            .copied()
+            .filter(|n| *n != me && !m.co_leaders.contains(n))
+            .collect();
+        for c in candidates {
+            if m.co_leaders.len() >= kc {
+                break;
+            }
+            m.co_leaders.push(c);
+        }
+    }
+
+    /// Healing a leader performs when one of its contacts died: replace a lost
+    /// co-leader, tell the group, and bridge across fully-failed child groups
+    /// using the deeper succview entries.
+    fn leader_heal_after(&mut self, i: usize, dead: NodeId, ctx: &mut Context<'_, DpsMsg>) {
+        let me = self.id;
+        let before = self.memberships[i].co_leaders.len();
+        self.recruit_co_leaders(i);
+        let changed = self.memberships[i].co_leaders.len() != before
+            || self.memberships[i].co_leaders.len() < self.cfg.co_leaders;
+        if changed {
+            let m = &self.memberships[i];
+            let info = DpsMsg::GroupInfo {
+                label: m.label.clone(),
+                leader: me,
+                co_leaders: m.co_leaders.clone(),
+                owner: m.owner,
+                owner_epoch: m.owner_epoch,
+            };
+            let members: Vec<NodeId> = m.members.iter().copied().filter(|n| *n != me).collect();
+            for n in members {
+                ctx.send(n, info.clone());
+            }
+        }
+        self.bridge_dead_branches(i, dead, ctx);
+    }
+
+    /// Bridge whole-group failures: a branch left with no entry in its own group
+    /// is adopted through its deeper (grandchild) refs. Used by both leader-mode
+    /// and epidemic healing — the multi-level views exist exactly for this
+    /// ("in order to handle multiple concurrent failures involving a whole group
+    /// at once", §4).
+    pub(crate) fn bridge_dead_branches(
+        &mut self,
+        i: usize,
+        dead: NodeId,
+        ctx: &mut Context<'_, DpsMsg>,
+    ) {
+        let me = self.id;
+        let mut adoptions: Vec<(GroupLabel, Vec<GroupRef>)> = Vec::new();
+        {
+            let m = &mut self.memberships[i];
+            let mut kept: Vec<Branch> = Vec::new();
+            for b in std::mem::take(&mut m.branches) {
+                if b.primary().is_some() {
+                    kept.push(b);
+                } else if !b.refs.is_empty() {
+                    // Group the deeper refs by label: each becomes a direct child.
+                    let mut by_label: Vec<(GroupLabel, Vec<GroupRef>)> = Vec::new();
+                    for r in &b.refs {
+                        match by_label.iter_mut().find(|(l, _)| *l == r.label) {
+                            Some((_, v)) => v.push(r.clone()),
+                            None => by_label.push((r.label.clone(), vec![r.clone()])),
+                        }
+                    }
+                    adoptions.extend(by_label);
+                }
+                // Branches with no refs at all dissolve; the orphan side
+                // reattaches through its own healing.
+            }
+            m.branches = kept;
+        }
+        let depth = self.cfg.view_depth;
+        for (label, refs) in adoptions {
+            let info = BranchInfo {
+                label: label.clone(),
+                refs: refs.clone(),
+            };
+            self.memberships[i].upsert_branch(info, depth);
+            let parent = self.descriptor(&self.memberships[i]);
+            let chain = {
+                let mut v = self.own_refs(&self.memberships[i]);
+                v.extend(self.memberships[i].predview.iter().cloned());
+                v
+            };
+            for r in refs.iter().filter(|r| r.node != dead && r.node != me) {
+                ctx.send(
+                    r.node,
+                    DpsMsg::NewParent {
+                        child_label: label.clone(),
+                        parent: parent.clone(),
+                        parent_chain: chain.clone(),
+                    },
+                );
+            }
+        }
+    }
+
+    /// Membership `i` lost every predecessor pointer: ask an ancestor to adopt us
+    /// via [`DpsMsg::Reattach`], or — when the whole upper tree is gone — take
+    /// ownership of the attribute and rebuild the root above ourselves.
+    pub(crate) fn reattach_or_promote(&mut self, i: usize, ctx: &mut Context<'_, DpsMsg>) {
+        let label = self.memberships[i].label.clone();
+        let attr = label.attr().clone();
+        if self.cfg.comm == CommKind::Leader && !self.memberships[i].is_leader() {
+            return; // the leader of our group is responsible
+        }
+        let branch = BranchInfo {
+            label: label.clone(),
+            refs: self.own_refs(&self.memberships[i]),
+        };
+        let contact = self
+            .known_owner(&attr)
+            .filter(|o| *o != self.id && !self.suspected.contains(o))
+            .or_else(|| {
+                self.tree_cache
+                    .get(&attr)
+                    .map(|c| c.contact)
+                    .filter(|c| *c != self.id && !self.suspected.contains(c))
+            });
+        match contact {
+            Some(n) => {
+                ctx.send(n, DpsMsg::Reattach { branch, ttl: 100_000 });
+            }
+            None => {
+                // Nobody above us is reachable: become the owner (§4.1's tree
+                // creation, replayed after catastrophic failure). Duplicate roots
+                // created by racing siblings are merged by the owner walks.
+                if !self.owns_tree(&attr) {
+                    self.create_tree(attr.clone(), ctx);
+                }
+                let root_label = GroupLabel::Root(attr);
+                let depth = self.cfg.view_depth;
+                let me = self.id;
+                if let Some(root) = self.membership_mut(&root_label) {
+                    root.upsert_branch(branch, depth);
+                }
+                let m = &mut self.memberships[i];
+                m.owner = me;
+                m.set_predview(
+                    vec![GroupRef {
+                        label: root_label,
+                        node: me,
+                    }],
+                    4,
+                );
+            }
+        }
+    }
+
+    /// Routes an orphan branch down the tree to its designated predecessor and
+    /// grafts it there (the descent mirrors `FIND_GROUP`).
+    pub(crate) fn handle_reattach(
+        &mut self,
+        branch: BranchInfo,
+        ttl: u32,
+        ctx: &mut Context<'_, DpsMsg>,
+    ) {
+        if ttl == 0 {
+            return;
+        }
+        let Some(pred) = branch.label.predicate().cloned() else {
+            return;
+        };
+        let attr = pred.name().clone();
+        let mems = self.memberships_in(&attr);
+        if mems.is_empty() {
+            if let Some(c) = self.tree_cache.get(&attr) {
+                let to = c.contact;
+                if to != self.id {
+                    ctx.send(to, DpsMsg::Reattach { branch, ttl: ttl - 1 });
+                }
+            }
+            return;
+        }
+        // Find the deepest on-path membership we have.
+        let mut best: Option<usize> = None;
+        for &i in &mems {
+            let l = &self.memberships[i].label;
+            if l == &branch.label {
+                // Duplicate of our own group: merge their contacts in.
+                let me = self.id;
+                let info = DpsMsg::GroupInfo {
+                    label: branch.label.clone(),
+                    leader: if self.memberships[i].is_leader() {
+                        me
+                    } else {
+                        self.memberships[i].leader
+                    },
+                    co_leaders: self.memberships[i].co_leaders.clone(),
+                    owner: self.memberships[i].owner,
+                    owner_epoch: self.memberships[i].owner_epoch,
+                };
+                for r in &branch.refs {
+                    if r.node != me {
+                        ctx.send(r.node, info.clone());
+                    }
+                }
+                return;
+            }
+            if l.on_path_to(&pred) {
+                best = Some(match best {
+                    None => i,
+                    Some(b) => {
+                        let lb = &self.memberships[b].label;
+                        let deeper = match (lb.predicate(), l.predicate()) {
+                            (None, Some(_)) => true,
+                            (Some(pb), Some(pi)) => pb.strictly_includes(pi),
+                            _ => false,
+                        };
+                        if deeper {
+                            i
+                        } else {
+                            b
+                        }
+                    }
+                });
+            }
+        }
+        let Some(i) = best else {
+            return;
+        };
+        if self.cfg.comm == CommKind::Leader && !self.memberships[i].is_leader() {
+            let leader = self.memberships[i].leader;
+            if leader != self.id {
+                ctx.send(leader, DpsMsg::Reattach { branch, ttl: ttl - 1 });
+            }
+            return;
+        }
+        // Descend if a branch is on the designated path.
+        let m = &self.memberships[i];
+        if let Some(b) = m.branch(&branch.label) {
+            // The branch already exists here: merge refs and re-point the orphan.
+            let _ = b;
+            let depth = self.cfg.view_depth;
+            self.memberships[i].upsert_branch(branch.clone(), depth);
+            self.send_new_parent_for(i, &branch, ctx);
+            return;
+        }
+        let branch_preds: Vec<dps_content::Predicate> = m
+            .branches
+            .iter()
+            .filter_map(|b| b.label.predicate().cloned())
+            .collect();
+        if let Some(ci) = dps_content::placement::choose_branch(branch_preds.iter(), &pred) {
+            let target_label = GroupLabel::Pred(branch_preds[ci].clone());
+            if let Some(b) = m.branch(&target_label) {
+                if let Some(n) = b.primary().or_else(|| b.refs.first().map(|r| r.node)) {
+                    ctx.send(n, DpsMsg::Reattach { branch, ttl: ttl - 1 });
+                    return;
+                }
+            }
+        }
+        // We are the designated predecessor: graft the orphan here.
+        let depth = self.cfg.view_depth;
+        self.memberships[i].upsert_branch(branch.clone(), depth);
+        self.send_new_parent_for(i, &branch, ctx);
+    }
+
+    fn send_new_parent_for(
+        &mut self,
+        i: usize,
+        branch: &BranchInfo,
+        ctx: &mut Context<'_, DpsMsg>,
+    ) {
+        let parent = self.descriptor(&self.memberships[i]);
+        let mut chain = self.own_refs(&self.memberships[i]);
+        chain.extend(self.memberships[i].predview.iter().cloned());
+        let me = self.id;
+        for r in branch.refs.iter().filter(|r| r.label == branch.label) {
+            if r.node != me {
+                ctx.send(
+                    r.node,
+                    DpsMsg::NewParent {
+                        child_label: branch.label.clone(),
+                        parent: parent.clone(),
+                        parent_chain: chain.clone(),
+                    },
+                );
+            }
+        }
+    }
+
+    // ---- leadership announcements ----
+
+    pub(crate) fn handle_group_info(
+        &mut self,
+        label: GroupLabel,
+        leader: NodeId,
+        co_leaders: Vec<NodeId>,
+        owner: NodeId,
+        owner_epoch: u64,
+        ctx: &mut Context<'_, DpsMsg>,
+    ) {
+        let me = self.id;
+        if let Some(m) = self.membership_mut(&label) {
+            let owner_claim_wins = claim_beats((owner, owner_epoch), (m.owner, m.owner_epoch))
+                || (owner, owner_epoch) == (m.owner, m.owner_epoch);
+            if m.is_leader() && leader != me {
+                // Two concurrent promotions: the smaller node id wins.
+                if leader < me {
+                    m.role = Role::CoLeader;
+                    m.leader = leader;
+                    m.co_leaders = co_leaders;
+                    if owner_claim_wins {
+                        m.owner = owner;
+                        m.owner_epoch = owner_epoch;
+                    }
+                } else {
+                    // Reassert our leadership to the pretender.
+                    let info = DpsMsg::GroupInfo {
+                        label: m.label.clone(),
+                        leader: me,
+                        co_leaders: m.co_leaders.clone(),
+                        owner: m.owner,
+                        owner_epoch: m.owner_epoch,
+                    };
+                    ctx.send(leader, info);
+                }
+                return;
+            }
+            m.leader = leader;
+            if owner_claim_wins {
+                m.owner = owner;
+                m.owner_epoch = owner_epoch;
+            }
+            m.co_leaders = co_leaders.clone();
+            m.add_member(leader);
+            if leader == me {
+                // Leadership handover (e.g. the previous leader unsubscribed and
+                // named us heir).
+                m.role = Role::Leader;
+            } else if co_leaders.contains(&me) {
+                m.role = Role::CoLeader;
+            } else if m.role == Role::CoLeader {
+                m.role = Role::Member;
+            }
+            return;
+        }
+        // Not our group: it may be a neighbor group we point at.
+        let fresh: Vec<GroupRef> = std::iter::once(leader)
+            .chain(co_leaders.iter().copied())
+            .map(|n| GroupRef {
+                label: label.clone(),
+                node: n,
+            })
+            .collect();
+        for m in &mut self.memberships {
+            if let Some(b) = m.branch_mut(&label) {
+                // Refresh the in-group entries, keeping deeper levels.
+                b.refs.retain(|r| r.label != label);
+                let mut refs = fresh.clone();
+                refs.append(&mut b.refs);
+                b.refs = refs;
+                b.refs.dedup();
+            }
+            if m.predview.iter().any(|r| r.label == label) {
+                // The refreshed entries replace the stale ones in front: this
+                // group is our nearest known predecessor level.
+                m.predview.retain(|r| r.label != label);
+                let mut pv = fresh.clone();
+                pv.append(&mut m.predview);
+                m.predview = pv;
+            }
+        }
+    }
+
+    pub(crate) fn handle_leader_gone(
+        &mut self,
+        label: GroupLabel,
+        dead: NodeId,
+        ctx: &mut Context<'_, DpsMsg>,
+    ) {
+        self.suspected.insert(dead);
+        let Some(i) = self.membership_index(&label) else {
+            return;
+        };
+        if self.memberships[i].leader != dead || self.memberships[i].is_leader() {
+            return; // stale alarm
+        }
+        self.memberships[i].forget_node(dead);
+        self.leader_takeover(i, dead, ctx);
+    }
+
+    pub(crate) fn handle_leave(
+        &mut self,
+        label: GroupLabel,
+        member: NodeId,
+        ctx: &mut Context<'_, DpsMsg>,
+    ) {
+        let Some(m) = self.membership_mut(&label) else {
+            return;
+        };
+        m.forget_node(member);
+        if m.is_leader() {
+            let msg = DpsMsg::MemberLeft {
+                label: label.clone(),
+                member,
+            };
+            let cos = m.co_leaders.clone();
+            for c in cos {
+                ctx.send(c, msg.clone());
+            }
+            let i = self.membership_index(&label).unwrap();
+            self.recruit_co_leaders(i);
+        }
+    }
+
+    // ---- periodic maintenance ----
+
+    /// Periodic work beyond heartbeats: peer shuffles, view exchange (leader
+    /// mode), anti-entropy/merge pushes (epidemic mode), duplicate-tree walks.
+    pub(crate) fn tick_periodic(&mut self, ctx: &mut Context<'_, DpsMsg>) {
+        let now = ctx.now();
+        let phase = self.id.index() as u64;
+
+        // Peer shuffle every ~16 steps.
+        if (now + phase) % 16 == 0 {
+            let sample = self.peer_sample(ctx, 4);
+            if let Some(p) = self.peer_sample(ctx, 1).first().copied() {
+                ctx.send(p, DpsMsg::Shuffle { peers: sample });
+            }
+        }
+
+        let exch = self.cfg.view_exchange_every.max(1);
+        if (now + phase) % exch == 0 {
+            match self.cfg.comm {
+                CommKind::Leader => self.leader_view_exchange(ctx),
+                CommKind::Epidemic => self.epidemic_merge_push(ctx),
+            }
+            // Expire blocks whose CreateDone was lost to a crash, flushing the
+            // withheld events toward whatever contact the branch still has.
+            let limit = 2 * self.cfg.request_timeout;
+            for i in 0..self.memberships.len() {
+                let mut flush = Vec::new();
+                for b in &mut self.memberships[i].branches {
+                    if b.blocked && now.saturating_sub(b.blocked_since) > limit {
+                        b.blocked = false;
+                        flush.push((b.info(), std::mem::take(&mut b.buffered)));
+                    }
+                }
+                for (info, tickets) in flush {
+                    for t in tickets {
+                        self.send_to_branch(&info, t, ctx);
+                    }
+                }
+            }
+            // Orphans retry their reattachment.
+            for i in 0..self.memberships.len() {
+                if self.memberships[i].predview.is_empty()
+                    && !self.memberships[i].label.is_root()
+                {
+                    self.reattach_or_promote(i, ctx);
+                }
+            }
+        }
+
+        let merge = self.cfg.owner_merge_every.max(1);
+        if (now + phase) % merge == 0 {
+            self.owner_merge_walk(ctx);
+        }
+    }
+
+    /// Leader-mode view exchange: parent chain down, child report up, full mirror
+    /// to co-leaders (keeps multi-level views warm, §4: views "point not only to
+    /// nodes in the direct successor group but also to successors/predecessors at
+    /// upper/lower levels, in order to handle multiple concurrent failures
+    /// involving a whole group at once").
+    fn leader_view_exchange(&mut self, ctx: &mut Context<'_, DpsMsg>) {
+        let me = self.id;
+        for i in 0..self.memberships.len() {
+            if !self.memberships[i].is_leader() {
+                continue;
+            }
+            let m = &self.memberships[i];
+            let label = m.label.clone();
+            // Down: each child receives our identity plus our own predecessors.
+            let mut chain = self.own_refs(m);
+            chain.extend(m.predview.iter().cloned());
+            chain.truncate(self.cfg.view_depth + self.cfg.co_leaders + 2);
+            for b in &m.branches {
+                if let Some(n) = b.primary() {
+                    if n != me {
+                        ctx.send(
+                            n,
+                            DpsMsg::ParentChain {
+                                child_label: b.label.clone(),
+                                chain: chain.clone(),
+                            },
+                        );
+                    }
+                }
+            }
+            // Up: report ourselves and our children to the parent.
+            if let Some(parent) = m.predview.first().cloned() {
+                let mut refs = self.own_refs(m);
+                for b in &m.branches {
+                    refs.extend(b.refs.iter().filter(|r| r.label == b.label).take(1).cloned());
+                }
+                if parent.node != me {
+                    ctx.send(
+                        parent.node,
+                        DpsMsg::ChildReport {
+                            parent_label: parent.label.clone(),
+                            branch: BranchInfo { label: label.clone(), refs },
+                        },
+                    );
+                }
+            }
+            // Mirror to co-leaders.
+            let m = &self.memberships[i];
+            let push = DpsMsg::ViewPush {
+                label: label.clone(),
+                members: m.members.clone(),
+                predview: m.predview.clone(),
+                branches: m.branches.iter().map(Branch::info).collect(),
+            };
+            for c in m.co_leaders.clone() {
+                if c != me {
+                    ctx.send(c, push.clone());
+                }
+            }
+        }
+    }
+
+    /// Epidemic merge process (§4.2.2): periodically push the succview to
+    /// successors and a view digest to a random member; receivers discover nodes
+    /// they did not know, merging divergent groups.
+    fn epidemic_merge_push(&mut self, ctx: &mut Context<'_, DpsMsg>) {
+        let me = self.id;
+        for i in 0..self.memberships.len() {
+            let m = &self.memberships[i];
+            let push = DpsMsg::ViewPush {
+                label: m.label.clone(),
+                members: m.members.clone(),
+                predview: m.predview.clone(),
+                branches: m.branches.iter().map(Branch::info).collect(),
+            };
+            let mut targets: Vec<NodeId> = Vec::new();
+            if let Some(n) = m
+                .members
+                .iter()
+                .copied()
+                .filter(|n| *n != me)
+                .choose(ctx.rng())
+            {
+                targets.push(n);
+            }
+            for b in &m.branches {
+                if let Some(r) = b.refs.first() {
+                    if r.node != me {
+                        targets.push(r.node);
+                    }
+                }
+            }
+            for t in targets {
+                ctx.send(t, push.clone());
+            }
+            // Multi-level exchange, as the leader-mode view exchange does: report
+            // ourselves and our children upward so ancestors can bridge our whole
+            // group failing; ship our predecessor chain downward.
+            if let Some(parent) = m.predview.first().cloned() {
+                let mut refs = self.own_refs(m);
+                for b in &m.branches {
+                    refs.extend(b.refs.iter().filter(|r| r.label == b.label).take(1).cloned());
+                }
+                if parent.node != me {
+                    ctx.send(
+                        parent.node,
+                        DpsMsg::ChildReport {
+                            parent_label: parent.label.clone(),
+                            branch: BranchInfo {
+                                label: m.label.clone(),
+                                refs,
+                            },
+                        },
+                    );
+                }
+            }
+            let mut chain = self.own_refs(m);
+            chain.extend(m.predview.iter().cloned());
+            chain.truncate(self.cfg.view_depth + 3);
+            for b in &m.branches {
+                if let Some(r) = b.refs.iter().find(|r| r.label == b.label) {
+                    if r.node != me {
+                        ctx.send(
+                            r.node,
+                            DpsMsg::ParentChain {
+                                child_label: b.label.clone(),
+                                chain: chain.clone(),
+                            },
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// A child refreshed its branch entry. Before accepting it we re-check
+    /// constraint C2: if another of our branches lies on the child's designated
+    /// path (it was re-parented while this report was in flight), the child
+    /// belongs below that branch — route it down instead of resurrecting a stale
+    /// direct edge.
+    pub(crate) fn handle_child_report(
+        &mut self,
+        parent_label: GroupLabel,
+        branch: BranchInfo,
+        ctx: &mut Context<'_, DpsMsg>,
+    ) {
+        let depth = self.cfg.view_depth;
+        let ttl = self.cfg.walk_ttl;
+        let Some(i) = self.membership_index(&parent_label) else {
+            return;
+        };
+        if let Some(pred) = branch.label.predicate() {
+            let deeper: Vec<dps_content::Predicate> = self.memberships[i]
+                .branches
+                .iter()
+                .filter(|b| b.label != branch.label)
+                .filter_map(|b| b.label.predicate().cloned())
+                .collect();
+            if let Some(ci) = dps_content::placement::choose_branch(deeper.iter(), pred) {
+                let via = GroupLabel::Pred(deeper[ci].clone());
+                self.memberships[i].remove_branch(&branch.label);
+                if let Some(b) = self.memberships[i].branch(&via) {
+                    if let Some(n) = b.primary().or_else(|| b.refs.first().map(|r| r.node)) {
+                        ctx.send(n, DpsMsg::Reattach { branch, ttl });
+                        return;
+                    }
+                }
+                return;
+            }
+        }
+        self.memberships[i].upsert_branch(branch, depth);
+    }
+
+    pub(crate) fn handle_view_pull(
+        &mut self,
+        from: NodeId,
+        label: GroupLabel,
+        ctx: &mut Context<'_, DpsMsg>,
+    ) {
+        let Some(m) = self.membership(&label) else {
+            return;
+        };
+        ctx.send(
+            from,
+            DpsMsg::ViewPush {
+                label,
+                members: m.members.clone(),
+                predview: m.predview.clone(),
+                branches: m.branches.iter().map(Branch::info).collect(),
+            },
+        );
+    }
+
+    pub(crate) fn handle_view_push(
+        &mut self,
+        _from: NodeId,
+        label: GroupLabel,
+        members: Vec<NodeId>,
+        predview: Vec<GroupRef>,
+        branches: Vec<BranchInfo>,
+    ) {
+        let epidemic = self.cfg.comm == CommKind::Epidemic;
+        let cap = if epidemic {
+            self.cfg.group_view_cap
+        } else {
+            usize::MAX
+        };
+        let depth = self.cfg.view_depth;
+        let pv_cap = self.cfg.view_depth + self.cfg.co_leaders + 2;
+        let suspected: Vec<NodeId> = members
+            .iter()
+            .copied()
+            .filter(|n| self.suspected.contains(n))
+            .collect();
+        let Some(m) = self.membership_mut(&label) else {
+            return;
+        };
+        for n in members {
+            if !suspected.contains(&n) {
+                m.add_member(n);
+            }
+        }
+        if m.members.len() > cap {
+            let overflow = m.members.len() - cap;
+            m.members.drain(0..overflow);
+        }
+        m.merge_predview(&predview, pv_cap);
+        for b in branches {
+            if b.label != label {
+                m.upsert_branch(b, depth);
+            }
+        }
+    }
+
+    /// Pending-request timeouts, from `on_tick`.
+    pub(crate) fn tick_pending(&mut self, ctx: &mut Context<'_, DpsMsg>) {
+        let now = ctx.now();
+        self.walks.retain(|w| w.deadline > now);
+        self.retry_due_subscriptions(ctx);
+        self.retry_due_publications(ctx);
+    }
+}

@@ -1,0 +1,508 @@
+//! The DPS protocol node: a message-driven state machine implementing
+//! [`dps_sim::Process`].
+//!
+//! One [`DpsNode`] plays every role of the paper at once, as real deployments do:
+//! it is a subscriber (holding filters and group memberships), a publisher, a
+//! relay, possibly a group leader or co-leader, and possibly the owner of one or
+//! more attribute trees. Behavior is selected by [`DpsConfig`]: traversal
+//! root/generic × communication leader/epidemic.
+//!
+//! The implementation is split by concern:
+//!
+//! * [`bootstrap`](self) — random peer sampling, tree discovery walks, owner
+//!   announcements, tree creation and duplicate-tree dissolution;
+//! * subscription — the `FIND_GROUP` / `SUBSCRIBE_TO` / `CREATE_GROUP` traversal
+//!   of §4.1 with pending-request retries;
+//! * publication — inter-group routing (downstream pruning, generic up+down) and
+//!   intra-group flooding/gossip of §4.2;
+//! * healing — heartbeat probing, co-leader promotion, view exchange,
+//!   reattachment and the epidemic merge process of §4.3.
+
+mod bootstrap;
+mod heal;
+mod publish;
+mod subscribe;
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use dps_content::{AttrName, Event, Filter};
+use dps_sim::{Context, NodeId, Process, Step};
+
+use crate::config::DpsConfig;
+use crate::label::GroupLabel;
+use crate::msg::{DpsMsg, GroupDescriptor, GroupRef, PubId, SubId};
+use crate::seen::SeenCache;
+use crate::sink::{NoopSink, StatsSink};
+use crate::views::{Membership, Role};
+
+pub use crate::views::{Branch, Membership as GroupMembership, Role as GroupRole};
+
+/// Whether owner claim `a` beats claim `b`: higher epoch wins; on equal epochs
+/// the smaller node id wins (deterministic, symmetric tiebreak).
+pub(crate) fn claim_beats(a: (NodeId, u64), b: (NodeId, u64)) -> bool {
+    a.1 > b.1 || (a.1 == b.1 && a.0 < b.0)
+}
+
+/// Where a pending subscription currently stands.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum SubPhase {
+    /// Looking for a contact point in the attribute tree.
+    FindingTree,
+    /// `FIND_GROUP` traversal in flight.
+    Traversing,
+    /// `JoinGroup` sent, waiting for the ack.
+    Joining(GroupDescriptor),
+}
+
+/// A subscription the node is still working to place.
+#[derive(Debug, Clone)]
+pub(crate) struct PendingSub {
+    pub sub_id: SubId,
+    pub pred: dps_content::Predicate,
+    pub phase: SubPhase,
+    pub deadline: Step,
+    pub retries: u32,
+}
+
+/// A publication waiting for tree discovery on some attributes.
+#[derive(Debug, Clone)]
+pub(crate) struct PendingPub {
+    pub id: PubId,
+    pub event: Event,
+    pub attrs: Vec<AttrName>,
+    pub deadline: Step,
+    pub retries: u32,
+}
+
+/// An outstanding random walk looking for an attribute tree.
+#[derive(Debug, Clone)]
+pub(crate) struct PendingWalk {
+    pub attr: AttrName,
+    pub deadline: Step,
+}
+
+/// Heartbeat state for one monitored neighbor (§4.3: "nodes in the predview and
+/// succview structure are periodically monitored for failures").
+#[derive(Debug, Clone)]
+pub(crate) struct Probe {
+    /// Probing period, drawn uniformly from `[heartbeat_min, heartbeat_max]`.
+    pub every: Step,
+    /// Next step at which to send a ping.
+    pub next_at: Step,
+    /// Outstanding ping: (nonce, sent_at).
+    pub outstanding: Option<(u64, Step)>,
+}
+
+/// Cached contact information for an attribute tree.
+#[derive(Debug, Clone)]
+pub(crate) struct TreeContact {
+    pub contact: NodeId,
+    pub owner: Option<NodeId>,
+    /// Epoch of the cached owner claim.
+    pub epoch: u64,
+}
+
+/// A DPS protocol node. See the [module docs](self).
+pub struct DpsNode {
+    pub(crate) id: NodeId,
+    pub(crate) cfg: DpsConfig,
+    pub(crate) sink: Arc<dyn StatsSink>,
+
+    // Bootstrap substrate.
+    pub(crate) peers: Vec<NodeId>,
+    pub(crate) tree_cache: HashMap<AttrName, TreeContact>,
+
+    // Application state.
+    pub(crate) next_sub: u32,
+    pub(crate) next_pub: u32,
+    pub(crate) subs: Vec<(SubId, Filter)>,
+    pub(crate) memberships: Vec<Membership>,
+    pub(crate) pending_subs: Vec<PendingSub>,
+    pub(crate) pending_pubs: Vec<PendingPub>,
+    pub(crate) walks: Vec<PendingWalk>,
+
+    // Publication bookkeeping.
+    pub(crate) seen_route: SeenCache<(PubId, GroupLabel)>,
+    pub(crate) seen_node: SeenCache<PubId>,
+    pub(crate) pubs_received: u64,
+    pub(crate) pubs_notified: u64,
+
+    // Failure detection.
+    pub(crate) probes: HashMap<NodeId, Probe>,
+    pub(crate) nonce_counter: u64,
+    /// Recently declared-dead nodes (bounded memory), used to rank co-leaders
+    /// during takeover and to avoid re-adding dead nodes from stale gossip.
+    pub(crate) suspected: SeenCache<NodeId>,
+}
+
+impl std::fmt::Debug for DpsNode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DpsNode")
+            .field("id", &self.id)
+            .field("subs", &self.subs.len())
+            .field("memberships", &self.memberships.len())
+            .field("peers", &self.peers.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl DpsNode {
+    /// Creates a node with the given configuration and no instrumentation.
+    pub fn new(cfg: DpsConfig) -> Self {
+        DpsNode::with_sink(cfg, Arc::new(NoopSink))
+    }
+
+    /// Creates a node reporting delivery milestones to `sink`.
+    pub fn with_sink(cfg: DpsConfig, sink: Arc<dyn StatsSink>) -> Self {
+        let seen_cap = cfg.seen_cap;
+        DpsNode {
+            id: NodeId::from_index(0), // fixed up in on_start
+            cfg,
+            sink,
+            peers: Vec::new(),
+            tree_cache: HashMap::new(),
+            next_sub: 0,
+            next_pub: 0,
+            subs: Vec::new(),
+            memberships: Vec::new(),
+            pending_subs: Vec::new(),
+            pending_pubs: Vec::new(),
+            walks: Vec::new(),
+            seen_route: SeenCache::new(seen_cap * 4),
+            seen_node: SeenCache::new(seen_cap),
+            pubs_received: 0,
+            pubs_notified: 0,
+            probes: HashMap::new(),
+            nonce_counter: 0,
+            suspected: SeenCache::new(128),
+        }
+    }
+
+    /// Seeds the random peer sample (the simulator's stand-in for an out-of-band
+    /// bootstrap service; every peer-to-peer system needs one).
+    pub fn seed_peers(&mut self, peers: Vec<NodeId>) {
+        for p in peers {
+            if !self.peers.contains(&p) {
+                self.peers.push(p);
+            }
+        }
+        let cap = self.cfg.peer_view;
+        if self.peers.len() > cap {
+            self.peers.truncate(cap);
+        }
+    }
+
+    // ---- inspection API (used by the facade, the oracle and tests) ----
+
+    /// This node's id (valid after `on_start`).
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &DpsConfig {
+        &self.cfg
+    }
+
+    /// Active subscriptions.
+    pub fn subscriptions(&self) -> &[(SubId, Filter)] {
+        &self.subs
+    }
+
+    /// Current group memberships.
+    pub fn memberships(&self) -> &[Membership] {
+        &self.memberships
+    }
+
+    /// Attributes whose tree this node owns (it maintains the root vertex).
+    pub fn owned_attrs(&self) -> Vec<AttrName> {
+        self.memberships
+            .iter()
+            .filter(|m| m.label.is_root() && m.is_leader())
+            .map(|m| m.label.attr().clone())
+            .collect()
+    }
+
+    /// Number of subscriptions not yet placed in a group.
+    pub fn pending_subscriptions(&self) -> usize {
+        self.pending_subs.len()
+    }
+
+    /// Publications received (any group, counted once per publication).
+    pub fn publications_received(&self) -> u64 {
+        self.pubs_received
+    }
+
+    /// Publications received that matched one of this node's filters.
+    pub fn publications_notified(&self) -> u64 {
+        self.pubs_notified
+    }
+
+    // ---- shared internals ----
+
+    pub(crate) fn membership(&self, label: &GroupLabel) -> Option<&Membership> {
+        self.memberships.iter().find(|m| &m.label == label)
+    }
+
+    pub(crate) fn membership_mut(&mut self, label: &GroupLabel) -> Option<&mut Membership> {
+        self.memberships.iter_mut().find(|m| &m.label == label)
+    }
+
+    pub(crate) fn membership_index(&self, label: &GroupLabel) -> Option<usize> {
+        self.memberships.iter().position(|m| &m.label == label)
+    }
+
+    /// Memberships within the tree of `attr`.
+    pub(crate) fn memberships_in(&self, attr: &AttrName) -> Vec<usize> {
+        (0..self.memberships.len())
+            .filter(|&i| self.memberships[i].label.attr() == attr)
+            .collect()
+    }
+
+    /// The descriptor advertising a group we belong to.
+    pub(crate) fn descriptor(&self, m: &Membership) -> GroupDescriptor {
+        GroupDescriptor {
+            label: m.label.clone(),
+            leader: if m.is_leader() { self.id } else { m.leader },
+            co_leaders: m.co_leaders.clone(),
+            owner: m.owner,
+            owner_epoch: m.owner_epoch,
+        }
+    }
+
+    /// Group refs advertising this node (and co-leaders) as contacts of group `m`.
+    pub(crate) fn own_refs(&self, m: &Membership) -> Vec<GroupRef> {
+        let mut v = vec![GroupRef {
+            label: m.label.clone(),
+            node: if m.is_leader() { self.id } else { m.leader },
+        }];
+        for c in &m.co_leaders {
+            v.push(GroupRef {
+                label: m.label.clone(),
+                node: *c,
+            });
+        }
+        if !v.iter().any(|r| r.node == self.id) {
+            v.push(GroupRef {
+                label: m.label.clone(),
+                node: self.id,
+            });
+        }
+        v
+    }
+
+    /// The owner of the tree of `attr`, as far as this node knows: the claim with
+    /// the highest epoch wins (ties broken toward the smaller node id).
+    pub(crate) fn known_owner(&self, attr: &AttrName) -> Option<NodeId> {
+        self.known_owner_claim(attr).map(|(o, _)| o)
+    }
+
+    /// The `(owner, epoch)` claim of the tree this node is **actually in** (from
+    /// its memberships only, not hearsay): what dissolution decisions compare
+    /// against — the cache may already know the winner, which says nothing about
+    /// which tree our groups belong to.
+    pub(crate) fn membership_owner_claim(&self, attr: &AttrName) -> Option<(NodeId, u64)> {
+        let mut best: Option<(NodeId, u64)> = None;
+        for i in self.memberships_in(attr) {
+            let m = &self.memberships[i];
+            let claim = (m.owner, m.owner_epoch);
+            best = Some(match best {
+                Some(b) if !claim_beats(claim, b) => b,
+                _ => claim,
+            });
+        }
+        best
+    }
+
+    /// The best `(owner, epoch)` claim this node holds for the tree of `attr`.
+    pub(crate) fn known_owner_claim(&self, attr: &AttrName) -> Option<(NodeId, u64)> {
+        let mut best: Option<(NodeId, u64)> = None;
+        for i in self.memberships_in(attr) {
+            let m = &self.memberships[i];
+            let claim = (m.owner, m.owner_epoch);
+            best = Some(match best {
+                Some(b) if !claim_beats(claim, b) => b,
+                _ => claim,
+            });
+        }
+        if let Some(c) = self.tree_cache.get(attr) {
+            if let Some(o) = c.owner {
+                let claim = (o, c.epoch);
+                best = Some(match best {
+                    Some(b) if !claim_beats(claim, b) => b,
+                    _ => claim,
+                });
+            }
+        }
+        best
+    }
+
+    /// Records local receipt of a publication: instrumentation plus the `Notify`
+    /// upcall when one of our filters matches (§2). Returns `true` on first
+    /// receipt.
+    pub(crate) fn deliver_local(&mut self, id: PubId, event: &Event) -> bool {
+        if !self.seen_node.insert(id) {
+            return false;
+        }
+        self.pubs_received += 1;
+        self.sink.on_contact(id, self.id);
+        if self.subs.iter().any(|(_, f)| f.matches(event)) {
+            self.pubs_notified += 1;
+            self.sink.on_notify(id, self.id);
+        }
+        true
+    }
+
+    pub(crate) fn fresh_nonce(&mut self) -> u64 {
+        self.nonce_counter += 1;
+        self.nonce_counter
+    }
+
+    /// Creates a brand-new group membership led by us.
+    pub(crate) fn new_led_membership(
+        &mut self,
+        sub_id: Option<SubId>,
+        label: GroupLabel,
+        owner: NodeId,
+    ) -> usize {
+        let mut m = Membership::new(sub_id, label, Role::Leader, self.id);
+        m.owner = owner;
+        m.leader = self.id;
+        m.members = vec![self.id];
+        self.memberships.push(m);
+        self.memberships.len() - 1
+    }
+}
+
+impl Process for DpsNode {
+    type Msg = DpsMsg;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, DpsMsg>) {
+        self.id = ctx.me();
+    }
+
+    fn on_message(&mut self, from: NodeId, msg: DpsMsg, ctx: &mut Context<'_, DpsMsg>) {
+        // Hearing from a node proves it alive: retract any suspicion (suspicions
+        // also arise heuristically, e.g. contacts that never acked a publication).
+        self.suspected.remove(&from);
+        match msg {
+            // Bootstrap.
+            DpsMsg::Shuffle { peers } => self.handle_shuffle(from, peers, ctx),
+            DpsMsg::ShuffleReply { peers } => self.merge_peers(&peers),
+            DpsMsg::FindTree { attr, origin, ttl } => {
+                self.handle_find_tree(attr, origin, ttl, ctx)
+            }
+            DpsMsg::TreeFound {
+                attr,
+                contact,
+                owner,
+                epoch,
+            } => self.handle_tree_found(attr, contact, owner, epoch, ctx),
+            DpsMsg::TreeNotFound { attr } => self.handle_tree_not_found(attr, ctx),
+            DpsMsg::OwnerAnnounce { attr, owner, epoch } => {
+                self.handle_owner_announce(attr, owner, epoch, ctx)
+            }
+            DpsMsg::DissolveTree {
+                attr,
+                contact,
+                new_owner,
+                epoch,
+            } => self.handle_dissolve(attr, contact, new_owner, epoch, ctx),
+
+            // Subscription.
+            DpsMsg::FindGroup(t) => self.handle_find_group(t, ctx),
+            DpsMsg::SubscribeTo { ticket, group } => self.handle_subscribe_to(ticket, group, ctx),
+            DpsMsg::CreateGroup {
+                ticket,
+                parent,
+                adopted,
+            } => self.handle_create_group(ticket, parent, adopted, ctx),
+            DpsMsg::JoinGroup {
+                sub_id,
+                label,
+                member,
+            } => self.handle_join_group(sub_id, label, member, ctx),
+            DpsMsg::JoinAck {
+                sub_id,
+                group,
+                co_leader,
+                members,
+                predview,
+                succviews,
+            } => self.handle_join_ack(sub_id, group, co_leader, members, predview, succviews, ctx),
+            DpsMsg::CreateDone {
+                parent_label,
+                child,
+            } => self.handle_create_done(parent_label, child, ctx),
+            DpsMsg::NewParent {
+                child_label,
+                parent,
+                parent_chain,
+            } => self.handle_new_parent(child_label, parent, parent_chain),
+            DpsMsg::GossipSub {
+                label,
+                members,
+                branches,
+                hops,
+            } => self.handle_gossip_sub(label, members, branches, hops, ctx),
+
+            // Publication.
+            DpsMsg::Publish(t) => self.handle_publish(t, ctx),
+            DpsMsg::PubAck { id, attr } => self.handle_pub_ack(id, attr),
+            DpsMsg::PublishGroup {
+                id,
+                event,
+                label,
+                hops,
+            } => self.handle_publish_group(from, id, event, label, hops, ctx),
+
+            // Management & healing.
+            DpsMsg::Ping { nonce } => ctx.send(from, DpsMsg::Pong { nonce }),
+            DpsMsg::Pong { nonce } => self.handle_pong(from, nonce),
+            DpsMsg::GroupInfo {
+                label,
+                leader,
+                co_leaders,
+                owner,
+                owner_epoch,
+            } => self.handle_group_info(label, leader, co_leaders, owner, owner_epoch, ctx),
+            DpsMsg::MemberJoined { label, member } => {
+                if let Some(m) = self.membership_mut(&label) {
+                    m.add_member(member);
+                }
+            }
+            DpsMsg::MemberLeft { label, member } => {
+                if let Some(m) = self.membership_mut(&label) {
+                    m.forget_node(member);
+                }
+            }
+            DpsMsg::LeaderGone { label, dead } => self.handle_leader_gone(label, dead, ctx),
+            DpsMsg::ParentChain { child_label, chain } => {
+                let cap = self.cfg.view_depth + self.cfg.co_leaders;
+                if let Some(m) = self.membership_mut(&child_label) {
+                    m.set_predview(chain, cap + 2);
+                }
+            }
+            DpsMsg::ChildReport {
+                parent_label,
+                branch,
+            } => self.handle_child_report(parent_label, branch, ctx),
+            DpsMsg::Reattach { branch, ttl } => self.handle_reattach(branch, ttl, ctx),
+            DpsMsg::Leave { label, member } => self.handle_leave(label, member, ctx),
+            DpsMsg::ViewPull { label } => self.handle_view_pull(from, label, ctx),
+            DpsMsg::ViewPush {
+                label,
+                members,
+                predview,
+                branches,
+            } => self.handle_view_push(from, label, members, predview, branches),
+        }
+    }
+
+    fn on_tick(&mut self, ctx: &mut Context<'_, DpsMsg>) {
+        self.tick_probes(ctx);
+        self.tick_pending(ctx);
+        self.tick_periodic(ctx);
+    }
+}

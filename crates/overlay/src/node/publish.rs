@@ -1,0 +1,448 @@
+//! The publication side of §4.1/§4.2: inter-group routing with downstream
+//! pruning (root-based) or bidirectional diffusion (generic), and intra-group
+//! delivery by leader fan-out or gossip.
+
+use dps_content::{AttrName, Event};
+use dps_sim::{Context, NodeId};
+use rand::seq::IteratorRandom;
+use rand::Rng;
+
+use crate::config::{CommKind, TraversalKind};
+use crate::label::GroupLabel;
+use crate::msg::{BranchInfo, DpsMsg, PubId, PubTicket};
+use crate::node::{DpsNode, PendingPub};
+
+impl DpsNode {
+    /// Publishes an event: it is routed into the tree of **every** attribute it
+    /// carries (§3: "each event is published in each logical tree that matches
+    /// every attribute of the event").
+    ///
+    /// Trees not yet known to this node are discovered by random walks first; if
+    /// a tree cannot be found after the configured retries the attribute is
+    /// skipped (no tree means no subscriber on that attribute).
+    pub fn publish(&mut self, event: Event, ctx: &mut Context<'_, DpsMsg>) -> PubId {
+        let id = PubId(self.id, self.next_pub);
+        self.next_pub += 1;
+        let attrs: Vec<AttrName> = event.names().cloned().collect();
+        for attr in &attrs {
+            let known =
+                !self.memberships_in(attr).is_empty() || self.tree_cache.contains_key(attr);
+            if known {
+                self.send_publication(id, &event, attr.clone(), ctx);
+            } else {
+                self.start_walk(attr.clone(), ctx);
+            }
+        }
+        // The publication stays pending per attribute until a tree member
+        // acknowledges it (stale contacts are re-walked and the event resent).
+        self.pending_pubs.push(PendingPub {
+            id,
+            event,
+            attrs,
+            deadline: ctx.now() + self.cfg.request_timeout,
+            retries: 0,
+        });
+        id
+    }
+
+    /// A tree accepted one of our pending publications.
+    pub(crate) fn handle_pub_ack(&mut self, id: PubId, attr: AttrName) {
+        for p in &mut self.pending_pubs {
+            if p.id == id {
+                p.attrs.retain(|a| *a != attr);
+            }
+        }
+        self.pending_pubs.retain(|p| !p.attrs.is_empty());
+    }
+
+    /// Injects the publication into the tree of `attr`: to the owner for
+    /// root-based dissemination, to any contact for generic.
+    pub(crate) fn send_publication(
+        &mut self,
+        id: PubId,
+        event: &Event,
+        attr: AttrName,
+        ctx: &mut Context<'_, DpsMsg>,
+    ) {
+        let mode = self.cfg.traversal;
+        let ticket = PubTicket {
+            id,
+            event: event.clone(),
+            attr: attr.clone(),
+            mode,
+            target: None,
+            from_child: None,
+            downstream: mode == TraversalKind::Root,
+            ack_to: Some(self.id),
+            // Loop backstop only: per-group dedup already stops cycles, and deep
+            // chains legitimately take hundreds of hops.
+            ttl: 100_000,
+        };
+        let entry: Option<NodeId> = match mode {
+            TraversalKind::Root => self
+                .known_owner(&attr)
+                .or_else(|| self.tree_cache.get(&attr).map(|c| c.contact)),
+            TraversalKind::Generic => {
+                if !self.memberships_in(&attr).is_empty() {
+                    Some(self.id)
+                } else {
+                    self.tree_cache.get(&attr).map(|c| c.contact)
+                }
+            }
+        };
+        match entry {
+            Some(n) if n == self.id => self.handle_publish(ticket, ctx),
+            Some(n) => ctx.send(n, DpsMsg::Publish(ticket)),
+            None => {}
+        }
+    }
+
+    /// Retries publications blocked on tree discovery (from `on_tick`).
+    pub(crate) fn retry_due_publications(&mut self, ctx: &mut Context<'_, DpsMsg>) {
+        let now = ctx.now();
+        let max = self.cfg.find_tree_retries;
+        let mut walk: Vec<AttrName> = Vec::new();
+        self.pending_pubs.retain_mut(|p| {
+            if p.deadline > now {
+                return true;
+            }
+            p.retries += 1;
+            if p.retries > max + 10 {
+                // Give up: either no tree exists for the remaining attributes
+                // (nobody subscribed) or the tree is unreachable despite retries.
+                return false;
+            }
+            p.deadline = now + 40;
+            walk.extend(p.attrs.iter().cloned());
+            true
+        });
+        // The cached contacts may be dead (that is usually why no ack arrived):
+        // drop them and rediscover the trees before resending. After several
+        // silent rounds, actively suspect the contact so stale caches elsewhere
+        // cannot keep steering us back to it (a live node clears the suspicion
+        // the moment it sends us anything).
+        let stubborn: Vec<AttrName> = self
+            .pending_pubs
+            .iter()
+            .filter(|p| p.retries >= 3)
+            .flat_map(|p| p.attrs.iter().cloned())
+            .collect();
+        for attr in &walk {
+            if let Some(c) = self.tree_cache.remove(attr) {
+                if stubborn.contains(attr) {
+                    self.suspected.insert(c.contact);
+                    if let Some(o) = c.owner {
+                        self.suspected.insert(o);
+                    }
+                }
+            }
+        }
+        let resend: Vec<(PubId, dps_content::Event, Vec<AttrName>)> = self
+            .pending_pubs
+            .iter()
+            .filter(|p| p.deadline == now + 40)
+            .map(|p| (p.id, p.event.clone(), p.attrs.clone()))
+            .collect();
+        for attr in walk {
+            self.start_walk(attr, ctx);
+        }
+        for (id, event, attrs) in resend {
+            for attr in attrs {
+                if !self.memberships_in(&attr).is_empty() {
+                    self.send_publication(id, &event, attr, ctx);
+                }
+            }
+        }
+    }
+
+    /// Inter-group publication step (§4.1).
+    pub(crate) fn handle_publish(&mut self, mut t: PubTicket, ctx: &mut Context<'_, DpsMsg>) {
+        if t.ttl == 0 {
+            return;
+        }
+        t.ttl -= 1;
+        let attr = t.attr.clone();
+        let mems = self.memberships_in(&attr);
+        if mems.is_empty() {
+            // Not in the tree: relay toward a contact (entry hop from a publisher
+            // with a stale cache).
+            if let Some(c) = self.tree_cache.get(&attr) {
+                let to = c.contact;
+                if to != self.id {
+                    ctx.send(to, DpsMsg::Publish(t));
+                }
+            }
+            return;
+        }
+        // Root-based dissemination must enter at the root.
+        if t.target.is_none() && t.mode == TraversalKind::Root && !self.owns_tree(&attr) {
+            if let Some(owner) = self.known_owner(&attr) {
+                if owner != self.id {
+                    ctx.send(owner, DpsMsg::Publish(t));
+                    return;
+                }
+            }
+        }
+        let i = match &t.target {
+            Some(lbl) => match self.membership_index(lbl) {
+                Some(i) => i,
+                None => {
+                    // We are no longer in the target group (left or re-parented
+                    // since the sender's view was formed). Relay to a current
+                    // member if any of our branches knows one.
+                    let forward = self
+                        .memberships
+                        .iter()
+                        .filter_map(|m| m.branch(lbl))
+                        .filter_map(|b| b.primary())
+                        .find(|n| *n != self.id);
+                    if let Some(n) = forward {
+                        ctx.send(n, DpsMsg::Publish(t));
+                        return;
+                    }
+                    mems[0]
+                }
+            },
+            None => {
+                // Entry hop: prefer our root membership (root mode), else any.
+                *mems
+                    .iter()
+                    .find(|&&i| self.memberships[i].label.is_root())
+                    .unwrap_or(&mems[0])
+            }
+        };
+        self.process_publish_at(i, t, ctx);
+    }
+
+    fn process_publish_at(&mut self, i: usize, t: PubTicket, ctx: &mut Context<'_, DpsMsg>) {
+        let label = self.memberships[i].label.clone();
+
+        // Leader mode: "an event received by a group ... is always redirected to
+        // the group leader" (§4.2.1).
+        if self.cfg.comm == CommKind::Leader && !self.memberships[i].is_leader() {
+            let leader = self.memberships[i].leader;
+            if leader != self.id {
+                let mut t = t;
+                t.target = Some(label);
+                ctx.send(leader, DpsMsg::Publish(t));
+            }
+            return;
+        }
+
+        // Acknowledge the publisher (resends after the ack are deduplicated).
+        if let Some(origin) = t.ack_to {
+            ctx.send(
+                origin,
+                DpsMsg::PubAck {
+                    id: t.id,
+                    attr: t.attr.clone(),
+                },
+            );
+        }
+        let t = PubTicket { ack_to: None, ..t };
+
+        // Each group processes a publication once.
+        if !self.seen_route.insert((t.id, label.clone())) {
+            return;
+        }
+
+        let matches = label.matches_event(&t.event);
+        if matches {
+            self.deliver_local(t.id, &t.event);
+            self.spread_in_group(i, t.id, &t.event, ctx);
+
+            // Downstream: forward into every matching child branch (the pruning
+            // rule: a non-matching child's whole subtree cannot match).
+            let branch_infos: Vec<(BranchInfo, bool)> = self.memberships[i]
+                .branches
+                .iter()
+                .filter(|b| Some(&b.label) != t.from_child.as_ref())
+                .filter(|b| b.label.matches_event(&t.event))
+                .map(|b| (b.info(), b.blocked))
+                .collect();
+            for (b, blocked) in branch_infos {
+                let child_ticket = PubTicket {
+                    id: t.id,
+                    event: t.event.clone(),
+                    attr: t.attr.clone(),
+                    mode: t.mode,
+                    target: Some(b.label.clone()),
+                    from_child: None,
+                    downstream: true,
+                    ack_to: None,
+                    ttl: t.ttl,
+                };
+                if blocked {
+                    // §4.1: propagation toward a group under construction is
+                    // withheld and flushed on CreateDone.
+                    if let Some(bm) = self.memberships[i].branch_mut(&b.label) {
+                        bm.buffered.push(child_ticket);
+                    }
+                } else {
+                    self.send_to_branch(&b, child_ticket, ctx);
+                }
+            }
+        }
+
+        // Upstream (generic traversal only): anything not yet traveling
+        // downstream keeps climbing toward the root, whether it matched here or
+        // not (§4.1: "if the event does not match the group predicate, it still
+        // has to be forwarded upstream").
+        if t.mode == TraversalKind::Generic && !t.downstream && !label.is_root() {
+            if let Some(up) = self.memberships[i].predview.first().cloned() {
+                let up_ticket = PubTicket {
+                    id: t.id,
+                    event: t.event,
+                    attr: t.attr,
+                    mode: t.mode,
+                    target: Some(up.label),
+                    from_child: Some(label),
+                    downstream: false,
+                    ack_to: None,
+                    ttl: t.ttl,
+                };
+                ctx.send(up.node, DpsMsg::Publish(up_ticket));
+            }
+        }
+    }
+
+    /// Hands a publication to a child branch: to the child leader in leader mode,
+    /// to `k'` child-group nodes in epidemic mode (§5.1's "number of nodes
+    /// contacted on the next level").
+    pub(crate) fn send_to_branch(
+        &mut self,
+        b: &BranchInfo,
+        t: PubTicket,
+        ctx: &mut Context<'_, DpsMsg>,
+    ) {
+        // A send to ourselves is legitimate (one node may lead adjacent groups);
+        // the per-group dedup prevents cycles.
+        match self.cfg.comm {
+            CommKind::Leader => {
+                let target = b
+                    .refs
+                    .iter()
+                    .find(|r| r.label == b.label)
+                    .or_else(|| b.refs.first())
+                    .map(|r| r.node);
+                if let Some(n) = target {
+                    ctx.send(n, DpsMsg::Publish(t));
+                }
+            }
+            CommKind::Epidemic => {
+                let k = self.cfg.inter_group_fanout.max(1);
+                let in_group: Vec<NodeId> = b
+                    .refs
+                    .iter()
+                    .filter(|r| r.label == b.label)
+                    .map(|r| r.node)
+                    .take(k)
+                    .collect();
+                let targets = if in_group.is_empty() {
+                    b.refs.first().map(|r| r.node).into_iter().collect()
+                } else {
+                    in_group
+                };
+                for n in targets {
+                    ctx.send(n, DpsMsg::Publish(t.clone()));
+                }
+            }
+        }
+    }
+
+    /// Intra-group delivery (`PUBLISH_GROUP`): leader fan-out or gossip seed.
+    fn spread_in_group(
+        &mut self,
+        i: usize,
+        id: PubId,
+        event: &Event,
+        ctx: &mut Context<'_, DpsMsg>,
+    ) {
+        let label = self.memberships[i].label.clone();
+        match self.cfg.comm {
+            CommKind::Leader => {
+                let me = self.id;
+                let members: Vec<NodeId> = self.memberships[i]
+                    .members
+                    .iter()
+                    .copied()
+                    .filter(|n| *n != me)
+                    .collect();
+                for n in members {
+                    ctx.send(
+                        n,
+                        DpsMsg::PublishGroup {
+                            id,
+                            event: event.clone(),
+                            label: label.clone(),
+                            hops: 0,
+                        },
+                    );
+                }
+            }
+            CommKind::Epidemic => self.gossip_publication(i, id, event, 0, ctx),
+        }
+    }
+
+    /// One gossip round: forward to `k` random group members; the forwarding
+    /// probability decays as `p0 / (1 + hops)` (§4.2.2).
+    fn gossip_publication(
+        &mut self,
+        i: usize,
+        id: PubId,
+        event: &Event,
+        hops: u32,
+        ctx: &mut Context<'_, DpsMsg>,
+    ) {
+        if hops > 0 {
+            let p = self.cfg.gossip_p0 / (1 + hops) as f64;
+            if ctx.rng().random::<f64>() >= p {
+                return;
+            }
+        }
+        let k = self.cfg.gossip_fanout.max(1);
+        let me = self.id;
+        let label = self.memberships[i].label.clone();
+        let targets: Vec<NodeId> = self.memberships[i]
+            .members
+            .iter()
+            .copied()
+            .filter(|n| *n != me)
+            .choose_multiple(ctx.rng(), k);
+        for n in targets {
+            ctx.send(
+                n,
+                DpsMsg::PublishGroup {
+                    id,
+                    event: event.clone(),
+                    label: label.clone(),
+                    hops: hops + 1,
+                },
+            );
+        }
+    }
+
+    /// Receipt of an intra-group publication.
+    pub(crate) fn handle_publish_group(
+        &mut self,
+        _from: NodeId,
+        id: PubId,
+        event: Event,
+        label: GroupLabel,
+        hops: u32,
+        ctx: &mut Context<'_, DpsMsg>,
+    ) {
+        let Some(i) = self.membership_index(&label) else {
+            // We left the group but the event still reached us; deliver anyway.
+            self.deliver_local(id, &event);
+            return;
+        };
+        if !self.seen_route.insert((id, label.clone())) {
+            return;
+        }
+        self.deliver_local(id, &event);
+        if self.cfg.comm == CommKind::Epidemic {
+            self.gossip_publication(i, id, &event, hops, ctx);
+        }
+    }
+}

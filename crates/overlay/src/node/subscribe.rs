@@ -1,0 +1,909 @@
+//! The subscription side of §4.1: the `FIND_GROUP` traversal and the
+//! `SUBSCRIBE_TO` / `CREATE_GROUP` primitives, plus join/ack handling and the
+//! retry machinery for pending subscriptions.
+
+use dps_content::{Filter, Predicate};
+use dps_sim::{Context, NodeId};
+use rand::seq::IteratorRandom;
+use rand::Rng;
+
+use crate::config::{CommKind, JoinRule, TraversalKind};
+use crate::label::GroupLabel;
+use crate::msg::{BranchInfo, DpsMsg, GroupDescriptor, GroupRef, SubId, Ticket};
+use crate::node::{DpsNode, PendingSub, SubPhase};
+use crate::views::{Branch, Membership, Role};
+
+/// Maximum subscription retries before the node concludes no tree exists and
+/// creates one itself.
+const MAX_SUB_RETRIES: u32 = 8;
+
+impl DpsNode {
+    /// Issues a subscription, joining the overlay with the filter's predicate
+    /// selected by the configured [`JoinRule`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the filter has no predicates (a match-all filter cannot be
+    /// placed in any attribute tree).
+    pub fn subscribe(&mut self, filter: Filter, ctx: &mut Context<'_, DpsMsg>) -> SubId {
+        let idx = match self.cfg.join_rule {
+            JoinRule::First | JoinRule::Explicit => 0,
+        };
+        self.subscribe_with(filter, idx, ctx)
+    }
+
+    /// Issues a subscription joining via the predicate at `join_idx` (the paper:
+    /// the attribute "can be arbitrarily chosen without affecting correctness").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `join_idx` is out of range of the filter's predicates.
+    pub fn subscribe_with(
+        &mut self,
+        filter: Filter,
+        join_idx: usize,
+        ctx: &mut Context<'_, DpsMsg>,
+    ) -> SubId {
+        let pred = filter.predicates()[join_idx].clone();
+        let sub_id = SubId(self.id, self.next_sub);
+        self.next_sub += 1;
+        self.subs.push((sub_id, filter));
+        self.enqueue_subscription(sub_id, pred, ctx);
+        sub_id
+    }
+
+    /// Cancels a subscription; if this empties the membership serving it, the
+    /// node leaves the group (leaders hand over to a co-leader first).
+    pub fn unsubscribe(&mut self, sub_id: SubId, ctx: &mut Context<'_, DpsMsg>) {
+        self.subs.retain(|(s, _)| *s != sub_id);
+        self.pending_subs.retain(|p| p.sub_id != sub_id);
+        let Some(i) = self
+            .memberships
+            .iter()
+            .position(|m| m.sub_ids.contains(&sub_id))
+        else {
+            return;
+        };
+        self.memberships[i].sub_ids.retain(|s| *s != sub_id);
+        if !self.memberships[i].sub_ids.is_empty() || self.memberships[i].label.is_root() {
+            return;
+        }
+        let mut m = self.memberships.remove(i);
+        // Leaving: scrub ourselves from the group state we hand over (but not from
+        // the pred/succ views — we may legitimately appear there in other roles,
+        // e.g. as the owner of the parent root).
+        let me = self.id;
+        m.members.retain(|n| *n != me);
+        m.co_leaders.retain(|n| *n != me);
+        let label = m.label.clone();
+        if m.is_leader() {
+            // Hand over to the first co-leader; otherwise the group dissolves and
+            // neighbors clean up through failure detection.
+            if let Some(&heir) = m.co_leaders.first() {
+                let info = DpsMsg::GroupInfo {
+                    label: label.clone(),
+                    leader: heir,
+                    co_leaders: m.co_leaders.iter().copied().filter(|c| *c != heir).collect(),
+                    owner: m.owner,
+                    owner_epoch: m.owner_epoch,
+                };
+                for peer in m
+                    .members
+                    .iter()
+                    .copied()
+                    .chain(m.predview.iter().map(|r| r.node))
+                    .chain(m.branches.iter().filter_map(|b| b.primary()))
+                {
+                    if peer != self.id {
+                        ctx.send(peer, info.clone());
+                    }
+                }
+                // The heir also needs our branch and parent state, and must drop
+                // us from its membership view.
+                ctx.send(
+                    heir,
+                    DpsMsg::ViewPush {
+                        label: label.clone(),
+                        members: m.members.clone(),
+                        predview: m.predview.clone(),
+                        branches: m.branches.iter().map(Branch::info).collect(),
+                    },
+                );
+                ctx.send(
+                    heir,
+                    DpsMsg::Leave {
+                        label: label.clone(),
+                        member: self.id,
+                    },
+                );
+                // We may ourselves hold neighbor views of the group we just left
+                // (e.g. a branch in the parent root we own): refresh them too.
+                let co: Vec<_> = m.co_leaders.iter().copied().filter(|c| *c != heir).collect();
+                self.handle_group_info(label.clone(), heir, co, m.owner, m.owner_epoch, ctx);
+            }
+        } else {
+            ctx.send(
+                m.leader,
+                DpsMsg::Leave {
+                    label,
+                    member: self.id,
+                },
+            );
+        }
+    }
+
+    /// Registers a pending subscription and starts driving it.
+    pub(crate) fn enqueue_subscription(
+        &mut self,
+        sub_id: SubId,
+        pred: Predicate,
+        ctx: &mut Context<'_, DpsMsg>,
+    ) {
+        self.pending_subs.push(PendingSub {
+            sub_id,
+            pred,
+            phase: SubPhase::FindingTree,
+            deadline: ctx.now() + self.cfg.request_timeout,
+            retries: 0,
+        });
+        self.drive_subscription(sub_id, ctx);
+    }
+
+    /// Advances a pending subscription as far as current knowledge allows.
+    pub(crate) fn drive_subscription(&mut self, sub_id: SubId, ctx: &mut Context<'_, DpsMsg>) {
+        let Some(p) = self.pending_subs.iter().find(|p| p.sub_id == sub_id) else {
+            return;
+        };
+        let pred = p.pred.clone();
+        let label = GroupLabel::Pred(pred.clone());
+        // Already a member of the right group (another subscription joined it)?
+        if let Some(m) = self.membership_mut(&label) {
+            m.sub_ids.push(sub_id);
+            self.pending_subs.retain(|p| p.sub_id != sub_id);
+            return;
+        }
+        let attr = pred.name().clone();
+        let in_tree = !self.memberships_in(&attr).is_empty();
+        let has_contact = in_tree || self.tree_cache.contains_key(&attr);
+        if has_contact {
+            if self.send_find_group(sub_id, pred, ctx) {
+                let deadline = ctx.now() + self.cfg.traversal_timeout;
+                if let Some(p) = self.pending_subs.iter_mut().find(|p| p.sub_id == sub_id) {
+                    p.phase = SubPhase::Traversing;
+                    p.deadline = deadline;
+                }
+                return;
+            }
+        }
+        // No known contact: walk for the tree.
+        if let Some(p) = self.pending_subs.iter_mut().find(|p| p.sub_id == sub_id) {
+            p.phase = SubPhase::FindingTree;
+            p.deadline = ctx.now() + self.cfg.request_timeout;
+        }
+        self.start_walk(attr, ctx);
+    }
+
+    /// Timeout/retry driver, called from `on_tick`.
+    pub(crate) fn retry_due_subscriptions(&mut self, ctx: &mut Context<'_, DpsMsg>) {
+        let now = ctx.now();
+        let due: Vec<SubId> = self
+            .pending_subs
+            .iter()
+            .filter(|p| p.deadline <= now)
+            .map(|p| p.sub_id)
+            .collect();
+        for sub_id in due {
+            let Some(p) = self.pending_subs.iter_mut().find(|p| p.sub_id == sub_id) else {
+                continue;
+            };
+            p.retries += 1;
+            p.deadline = now
+                + if matches!(p.phase, SubPhase::Traversing) {
+                    self.cfg.traversal_timeout
+                } else {
+                    self.cfg.request_timeout
+                };
+            let retries = p.retries;
+            let phase = p.phase.clone();
+            let pred = p.pred.clone();
+            let attr = pred.name().clone();
+            match phase {
+                SubPhase::FindingTree => {
+                    if retries > self.cfg.find_tree_retries {
+                        // §4.1: "If there is no tree for an attribute ... a new
+                        // tree is created and the first subscriber becomes its
+                        // owner."
+                        self.create_tree(attr, ctx);
+                        self.drive_subscription(sub_id, ctx);
+                    } else {
+                        self.start_walk(attr, ctx);
+                    }
+                }
+                SubPhase::Traversing | SubPhase::Joining(_) => {
+                    if retries >= 3 {
+                        // The contact or owner we keep talking to never answers:
+                        // suspect it so walks stop returning it (a live node
+                        // clears the suspicion by sending us anything).
+                        if let Some(c) = self.tree_cache.get(&attr) {
+                            self.suspected.insert(c.contact);
+                            if let Some(o) = c.owner {
+                                self.suspected.insert(o);
+                            }
+                        }
+                        self.tree_cache.remove(&attr);
+                    }
+                    if retries > MAX_SUB_RETRIES {
+                        // The tree may have collapsed entirely; start over.
+                        self.tree_cache.remove(&attr);
+                        if let Some(p) =
+                            self.pending_subs.iter_mut().find(|p| p.sub_id == sub_id)
+                        {
+                            p.phase = SubPhase::FindingTree;
+                            p.retries = 0;
+                        }
+                        self.start_walk(attr, ctx);
+                    } else {
+                        // The contact, a relay, or the target leader died; the
+                        // cached contact may be stale. Retry the traversal.
+                        self.drive_subscription(sub_id, ctx);
+                    }
+                }
+            }
+        }
+    }
+
+    // ---- FIND_GROUP routing ----
+
+    /// One traversal step (§4.1). The receiving node routes the ticket up or down
+    /// the tree, answers `SUBSCRIBE_TO` when the group exists, or authorizes
+    /// `CREATE_GROUP` when it is the designated predecessor.
+    pub(crate) fn handle_find_group(&mut self, mut t: Ticket, ctx: &mut Context<'_, DpsMsg>) {
+        if t.ttl == 0 {
+            return;
+        }
+        t.ttl -= 1;
+        let attr = t.pred.name().clone();
+        let mems = self.memberships_in(&attr);
+        if mems.is_empty() {
+            // Not in this tree: relay toward a known contact, if any.
+            if let Some(c) = self.tree_cache.get(&attr) {
+                let to = c.contact;
+                if to != self.id {
+                    ctx.send(to, DpsMsg::FindGroup(t));
+                }
+            }
+            return;
+        }
+        // Root-based traversal starts at the root: route to the owner first —
+        // but only before the visit has passed through the root, or descents
+        // would bounce straight back up.
+        if t.mode == TraversalKind::Root && !t.descending && !self.owns_tree(&attr) {
+            if let Some(owner) = self.known_owner(&attr) {
+                if owner != self.id {
+                    ctx.send(owner, DpsMsg::FindGroup(t));
+                    return;
+                }
+            }
+            // Owner unknown: fall through and behave like a generic visit.
+        }
+        if self.owns_tree(&attr) {
+            t.descending = true;
+        }
+        let i = self.pick_routing_membership(&mems, &t.pred);
+        self.route_find_group_at(i, t, ctx);
+    }
+
+    /// Whether we maintain the root vertex of `attr`.
+    pub(crate) fn owns_tree(&self, attr: &dps_content::AttrName) -> bool {
+        self.memberships
+            .iter()
+            .any(|m| m.label.is_root() && m.label.attr() == attr && m.is_leader())
+    }
+
+    /// Among our memberships in the tree, picks the best starting point for a
+    /// traversal looking for `pred`: the exact group if we are in it, else the
+    /// deepest group on the designated path, else any group (we will route up).
+    fn pick_routing_membership(&self, mems: &[usize], pred: &Predicate) -> usize {
+        let target = GroupLabel::Pred(pred.clone());
+        if let Some(&i) = mems.iter().find(|&&i| self.memberships[i].label == target) {
+            return i;
+        }
+        let mut best: Option<usize> = None;
+        for &i in mems {
+            if !self.memberships[i].label.on_path_to(pred) {
+                continue;
+            }
+            best = match best {
+                None => Some(i),
+                Some(b) => {
+                    // Prefer the deeper (more specific) label: a non-root label
+                    // beats the root; among predicates the included one is deeper.
+                    let lb = &self.memberships[b].label;
+                    let li = &self.memberships[i].label;
+                    let deeper = match (lb.predicate(), li.predicate()) {
+                        (None, Some(_)) => true,
+                        (Some(pb), Some(pi)) => pb.strictly_includes(pi),
+                        _ => false,
+                    };
+                    Some(if deeper { i } else { b })
+                }
+            };
+        }
+        best.unwrap_or(mems[0])
+    }
+
+    fn route_find_group_at(&mut self, i: usize, t: Ticket, ctx: &mut Context<'_, DpsMsg>) {
+        let label = self.memberships[i].label.clone();
+        let target = GroupLabel::Pred(t.pred.clone());
+
+        // Inter-group decisions are serialized at the leader in leader mode.
+        if self.cfg.comm == CommKind::Leader && !self.memberships[i].is_leader() {
+            let leader = self.memberships[i].leader;
+            if leader != self.id {
+                ctx.send(leader, DpsMsg::FindGroup(t));
+            }
+            return;
+        }
+
+        if label == target {
+            // SUBSCRIBE_TO: the group exists and we speak for it.
+            let group = self.descriptor(&self.memberships[i]);
+            let origin = t.origin;
+            ctx.send(origin, DpsMsg::SubscribeTo { ticket: t, group });
+            return;
+        }
+
+        if label.on_path_to(&t.pred) {
+            // Try to descend.
+            let m = &self.memberships[i];
+            // Exact child group?
+            if let Some(b) = m.branch(&target) {
+                let other = b
+                    .refs
+                    .iter()
+                    .find(|r| r.label == target && r.node != t.origin)
+                    .or_else(|| b.refs.iter().find(|r| r.node != t.origin))
+                    .map(|r| r.node);
+                if let Some(n) = other {
+                    ctx.send(n, DpsMsg::FindGroup(t));
+                    return;
+                }
+                // Every known contact of that branch IS the asker — a phantom
+                // left by a lost CREATE_GROUP answer. Drop it and re-authorize.
+                self.memberships[i].remove_branch(&target);
+            }
+            let m = &self.memberships[i];
+            // A branch on the designated path?
+            let branch_preds: Vec<(usize, Predicate)> = m
+                .branches
+                .iter()
+                .enumerate()
+                .filter_map(|(bi, b)| b.label.predicate().map(|p| (bi, p.clone())))
+                .collect();
+            let choice = dps_content::placement::choose_branch(
+                branch_preds.iter().map(|(_, p)| p),
+                &t.pred,
+            );
+            if let Some(ci) = choice {
+                let bi = branch_preds[ci].0;
+                let b = &m.branches[bi];
+                if let Some(n) = b.primary().or_else(|| b.refs.first().map(|r| r.node)) {
+                    ctx.send(n, DpsMsg::FindGroup(t));
+                    return;
+                }
+            }
+            // CREATE_GROUP: we are the designated predecessor.
+            self.authorize_create(i, t, ctx);
+            return;
+        }
+
+        // Not on the designated path: route upwards (generic traversal).
+        let up = self.memberships[i].predview.first().map(|r| r.node);
+        match up {
+            Some(n) if n != self.id => ctx.send(n, DpsMsg::FindGroup(t)),
+            _ => {
+                // Orphaned or self-parented: give up; the origin retries later.
+            }
+        }
+    }
+
+    /// The `CREATE_GROUP` authorization at the designated predecessor: splice in a
+    /// blocked branch, compute the siblings the new group adopts (constraint C2),
+    /// and tell the subscriber to build the group.
+    fn authorize_create(&mut self, i: usize, t: Ticket, ctx: &mut Context<'_, DpsMsg>) {
+        let target = GroupLabel::Pred(t.pred.clone());
+        let parent = self.descriptor(&self.memberships[i]);
+        let m = &mut self.memberships[i];
+        //
+
+        // Siblings included in the new predicate move under it.
+        let (stay, adopted): (Vec<Branch>, Vec<Branch>) = std::mem::take(&mut m.branches)
+            .into_iter()
+            .partition(|b| !GroupLabel::branch_reparents_to(&b.label, &t.pred));
+        m.branches = stay;
+        let adopted_infos: Vec<BranchInfo> = adopted.iter().map(Branch::info).collect();
+        let mut nb = Branch::new(
+            target.clone(),
+            vec![GroupRef {
+                label: target.clone(),
+                node: t.origin,
+            }],
+        );
+        nb.blocked = true;
+        nb.blocked_since = ctx.now();
+        m.branches.push(nb);
+        let origin = t.origin;
+        ctx.send(
+            origin,
+            DpsMsg::CreateGroup {
+                ticket: t,
+                parent,
+                adopted: adopted_infos,
+            },
+        );
+        // Epidemic mode: let the rest of the group learn the branch change.
+        if self.cfg.comm == CommKind::Epidemic {
+            self.gossip_branches(i, ctx);
+        }
+    }
+
+    // ---- answers back at the subscriber ----
+
+    pub(crate) fn handle_subscribe_to(
+        &mut self,
+        ticket: Ticket,
+        group: GroupDescriptor,
+        ctx: &mut Context<'_, DpsMsg>,
+    ) {
+        let sub_id = ticket.sub_id;
+        if !self.pending_subs.iter().any(|p| p.sub_id == sub_id) {
+            return; // duplicate answer (several contact points) — §4.2.2
+        }
+        if let Some(m) = self.membership_mut(&group.label) {
+            m.sub_ids.push(sub_id);
+            self.pending_subs.retain(|p| p.sub_id != sub_id);
+            return;
+        }
+        let deadline = ctx.now() + self.cfg.request_timeout;
+        if let Some(p) = self.pending_subs.iter_mut().find(|p| p.sub_id == sub_id) {
+            p.phase = SubPhase::Joining(group.clone());
+            p.deadline = deadline;
+        }
+        ctx.send(
+            group.leader,
+            DpsMsg::JoinGroup {
+                sub_id,
+                label: group.label,
+                member: self.id,
+            },
+        );
+    }
+
+    pub(crate) fn handle_join_group(
+        &mut self,
+        sub_id: SubId,
+        label: GroupLabel,
+        member: NodeId,
+        ctx: &mut Context<'_, DpsMsg>,
+    ) {
+        let Some(i) = self.membership_index(&label) else {
+            return; // stale; the joiner retries
+        };
+        if self.cfg.comm == CommKind::Leader && !self.memberships[i].is_leader() {
+            let leader = self.memberships[i].leader;
+            if leader != self.id {
+                ctx.send(leader, DpsMsg::JoinGroup { sub_id, label, member });
+            }
+            return;
+        }
+        let epidemic = self.cfg.comm == CommKind::Epidemic;
+        let kc = self.cfg.co_leaders;
+        let cap = self.cfg.group_view_cap;
+        let me = self.id;
+        let m = &mut self.memberships[i];
+        m.add_member(member);
+        if epidemic && m.members.len() > cap {
+            let excess = m.members.len() - cap;
+            m.members.retain({
+                let mut dropped = 0;
+                move |n| {
+                    if *n == me || *n == member || dropped >= excess {
+                        true
+                    } else {
+                        dropped += 1;
+                        false
+                    }
+                }
+            });
+        }
+        let mut co_leader = false;
+        if !epidemic && member != me && m.co_leaders.len() < kc && !m.co_leaders.contains(&member)
+        {
+            m.co_leaders.push(member);
+            co_leader = true;
+        }
+        let group = self.descriptor(&self.memberships[i]);
+        let m = &self.memberships[i];
+        let (members, predview, succviews) = if co_leader || epidemic {
+            (
+                m.members.clone(),
+                m.predview.clone(),
+                m.branches.iter().map(Branch::info).collect(),
+            )
+        } else {
+            (m.group_contacts(), Vec::new(), Vec::new())
+        };
+        ctx.send(
+            member,
+            DpsMsg::JoinAck {
+                sub_id,
+                group,
+                co_leader,
+                members,
+                predview,
+                succviews,
+            },
+        );
+        if !epidemic {
+            // Mirror the join to co-leaders; announce a leadership change to all.
+            let info: Vec<(NodeId, DpsMsg)> = if co_leader {
+                let m = &self.memberships[i];
+                m.members
+                    .iter()
+                    .filter(|n| **n != me && **n != member)
+                    .map(|n| {
+                        (
+                            *n,
+                            DpsMsg::GroupInfo {
+                                label: m.label.clone(),
+                                leader: me,
+                                co_leaders: m.co_leaders.clone(),
+                                owner: m.owner,
+                                owner_epoch: m.owner_epoch,
+                            },
+                        )
+                    })
+                    .collect()
+            } else {
+                let m = &self.memberships[i];
+                m.co_leaders
+                    .iter()
+                    .filter(|n| **n != member)
+                    .map(|n| {
+                        (
+                            *n,
+                            DpsMsg::MemberJoined {
+                                label: m.label.clone(),
+                                member,
+                            },
+                        )
+                    })
+                    .collect()
+            };
+            for (to, msg) in info {
+                ctx.send(to, msg);
+            }
+        } else {
+            // GOSSIP_SUB: spread the view update within the group (§4.2.2).
+            self.gossip_members(i, vec![member], ctx);
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn handle_join_ack(
+        &mut self,
+        sub_id: SubId,
+        group: GroupDescriptor,
+        co_leader: bool,
+        members: Vec<NodeId>,
+        predview: Vec<GroupRef>,
+        succviews: Vec<BranchInfo>,
+        _ctx: &mut Context<'_, DpsMsg>,
+    ) {
+        if !self.pending_subs.iter().any(|p| p.sub_id == sub_id) {
+            return;
+        }
+        self.pending_subs.retain(|p| p.sub_id != sub_id);
+        let cap = self.cfg.view_depth + self.cfg.co_leaders + 2;
+        let depth = self.cfg.view_depth;
+        if let Some(m) = self.membership_mut(&group.label) {
+            m.sub_ids.push(sub_id);
+            return;
+        }
+        let role = if co_leader { Role::CoLeader } else { Role::Member };
+        let mut m = Membership::new(Some(sub_id), group.label.clone(), role, self.id);
+        m.owner = group.owner;
+        m.owner_epoch = group.owner_epoch;
+        m.leader = group.leader;
+        m.co_leaders = group.co_leaders.clone();
+        for n in members {
+            m.add_member(n);
+        }
+        m.add_member(self.id);
+        m.set_predview(predview, cap);
+        for b in succviews {
+            m.upsert_branch(b, depth);
+        }
+        let attr = group.label.attr().clone();
+        self.memberships.push(m);
+        self.tree_cache.insert(
+            attr,
+            crate::node::TreeContact {
+                contact: self.id,
+                owner: Some(group.owner),
+                epoch: group.owner_epoch,
+            },
+        );
+    }
+
+    pub(crate) fn handle_create_group(
+        &mut self,
+        ticket: Ticket,
+        parent: GroupDescriptor,
+        adopted: Vec<BranchInfo>,
+        ctx: &mut Context<'_, DpsMsg>,
+    ) {
+        let sub_id = ticket.sub_id;
+        let label = GroupLabel::Pred(ticket.pred.clone());
+        let pending = self.pending_subs.iter().any(|p| p.sub_id == sub_id);
+        self.pending_subs.retain(|p| p.sub_id != sub_id);
+        let cap = self.cfg.view_depth + self.cfg.co_leaders + 2;
+        let depth = self.cfg.view_depth;
+
+        if let Some(m) = self.membership_mut(&label) {
+            // Already in (or leading) this group — e.g. duplicate answers from two
+            // contact points. Still unblock the parent.
+            if pending {
+                m.sub_ids.push(sub_id);
+            }
+        } else {
+            let idx = self.new_led_membership(Some(sub_id), label.clone(), parent.owner);
+            self.memberships[idx].owner_epoch = parent.owner_epoch;
+            let parent_refs: Vec<GroupRef> = parent
+                .contacts()
+                .map(|n| GroupRef {
+                    label: parent.label.clone(),
+                    node: n,
+                })
+                .collect();
+            self.memberships[idx].set_predview(parent_refs, cap);
+            for b in adopted {
+                // Tell each adopted child who its new parent is.
+                let to = b
+                    .refs
+                    .iter()
+                    .filter(|r| r.label == b.label)
+                    .map(|r| r.node)
+                    .collect::<Vec<_>>();
+                self.memberships[idx].upsert_branch(b.clone(), depth);
+                let parent_desc = self.descriptor(&self.memberships[idx]);
+                let chain = self.memberships[idx].predview.clone();
+                for n in to {
+                    ctx.send(
+                        n,
+                        DpsMsg::NewParent {
+                            child_label: b.label.clone(),
+                            parent: parent_desc.clone(),
+                            parent_chain: chain.clone(),
+                        },
+                    );
+                }
+            }
+            let attr = label.attr().clone();
+            self.tree_cache.insert(
+                attr,
+                crate::node::TreeContact {
+                    contact: self.id,
+                    owner: Some(parent.owner),
+                    epoch: parent.owner_epoch,
+                },
+            );
+        }
+        // CREATE_GROUP complete: unblock event propagation in the predecessor.
+        let child = BranchInfo {
+            label: label.clone(),
+            refs: vec![GroupRef {
+                label,
+                node: self.id,
+            }],
+        };
+        ctx.send(
+            parent.leader,
+            DpsMsg::CreateDone {
+                parent_label: parent.label,
+                child,
+            },
+        );
+    }
+
+    pub(crate) fn handle_create_done(
+        &mut self,
+        parent_label: GroupLabel,
+        child: BranchInfo,
+        ctx: &mut Context<'_, DpsMsg>,
+    ) {
+        let depth = self.cfg.view_depth;
+        let ttl = self.cfg.walk_ttl;
+        let Some(i) = self.membership_index(&parent_label) else {
+            return;
+        };
+        // Concurrent creations may have re-parented this child while its ack was
+        // in flight (e.g. `a > 3` adopting an `a > 5` created in the same step).
+        // Re-check constraint C2 before accepting the branch back.
+        if let Some(pred) = child.label.predicate() {
+            let deeper: Vec<Predicate> = self.memberships[i]
+                .branches
+                .iter()
+                .filter(|b| b.label != child.label)
+                .filter_map(|b| b.label.predicate().cloned())
+                .collect();
+            if let Some(ci) = dps_content::placement::choose_branch(deeper.iter(), pred) {
+                let via = GroupLabel::Pred(deeper[ci].clone());
+                // Flush anything we withheld for the child straight to it, then
+                // route the branch down to its designated predecessor.
+                if let Some(stale) = self.memberships[i].remove_branch(&child.label) {
+                    for t in stale.buffered {
+                        self.send_to_branch(&child, t, ctx);
+                    }
+                }
+                if let Some(b) = self.memberships[i].branch(&via) {
+                    if let Some(n) = b.primary().or_else(|| b.refs.first().map(|r| r.node)) {
+                        ctx.send(n, DpsMsg::Reattach { branch: child, ttl });
+                    }
+                }
+                return;
+            }
+        }
+        let m = &mut self.memberships[i];
+        let b = m.upsert_branch(child, depth);
+        b.blocked = false;
+        let buffered = std::mem::take(&mut b.buffered);
+        let binfo = b.info();
+        for t in buffered {
+            self.send_to_branch(&binfo, t, ctx);
+        }
+    }
+
+    pub(crate) fn handle_new_parent(
+        &mut self,
+        child_label: GroupLabel,
+        parent: GroupDescriptor,
+        parent_chain: Vec<GroupRef>,
+    ) {
+        let cap = self.cfg.view_depth + self.cfg.co_leaders + 2;
+        let Some(m) = self.membership_mut(&child_label) else {
+            return;
+        };
+        let mut refs: Vec<GroupRef> = parent
+            .contacts()
+            .map(|n| GroupRef {
+                label: parent.label.clone(),
+                node: n,
+            })
+            .collect();
+        for r in parent_chain {
+            if !refs.contains(&r) && r.label != child_label {
+                refs.push(r);
+            }
+        }
+        m.set_predview(refs, cap);
+        m.owner = parent.owner;
+        m.owner_epoch = parent.owner_epoch;
+    }
+
+    // ---- epidemic membership gossip ----
+
+    /// Gossips newly learned members within the group (`GOSSIP_SUB`).
+    pub(crate) fn gossip_members(
+        &mut self,
+        i: usize,
+        new_members: Vec<NodeId>,
+        ctx: &mut Context<'_, DpsMsg>,
+    ) {
+        let fanout = self.cfg.sub_gossip_fanout;
+        let label = self.memberships[i].label.clone();
+        let me = self.id;
+        let targets: Vec<NodeId> = self.memberships[i]
+            .members
+            .iter()
+            .copied()
+            .filter(|n| *n != me && !new_members.contains(n))
+            .choose_multiple(ctx.rng(), fanout);
+        for to in targets {
+            ctx.send(
+                to,
+                DpsMsg::GossipSub {
+                    label: label.clone(),
+                    members: new_members.clone(),
+                    branches: Vec::new(),
+                    hops: 0,
+                },
+            );
+        }
+    }
+
+    /// Gossips our branch set within the group (epidemic branch agreement).
+    pub(crate) fn gossip_branches(&mut self, i: usize, ctx: &mut Context<'_, DpsMsg>) {
+        let fanout = self.cfg.sub_gossip_fanout;
+        let label = self.memberships[i].label.clone();
+        let branches: Vec<BranchInfo> =
+            self.memberships[i].branches.iter().map(Branch::info).collect();
+        let me = self.id;
+        let targets: Vec<NodeId> = self.memberships[i]
+            .members
+            .iter()
+            .copied()
+            .filter(|n| *n != me)
+            .choose_multiple(ctx.rng(), fanout);
+        for to in targets {
+            ctx.send(
+                to,
+                DpsMsg::GossipSub {
+                    label: label.clone(),
+                    members: Vec::new(),
+                    branches: branches.clone(),
+                    hops: 0,
+                },
+            );
+        }
+    }
+
+    pub(crate) fn handle_gossip_sub(
+        &mut self,
+        label: GroupLabel,
+        members: Vec<NodeId>,
+        branches: Vec<BranchInfo>,
+        hops: u32,
+        ctx: &mut Context<'_, DpsMsg>,
+    ) {
+        let cap = self.cfg.group_view_cap;
+        let depth = self.cfg.view_depth;
+        let me = self.id;
+        let Some(i) = self.membership_index(&label) else {
+            return;
+        };
+        let mut newly = Vec::new();
+        {
+            let m = &mut self.memberships[i];
+            for n in &members {
+                if *n != me && !m.members.contains(n) {
+                    m.members.push(*n);
+                    newly.push(*n);
+                }
+            }
+            if m.members.len() > cap {
+                let overflow = m.members.len() - cap;
+                m.members.drain(0..overflow);
+            }
+            for b in branches {
+                m.upsert_branch(b, depth);
+            }
+        }
+        if newly.is_empty() {
+            return;
+        }
+        // Forward with the decaying probability p0 / (1 + hops).
+        let p = self.cfg.gossip_p0 / (1 + hops) as f64;
+        if ctx.rng().random::<f64>() >= p {
+            return;
+        }
+        let fanout = self.cfg.sub_gossip_fanout;
+        let targets: Vec<NodeId> = self.memberships[i]
+            .members
+            .iter()
+            .copied()
+            .filter(|n| *n != me && !newly.contains(n))
+            .choose_multiple(ctx.rng(), fanout);
+        for to in targets {
+            ctx.send(
+                to,
+                DpsMsg::GossipSub {
+                    label: label.clone(),
+                    members: newly.clone(),
+                    branches: Vec::new(),
+                    hops: hops + 1,
+                },
+            );
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! A bounded first-in-first-out dedup cache for publication ids.
+
+use std::collections::{HashSet, VecDeque};
+use std::hash::Hash;
+
+/// Remembers the last `cap` inserted keys. Used to deduplicate publications at
+/// each node without unbounded memory (events are short-lived: network-wide rates
+/// in the paper's scenarios are ~1 event per 10 steps, so a few hundred entries
+/// dwarf the in-flight window).
+#[derive(Debug, Clone)]
+pub struct SeenCache<T> {
+    cap: usize,
+    set: HashSet<T>,
+    order: VecDeque<T>,
+}
+
+impl<T: Eq + Hash + Clone> SeenCache<T> {
+    /// Creates a cache remembering at most `cap` keys (minimum 1).
+    pub fn new(cap: usize) -> Self {
+        let cap = cap.max(1);
+        SeenCache {
+            cap,
+            set: HashSet::with_capacity(cap),
+            order: VecDeque::with_capacity(cap),
+        }
+    }
+
+    /// Inserts `key`; returns `true` if it was new.
+    pub fn insert(&mut self, key: T) -> bool {
+        if self.set.contains(&key) {
+            return false;
+        }
+        if self.order.len() == self.cap {
+            if let Some(old) = self.order.pop_front() {
+                self.set.remove(&old);
+            }
+        }
+        self.set.insert(key.clone());
+        self.order.push_back(key);
+        true
+    }
+
+    /// Whether `key` is currently remembered.
+    pub fn contains(&self, key: &T) -> bool {
+        self.set.contains(key)
+    }
+
+    /// Forgets `key` (e.g. a suspicion contradicted by a live message).
+    pub fn remove(&mut self, key: &T) {
+        if self.set.remove(key) {
+            self.order.retain(|k| k != key);
+        }
+    }
+
+    /// Number of remembered keys.
+    #[allow(dead_code)] // exercised by tests; part of the cache's natural API
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Whether the cache is empty.
+    #[allow(dead_code)] // exercised by tests; part of the cache's natural API
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dedups() {
+        let mut c = SeenCache::new(4);
+        assert!(c.insert(1));
+        assert!(!c.insert(1));
+        assert!(c.contains(&1));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn evicts_oldest() {
+        let mut c = SeenCache::new(2);
+        c.insert(1);
+        c.insert(2);
+        c.insert(3); // evicts 1
+        assert!(!c.contains(&1));
+        assert!(c.contains(&2));
+        assert!(c.contains(&3));
+        assert!(c.insert(1)); // 1 can come back
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn zero_cap_clamped() {
+        let mut c = SeenCache::new(0);
+        assert!(c.insert(9));
+        assert!(c.contains(&9));
+        assert!(!c.is_empty());
+    }
+}

@@ -1,0 +1,182 @@
+//! Churn plans: the arrival/failure schedules of the paper's scenarios.
+//!
+//! * §5.2 *Dependability, first scenario*: "node failures are uniformly distributed
+//!   in time, with a frequency of 1/p" — i.e. one crash every `1/p` steps
+//!   ([`ChurnPlan::rate`]).
+//! * §5.2 *Dependability, second scenario*: no failures until step 1000, one crash
+//!   every 2 steps until step 2000, then none ([`ChurnPlan::storm`]).
+//! * §5.2 *Scalability*: "a new node enters the system every two steps"
+//!   ([`ChurnPlan::growth`]).
+//!
+//! A plan is a pure schedule: [`ChurnPlan::events_at`] says what should happen at a
+//! given step; the scenario driver decides which concrete node to crash (uniformly
+//! random among alive nodes) and how joining nodes bootstrap.
+
+use serde::{Deserialize, Serialize};
+
+use crate::process::Step;
+
+/// What a churn plan demands at one step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ChurnEvent {
+    /// Crash one uniformly random alive node.
+    CrashRandom,
+    /// One new node joins.
+    Join,
+}
+
+/// A deterministic arrival/failure schedule.
+///
+/// ```
+/// use dps_sim::{ChurnEvent, ChurnPlan};
+///
+/// // One crash every 4 steps (the paper's p = 0.25).
+/// let plan = ChurnPlan::rate(0.25);
+/// let crashes: usize = (1..=3000)
+///     .flat_map(|s| plan.events_at(s))
+///     .filter(|e| *e == ChurnEvent::CrashRandom)
+///     .count();
+/// assert_eq!(crashes, 750); // 25% of 1000 nodes survive a 3000-step run
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChurnPlan {
+    crash_per_step: f64,
+    crash_from: Step,
+    crash_until: Step,
+    join_per_step: f64,
+    join_from: Step,
+    join_until: Step,
+}
+
+impl ChurnPlan {
+    /// No churn at all.
+    pub fn none() -> Self {
+        ChurnPlan {
+            crash_per_step: 0.0,
+            crash_from: 0,
+            crash_until: Step::MAX,
+            join_per_step: 0.0,
+            join_from: 0,
+            join_until: Step::MAX,
+        }
+    }
+
+    /// The paper's first dependability scenario: one crash every `1/p` steps,
+    /// uniformly spread over the whole run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is negative or not finite.
+    pub fn rate(p: f64) -> Self {
+        assert!(p.is_finite() && p >= 0.0, "failure probability must be >= 0");
+        ChurnPlan {
+            crash_per_step: p,
+            ..ChurnPlan::none()
+        }
+    }
+
+    /// The paper's second dependability scenario: one crash every `every` steps,
+    /// but only within `[from, until)`.
+    pub fn storm(from: Step, until: Step, every: Step) -> Self {
+        ChurnPlan {
+            crash_per_step: 1.0 / every.max(1) as f64,
+            crash_from: from,
+            crash_until: until,
+            ..ChurnPlan::none()
+        }
+    }
+
+    /// The paper's scalability scenario: one new node every `every` steps.
+    pub fn growth(every: Step) -> Self {
+        ChurnPlan {
+            join_per_step: 1.0 / every.max(1) as f64,
+            ..ChurnPlan::none()
+        }
+    }
+
+    /// Adds a growth component to any plan.
+    pub fn with_growth(mut self, every: Step) -> Self {
+        self.join_per_step = 1.0 / every.max(1) as f64;
+        self
+    }
+
+    /// The churn events scheduled for step `now`. Fractional rates accumulate: a
+    /// rate of 0.25 fires at steps 4, 8, 12, … — deterministically, so runs are
+    /// reproducible. Bounds are `from`-exclusive/`until`-inclusive so that e.g. a
+    /// storm over `[1000, 2000]` at one crash per two steps yields exactly 500
+    /// crashes, as in the paper.
+    pub fn events_at(&self, now: Step) -> Vec<ChurnEvent> {
+        fn fires(rate: f64, from: Step, until: Step, now: Step) -> u64 {
+            if rate <= 0.0 || now <= from || now > until {
+                return 0;
+            }
+            let f = |elapsed: Step| (elapsed as f64 * rate).floor() as u64;
+            let elapsed = now - from;
+            f(elapsed) - f(elapsed - 1)
+        }
+        let mut out = Vec::new();
+        let crashes = fires(self.crash_per_step, self.crash_from, self.crash_until, now);
+        out.extend(std::iter::repeat_n(ChurnEvent::CrashRandom, crashes as usize));
+        let joins = fires(self.join_per_step, self.join_from, self.join_until, now);
+        out.extend(std::iter::repeat_n(ChurnEvent::Join, joins as usize));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn count(plan: &ChurnPlan, steps: Step, ev: ChurnEvent) -> usize {
+        (1..=steps)
+            .flat_map(|s| plan.events_at(s))
+            .filter(|e| *e == ev)
+            .count()
+    }
+
+    #[test]
+    fn rate_matches_paper_survival_figures() {
+        // p = 0.01 -> ~30 crashes over 3000 steps (97% of 1000 nodes survive).
+        assert_eq!(count(&ChurnPlan::rate(0.01), 3000, ChurnEvent::CrashRandom), 30);
+        // p = 0.25 -> 750 crashes (25% survive).
+        assert_eq!(count(&ChurnPlan::rate(0.25), 3000, ChurnEvent::CrashRandom), 750);
+    }
+
+    #[test]
+    fn storm_is_bounded_to_phase_two() {
+        let plan = ChurnPlan::storm(1000, 2000, 2);
+        assert_eq!(count(&plan, 999, ChurnEvent::CrashRandom), 0);
+        assert_eq!(count(&plan, 3000, ChurnEvent::CrashRandom), 500);
+        assert!(plan.events_at(500).is_empty());
+        assert!(plan.events_at(2500).is_empty());
+    }
+
+    #[test]
+    fn growth_every_two_steps() {
+        let plan = ChurnPlan::growth(2);
+        assert_eq!(count(&plan, 5000, ChurnEvent::Join), 2500);
+        assert!(plan.events_at(1).is_empty());
+        assert_eq!(plan.events_at(2), vec![ChurnEvent::Join]);
+    }
+
+    #[test]
+    fn none_is_silent() {
+        let plan = ChurnPlan::none();
+        assert_eq!(count(&plan, 1000, ChurnEvent::CrashRandom), 0);
+        assert_eq!(count(&plan, 1000, ChurnEvent::Join), 0);
+    }
+
+    #[test]
+    fn combined_growth_and_rate() {
+        let plan = ChurnPlan::rate(0.5).with_growth(2);
+        let evs = plan.events_at(2);
+        assert!(evs.contains(&ChurnEvent::CrashRandom));
+        assert!(evs.contains(&ChurnEvent::Join));
+    }
+
+    #[test]
+    #[should_panic(expected = "failure probability")]
+    fn negative_rate_panics() {
+        let _ = ChurnPlan::rate(-0.1);
+    }
+}

@@ -1,0 +1,244 @@
+//! Per-node, per-class, per-window traffic accounting.
+//!
+//! The paper's Figures 3(c)–3(g) all plot statistics of the form "number of
+//! messages sent/received by the median (or most loaded) node, sampled during a
+//! period of 100 steps". [`Metrics`] keeps exactly that: counters per `(node,
+//! class, direction)` for the current window, snapshotting them when the window
+//! rolls over, and offers median/max/mean summaries over any subset of classes.
+
+use std::collections::HashMap;
+
+use serde::Serialize;
+
+use crate::process::{MsgClass, NodeId, Step};
+
+/// Sent/received counters for the three message classes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct ClassCounts {
+    /// Messages sent, indexed by [`MsgClass::index`].
+    pub sent: [u64; 3],
+    /// Messages received, indexed by [`MsgClass::index`].
+    pub recv: [u64; 3],
+}
+
+impl ClassCounts {
+    /// Total sent over the given classes.
+    pub fn sent_in(&self, classes: &[MsgClass]) -> u64 {
+        classes.iter().map(|c| self.sent[c.index()]).sum()
+    }
+
+    /// Total received over the given classes.
+    pub fn recv_in(&self, classes: &[MsgClass]) -> u64 {
+        classes.iter().map(|c| self.recv[c.index()]).sum()
+    }
+}
+
+/// Median / max / mean summary of a per-node quantity within one window.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize)]
+pub struct Stat {
+    /// Value at the median node (the node with less than half and more than half —
+    /// the paper's definition).
+    pub median: f64,
+    /// Value at the most loaded node.
+    pub max: f64,
+    /// Mean over nodes.
+    pub mean: f64,
+}
+
+/// A summary for one completed window.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct WindowStat {
+    /// First step of the window.
+    pub start: Step,
+    /// Summary over the nodes active in the window.
+    pub stat: Stat,
+}
+
+/// Traffic metrics collector. See the module docs.
+#[derive(Debug)]
+pub struct Metrics {
+    window: Step,
+    /// Start step of the current window.
+    cur_start: Step,
+    cur: HashMap<NodeId, ClassCounts>,
+    history: Vec<(Step, HashMap<NodeId, ClassCounts>)>,
+    totals: ClassCounts,
+}
+
+/// Direction selector for summaries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dir {
+    /// Outgoing messages.
+    Sent,
+    /// Incoming messages.
+    Recv,
+}
+
+impl Metrics {
+    /// New collector with the given window length (steps).
+    pub fn new(window: Step) -> Self {
+        Metrics {
+            window: window.max(1),
+            cur_start: 0,
+            cur: HashMap::new(),
+            history: Vec::new(),
+            totals: ClassCounts::default(),
+        }
+    }
+
+    pub(crate) fn on_send(&mut self, now: Step, node: NodeId, class: MsgClass) {
+        self.roll_to(now);
+        self.cur.entry(node).or_default().sent[class.index()] += 1;
+        self.totals.sent[class.index()] += 1;
+    }
+
+    pub(crate) fn on_recv(&mut self, now: Step, node: NodeId, class: MsgClass) {
+        self.roll_to(now);
+        self.cur.entry(node).or_default().recv[class.index()] += 1;
+        self.totals.recv[class.index()] += 1;
+    }
+
+    pub(crate) fn roll_to(&mut self, now: Step) {
+        while now >= self.cur_start + self.window {
+            let done = std::mem::take(&mut self.cur);
+            self.history.push((self.cur_start, done));
+            self.cur_start += self.window;
+        }
+    }
+
+    /// Total messages ever sent in `class`.
+    pub fn total_sent(&self, class: MsgClass) -> u64 {
+        self.totals.sent[class.index()]
+    }
+
+    /// Total messages ever received in `class`.
+    pub fn total_received(&self, class: MsgClass) -> u64 {
+        self.totals.recv[class.index()]
+    }
+
+    /// Completed windows: `(start_step, per-node counters)`.
+    pub fn windows(&self) -> &[(Step, HashMap<NodeId, ClassCounts>)] {
+        &self.history
+    }
+
+    /// Median/max/mean of per-node **sent** traffic for the given classes, one
+    /// entry per completed window.
+    pub fn sent_series(&self, classes: &[MsgClass]) -> Vec<WindowStat> {
+        self.series(Dir::Sent, classes, None)
+    }
+
+    /// Median/max/mean of per-node **received** traffic for the given classes.
+    pub fn recv_series(&self, classes: &[MsgClass]) -> Vec<WindowStat> {
+        self.series(Dir::Recv, classes, None)
+    }
+
+    /// Like [`sent_series`](Metrics::sent_series)/[`recv_series`](Metrics::recv_series)
+    /// but with an explicit population: nodes in `population` that sent/received
+    /// nothing in a window count as zero (the paper's median is over all nodes, and
+    /// e.g. leader-based medians are famously zero because most nodes never send).
+    pub fn series(
+        &self,
+        dir: Dir,
+        classes: &[MsgClass],
+        population: Option<&[NodeId]>,
+    ) -> Vec<WindowStat> {
+        self.history
+            .iter()
+            .map(|(start, per_node)| {
+                let mut values: Vec<u64> = match population {
+                    Some(pop) => pop
+                        .iter()
+                        .map(|id| {
+                            per_node
+                                .get(id)
+                                .map(|c| match dir {
+                                    Dir::Sent => c.sent_in(classes),
+                                    Dir::Recv => c.recv_in(classes),
+                                })
+                                .unwrap_or(0)
+                        })
+                        .collect(),
+                    None => per_node
+                        .values()
+                        .map(|c| match dir {
+                            Dir::Sent => c.sent_in(classes),
+                            Dir::Recv => c.recv_in(classes),
+                        })
+                        .collect(),
+                };
+                values.sort_unstable();
+                WindowStat {
+                    start: *start,
+                    stat: summarize(&values),
+                }
+            })
+            .collect()
+    }
+}
+
+fn summarize(sorted: &[u64]) -> Stat {
+    if sorted.is_empty() {
+        return Stat::default();
+    }
+    let median = sorted[sorted.len() / 2] as f64;
+    let max = *sorted.last().unwrap() as f64;
+    let mean = sorted.iter().sum::<u64>() as f64 / sorted.len() as f64;
+    Stat { median, max, mean }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn windows_roll_and_summarize() {
+        let mut m = Metrics::new(10);
+        let a = NodeId::from_index(0);
+        let b = NodeId::from_index(1);
+        for step in 1..=9 {
+            m.on_send(step, a, MsgClass::Publication);
+        }
+        m.on_send(5, b, MsgClass::Management);
+        // Entering step 10 rolls the first window.
+        m.on_send(10, a, MsgClass::Publication);
+        assert_eq!(m.windows().len(), 1);
+        let series = m.sent_series(&[MsgClass::Publication]);
+        assert_eq!(series.len(), 1);
+        assert_eq!(series[0].start, 0);
+        assert_eq!(series[0].stat.max, 9.0);
+        // Two nodes: values [0(b), 9(a)] -> median index 1 -> 9.
+        assert_eq!(series[0].stat.median, 9.0);
+
+        // With explicit population including a silent node, median drops.
+        let c = NodeId::from_index(2);
+        let pop = [a, b, c];
+        let s = m.series(Dir::Sent, &[MsgClass::Publication], Some(&pop));
+        assert_eq!(s[0].stat.median, 0.0);
+        assert_eq!(s[0].stat.max, 9.0);
+    }
+
+    #[test]
+    fn class_filtering() {
+        let mut m = Metrics::new(10);
+        let a = NodeId::from_index(0);
+        m.on_send(1, a, MsgClass::Publication);
+        m.on_send(1, a, MsgClass::Management);
+        m.on_recv(1, a, MsgClass::Subscription);
+        m.roll_to(10);
+        assert_eq!(m.sent_series(&[MsgClass::Publication])[0].stat.max, 1.0);
+        assert_eq!(m.sent_series(&MsgClass::ALL)[0].stat.max, 2.0);
+        assert_eq!(m.recv_series(&MsgClass::ALL)[0].stat.max, 1.0);
+        assert_eq!(m.total_sent(MsgClass::Publication), 1);
+        assert_eq!(m.total_received(MsgClass::Subscription), 1);
+    }
+
+    #[test]
+    fn empty_window_is_all_zero() {
+        let mut m = Metrics::new(5);
+        m.roll_to(20);
+        assert_eq!(m.windows().len(), 4);
+        for w in m.sent_series(&MsgClass::ALL) {
+            assert_eq!(w.stat.max, 0.0);
+        }
+    }
+}

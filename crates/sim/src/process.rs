@@ -1,0 +1,150 @@
+//! The node-side interface of the simulator: identities, messages, and the
+//! [`Process`] state-machine trait.
+
+use std::fmt;
+
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+
+/// Discrete simulation time, in steps (the paper's "cycles").
+pub type Step = u64;
+
+/// Identity of a simulated node.
+///
+/// Ids are dense indices assigned by [`Sim::add_node`](crate::Sim::add_node) in
+/// join order, which keeps per-node bookkeeping in flat vectors.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct NodeId(u64);
+
+impl NodeId {
+    /// Builds a `NodeId` from a dense index. Mostly useful in tests; real ids come
+    /// from [`Sim::add_node`](crate::Sim::add_node).
+    pub fn from_index(i: usize) -> Self {
+        NodeId(i as u64)
+    }
+
+    /// The dense index of this node.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Traffic class of a message, used by [`Metrics`](crate::Metrics) to reproduce the
+/// paper's per-class message accounting ("Messages include the ones due to
+/// publication, subscription, and management of the overlay", §5.2.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum MsgClass {
+    /// Event dissemination traffic.
+    Publication,
+    /// Subscription routing and group joining traffic.
+    Subscription,
+    /// Overlay management: views, heartbeats, merges, bootstrap.
+    Management,
+}
+
+impl MsgClass {
+    /// All classes, in a fixed order (used for array indexing).
+    pub const ALL: [MsgClass; 3] = [
+        MsgClass::Publication,
+        MsgClass::Subscription,
+        MsgClass::Management,
+    ];
+
+    /// Dense index of the class.
+    pub fn index(self) -> usize {
+        match self {
+            MsgClass::Publication => 0,
+            MsgClass::Subscription => 1,
+            MsgClass::Management => 2,
+        }
+    }
+}
+
+/// A simulatable message. The only requirement beyond `Clone + Debug` is a traffic
+/// [`class`](Message::class) so the engine can account it.
+pub trait Message: Clone + fmt::Debug {
+    /// The traffic class of this message.
+    fn class(&self) -> MsgClass;
+}
+
+/// A protocol state machine: one instance per simulated node.
+///
+/// Handlers receive a [`Context`] to send messages and access the shared RNG; all
+/// effects are deferred to the next step, making each step atomic.
+pub trait Process {
+    /// Message type exchanged by this protocol.
+    type Msg: Message;
+
+    /// Called once when the node joins the system.
+    fn on_start(&mut self, ctx: &mut Context<'_, Self::Msg>) {
+        let _ = ctx;
+    }
+
+    /// Called for each message delivered to this node.
+    fn on_message(&mut self, from: NodeId, msg: Self::Msg, ctx: &mut Context<'_, Self::Msg>);
+
+    /// Called once per step (after deliveries) for periodic work such as gossip
+    /// rounds and heartbeat probing.
+    fn on_tick(&mut self, ctx: &mut Context<'_, Self::Msg>) {
+        let _ = ctx;
+    }
+}
+
+/// Handler-side capability object: lets a node know who and when it is, send
+/// messages, and draw randomness — all deterministically.
+pub struct Context<'a, M> {
+    pub(crate) me: NodeId,
+    pub(crate) now: Step,
+    pub(crate) rng: &'a mut StdRng,
+    pub(crate) out: Vec<(NodeId, M)>,
+}
+
+impl<'a, M: Message> Context<'a, M> {
+    /// The identity of the node running the handler.
+    pub fn me(&self) -> NodeId {
+        self.me
+    }
+
+    /// Current simulation step.
+    pub fn now(&self) -> Step {
+        self.now
+    }
+
+    /// Sends `msg` to `to`; it will be delivered at the next step (if `to` is then
+    /// alive). Sending to self is allowed and also takes one step.
+    pub fn send(&mut self, to: NodeId, msg: M) {
+        self.out.push((to, msg));
+    }
+
+    /// The simulation-wide deterministic RNG.
+    pub fn rng(&mut self) -> &mut StdRng {
+        self.rng
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_round_trip() {
+        let id = NodeId::from_index(7);
+        assert_eq!(id.index(), 7);
+        assert_eq!(id.to_string(), "n7");
+    }
+
+    #[test]
+    fn class_indices_are_dense() {
+        for (i, c) in MsgClass::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
+    }
+}

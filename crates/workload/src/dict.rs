@@ -1,0 +1,62 @@
+//! The 500-word string dictionary of the paper ("values for string attributes
+//! are chosen in a dictionary of 500 values").
+//!
+//! The paper does not publish its dictionary, so we generate a deterministic one:
+//! pronounceable lowercase words with shared prefixes/suffixes, so that the
+//! prefix/suffix/substring wildcards of the subscription language actually match
+//! interesting subsets (an i.i.d. random-letter dictionary would make wildcard
+//! groups almost always singletons, which would understate group sharing).
+
+use std::sync::OnceLock;
+
+const SYLLABLES: [&str; 20] = [
+    "ba", "co", "da", "fe", "gi", "ho", "ju", "ka", "li", "mo", "na", "pe", "qui", "ra", "so",
+    "ta", "ve", "wi", "xa", "zu",
+];
+
+/// Returns the shared 500-word dictionary. Deterministic across runs.
+pub fn dictionary() -> &'static [String] {
+    static DICT: OnceLock<Vec<String>> = OnceLock::new();
+    DICT.get_or_init(|| {
+        // First syllables cycle so every one-syllable prefix covers exactly 25 of
+        // the 500 words (5%): prefix subscriptions then select a stable small
+        // fraction, as a hand-curated dictionary would.
+        (0..500u32)
+            .map(|i| {
+                let a = (i % 20) as usize;
+                let b = ((i / 20) % 20) as usize;
+                let c = ((i / 400 + i) % 20) as usize;
+                format!("{}{}{}", SYLLABLES[a], SYLLABLES[b], SYLLABLES[c])
+            })
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn five_hundred_distinct_words() {
+        let d = dictionary();
+        assert_eq!(d.len(), 500);
+        let set: std::collections::HashSet<_> = d.iter().collect();
+        assert_eq!(set.len(), 500);
+    }
+
+    #[test]
+    fn every_first_syllable_prefix_covers_five_percent() {
+        let d = dictionary();
+        for s in super::SYLLABLES {
+            let n = d.iter().filter(|w| w.starts_with(s)).count();
+            // "qui" prefixes also catch nothing else; all ~25 each.
+            assert!((20..=30).contains(&n), "prefix {s} covers {n} words");
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(dictionary()[0], dictionary()[0].clone());
+        assert_eq!(dictionary()[0], "bababa");
+    }
+}

@@ -1,0 +1,79 @@
+//! Value distributions: uniform and Zipf over a discrete domain, as in the
+//! paper's workload table ("Ev. Distr." / "Sub. Distr." columns).
+
+use rand::Rng;
+use rand_distr::{Distribution, Zipf};
+use serde::{Deserialize, Serialize};
+
+/// A distribution over the discrete domain `0..domain`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Dist {
+    /// Uniform over the domain.
+    Uniform,
+    /// Zipf with the given exponent (the paper does not state one; 1.0 is the
+    /// customary choice in the pub/sub workload literature it cites).
+    Zipf(f64),
+    /// Zipf concentrated on the *top* of the domain (rank 1 maps to the largest
+    /// value). Models alert subscriptions watching critical thresholds that
+    /// events rarely reach.
+    ZipfTail(f64),
+}
+
+impl Dist {
+    /// Draws an index in `0..domain`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `domain` is zero.
+    pub fn sample(&self, domain: u64, rng: &mut impl Rng) -> u64 {
+        assert!(domain > 0, "empty domain");
+        match self {
+            Dist::Uniform => rng.random_range(0..domain),
+            Dist::Zipf(s) => {
+                let z = Zipf::new(domain as f64, *s).expect("valid zipf parameters");
+                // Zipf yields ranks in 1..=domain.
+                (z.sample(rng) as u64).saturating_sub(1).min(domain - 1)
+            }
+            Dist::ZipfTail(s) => {
+                let low = Dist::Zipf(*s).sample(domain, rng);
+                domain - 1 - low
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_covers_domain() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            seen[Dist::Uniform.sample(10, &mut rng) as usize] = true;
+        }
+        assert!(seen.iter().all(|s| *s));
+    }
+
+    #[test]
+    fn zipf_is_skewed_toward_low_ranks() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let mut counts = [0u32; 100];
+        for _ in 0..10_000 {
+            counts[Dist::Zipf(1.0).sample(100, &mut rng) as usize] += 1;
+        }
+        // Rank 0 must dominate rank 50 by a wide margin.
+        assert!(counts[0] > 10 * counts[50].max(1));
+        // All samples in range (no panic, no out-of-domain).
+        assert_eq!(counts.iter().map(|c| *c as u64).sum::<u64>(), 10_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty domain")]
+    fn zero_domain_panics() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        Dist::Uniform.sample(0, &mut rng);
+    }
+}

@@ -1,0 +1,351 @@
+//! Workload specifications: per-attribute generation parameters and the three
+//! presets of Table 1.
+
+use dps_content::{Event, Filter, Predicate, Value};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::dict::dictionary;
+use crate::dist::Dist;
+
+/// Generation parameters for one attribute.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum AttrSpec {
+    /// A numeric attribute over the domain `0..domain`.
+    Numeric {
+        /// Attribute name.
+        name: String,
+        /// Domain size.
+        domain: u64,
+        /// Distribution of event values.
+        ev_dist: Dist,
+        /// Distribution of subscription range centers / equality values.
+        sub_dist: Dist,
+        /// Average range size as a fraction of the domain ("Range Size").
+        range_frac: f64,
+        /// Fraction of equality predicates ("Eq. Perc."); the rest are ranges.
+        eq_frac: f64,
+    },
+    /// A string attribute over the 500-word dictionary.
+    Str {
+        /// Attribute name.
+        name: String,
+        /// Distribution of event values over the dictionary.
+        ev_dist: Dist,
+        /// Distribution of subscription word choices.
+        sub_dist: Dist,
+        /// Fraction of equality predicates; the rest are prefix wildcards over
+        /// the chosen word's first syllable.
+        eq_frac: f64,
+    },
+}
+
+impl AttrSpec {
+    /// The attribute's name.
+    pub fn name(&self) -> &str {
+        match self {
+            AttrSpec::Numeric { name, .. } | AttrSpec::Str { name, .. } => name,
+        }
+    }
+
+    /// Generates the predicates one subscription places on this attribute.
+    pub fn predicates(&self, rng: &mut impl Rng) -> Vec<Predicate> {
+        match self {
+            AttrSpec::Numeric {
+                name,
+                domain,
+                sub_dist,
+                range_frac,
+                eq_frac,
+                ..
+            } => {
+                let center = sub_dist.sample(*domain, rng) as i64;
+                if rng.random::<f64>() < *eq_frac {
+                    vec![Predicate::eq(name.as_str(), center)]
+                } else {
+                    // A range `lo < a < hi` of roughly `range_frac * domain`
+                    // values around the center, clamped to the domain.
+                    let width = ((*domain as f64) * range_frac).max(1.0) as i64;
+                    let lo = (center - width / 2 - 1).max(-1);
+                    let hi = lo + width + 1;
+                    vec![
+                        Predicate::gt(name.as_str(), lo),
+                        Predicate::lt(name.as_str(), hi),
+                    ]
+                }
+            }
+            AttrSpec::Str {
+                name,
+                sub_dist,
+                eq_frac,
+                ..
+            } => {
+                let dict = dictionary();
+                let word = &dict[sub_dist.sample(dict.len() as u64, rng) as usize];
+                if rng.random::<f64>() < *eq_frac {
+                    vec![Predicate::str_eq(name.as_str(), word)]
+                } else {
+                    // Prefix over the first syllable (2–3 characters): matches the
+                    // ~1/20 of the dictionary sharing it.
+                    let cut = if word.starts_with("qui") { 3 } else { 2 };
+                    vec![Predicate::prefix(name.as_str(), &word[..cut])]
+                }
+            }
+        }
+    }
+
+    /// Generates this attribute's value for one event.
+    pub fn value(&self, rng: &mut impl Rng) -> Value {
+        match self {
+            AttrSpec::Numeric {
+                domain, ev_dist, ..
+            } => Value::from(ev_dist.sample(*domain, rng) as i64),
+            AttrSpec::Str { ev_dist, .. } => {
+                let dict = dictionary();
+                Value::from(dict[ev_dist.sample(dict.len() as u64, rng) as usize].as_str())
+            }
+        }
+    }
+}
+
+/// How a subscription picks its attributes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SubShape {
+    /// Every subscription constrains all attributes (Workloads 2 and 3).
+    All,
+    /// Every subscription constrains exactly one attribute, chosen uniformly
+    /// (Workload 1: a stock watcher follows either a price level or a symbol).
+    OneOf,
+}
+
+/// A complete workload: attribute specs plus the subscription shape.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Workload {
+    name: String,
+    attrs: Vec<AttrSpec>,
+    shape: SubShape,
+}
+
+impl Workload {
+    /// Builds a custom workload.
+    pub fn new(name: impl Into<String>, attrs: Vec<AttrSpec>, shape: SubShape) -> Self {
+        Workload {
+            name: name.into(),
+            attrs,
+            shape,
+        }
+    }
+
+    /// **Workload 1** — stock exchange (the distributions found by Wang et al.
+    /// for real pub/sub stock data, per the paper): uniform events, Zipf
+    /// subscriptions; numeric attribute with 10% ranges and 50% equalities;
+    /// string attribute with 50% equalities (else first-syllable prefixes).
+    pub fn stock_exchange() -> Self {
+        Workload::new(
+            "stock exchange (workload 1)",
+            vec![
+                AttrSpec::Numeric {
+                    name: "price".into(),
+                    domain: 1000,
+                    ev_dist: Dist::Uniform,
+                    sub_dist: Dist::Zipf(1.0),
+                    range_frac: 0.10,
+                    eq_frac: 0.50,
+                },
+                AttrSpec::Str {
+                    name: "symbol".into(),
+                    ev_dist: Dist::Uniform,
+                    sub_dist: Dist::Zipf(1.0),
+                    eq_frac: 0.50,
+                },
+            ],
+            SubShape::OneOf,
+        )
+    }
+
+    /// **Workload 2** — multiplayer game: players subscribe to zones of a
+    /// bidimensional plane; two uniform numeric attributes, 50% ranges, no
+    /// equalities. The least favorable workload for DPS (most false positives).
+    pub fn multiplayer_game() -> Self {
+        let coord = |name: &str| AttrSpec::Numeric {
+            name: name.into(),
+            domain: 1000,
+            ev_dist: Dist::Uniform,
+            sub_dist: Dist::Uniform,
+            range_frac: 0.50,
+            eq_frac: 0.0,
+        };
+        Workload::new(
+            "multiplayer game (workload 2)",
+            vec![coord("x"), coord("y")],
+            SubShape::All,
+        )
+    }
+
+    /// **Workload 3** — alert monitoring: subscriptions concentrate on a
+    /// restricted set of critical values; three Zipf/Zipf numeric attributes,
+    /// 20% ranges, 20% equalities; overall match rate very low.
+    pub fn alert_monitoring() -> Self {
+        // Events concentrate on low (normal) readings; subscriptions watch the
+        // rare critical top of the scale — "the overall number of matches is
+        // very low" (§5.2).
+        let metric = |name: &str| AttrSpec::Numeric {
+            name: name.into(),
+            domain: 1000,
+            ev_dist: Dist::Zipf(1.0),
+            sub_dist: Dist::ZipfTail(1.0),
+            range_frac: 0.20,
+            eq_frac: 0.20,
+        };
+        Workload::new(
+            "alert monitoring (workload 3)",
+            vec![metric("cpu"), metric("mem"), metric("net")],
+            SubShape::All,
+        )
+    }
+
+    /// The workload's display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The attribute specifications.
+    pub fn attrs(&self) -> &[AttrSpec] {
+        &self.attrs
+    }
+
+    /// Generates one subscription filter.
+    pub fn subscription(&self, rng: &mut impl Rng) -> Filter {
+        match self.shape {
+            SubShape::All => Filter::new(
+                self.attrs
+                    .iter()
+                    .flat_map(|a| a.predicates(rng))
+                    .collect::<Vec<_>>(),
+            ),
+            SubShape::OneOf => {
+                let i = rng.random_range(0..self.attrs.len());
+                Filter::new(self.attrs[i].predicates(rng))
+            }
+        }
+    }
+
+    /// Generates one event carrying a value for every attribute.
+    pub fn event(&self, rng: &mut impl Rng) -> Event {
+        Event::new(
+            self.attrs
+                .iter()
+                .map(|a| (a.name(), a.value(rng)))
+                .collect::<Vec<_>>(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn workload2_matching_rate_is_about_25_percent() {
+        // Analytical expectation from the paper's Table 1: 25.13% matching.
+        let w = Workload::multiplayer_game();
+        let mut rng = rng();
+        let subs: Vec<Filter> = (0..300).map(|_| w.subscription(&mut rng)).collect();
+        let mut matches = 0usize;
+        let mut total = 0usize;
+        for _ in 0..300 {
+            let ev = w.event(&mut rng);
+            for s in &subs {
+                total += 1;
+                if s.matches(&ev) {
+                    matches += 1;
+                }
+            }
+        }
+        let rate = matches as f64 / total as f64;
+        assert!(
+            (0.18..=0.32).contains(&rate),
+            "matching rate {rate} far from the paper's 25%"
+        );
+    }
+
+    #[test]
+    fn workload_match_rates_are_ordered_like_table1() {
+        // Table 1: game (25.13%) >> stock (2.37%) > alert (0.42%).
+        let mut rng = rng();
+        let rate = |w: &Workload, rng: &mut rand::rngs::StdRng| {
+            let subs: Vec<Filter> = (0..400).map(|_| w.subscription(rng)).collect();
+            let mut m = 0usize;
+            for _ in 0..400 {
+                let ev = w.event(rng);
+                m += subs.iter().filter(|s| s.matches(&ev)).count();
+            }
+            m as f64 / (400.0 * 400.0)
+        };
+        let game = rate(&Workload::multiplayer_game(), &mut rng);
+        let stock = rate(&Workload::stock_exchange(), &mut rng);
+        let alert = rate(&Workload::alert_monitoring(), &mut rng);
+        assert!(game > stock, "game {game} vs stock {stock}");
+        assert!(stock > alert, "stock {stock} vs alert {alert}");
+        assert!(alert < 0.02, "alert workload must be very selective: {alert}");
+    }
+
+    #[test]
+    fn ranges_are_two_predicates_on_one_attribute() {
+        let w = Workload::multiplayer_game();
+        let mut rng = rng();
+        let f = w.subscription(&mut rng);
+        assert_eq!(f.attributes().len(), 2);
+        assert_eq!(f.len(), 4); // two ranges of two predicates each
+    }
+
+    #[test]
+    fn stock_subscriptions_use_one_attribute() {
+        let w = Workload::stock_exchange();
+        let mut rng = rng();
+        for _ in 0..50 {
+            let f = w.subscription(&mut rng);
+            assert_eq!(f.attributes().len(), 1);
+        }
+    }
+
+    #[test]
+    fn events_carry_every_attribute() {
+        let mut rng = rng();
+        for w in [
+            Workload::stock_exchange(),
+            Workload::multiplayer_game(),
+            Workload::alert_monitoring(),
+        ] {
+            let ev = w.event(&mut rng);
+            assert_eq!(ev.len(), w.attrs().len(), "{}", w.name());
+        }
+    }
+
+    #[test]
+    fn numeric_range_straddles_its_center() {
+        let spec = AttrSpec::Numeric {
+            name: "a".into(),
+            domain: 1000,
+            ev_dist: Dist::Uniform,
+            sub_dist: Dist::Uniform,
+            range_frac: 0.1,
+            eq_frac: 0.0,
+        };
+        let mut rng = rng();
+        for _ in 0..100 {
+            let ps = spec.predicates(&mut rng);
+            assert_eq!(ps.len(), 2);
+            let f = Filter::new(ps.clone());
+            // The range is non-empty: some domain value matches.
+            let lo = ps[0].constant().as_int().unwrap();
+            let probe = Event::new([("a", Value::from(lo + 1))]);
+            assert!(f.matches(&probe), "{f}");
+        }
+    }
+}

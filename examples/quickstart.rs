@@ -1,0 +1,53 @@
+//! Quickstart: build a small DPS network, subscribe, publish, observe delivery.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use dps::{DpsConfig, DpsNetwork};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Default flavor: root-based traversal, leader-based communication.
+    let mut net = DpsNetwork::new(DpsConfig::default(), 42);
+    let nodes = net.add_nodes(16);
+    net.run(30); // peer sampling warms up
+
+    // Subscribers self-organize into per-attribute semantic trees. The first
+    // subscriber to mention attribute "temp" creates (and owns) its tree.
+    println!("subscribing...");
+    net.subscribe(nodes[0], "temp > 30".parse()?);
+    net.subscribe(nodes[1], "temp > 30 & temp < 40".parse()?);
+    net.subscribe(nodes[2], "temp < 0".parse()?);
+    net.subscribe(nodes[3], "temp = 35 & unit = celsius".parse()?);
+    assert!(net.quiesce(800), "overlay should converge");
+    net.run(60);
+
+    // The distributed forest, as recorded at group leaders:
+    println!("\nsemantic groups:");
+    for g in net.distributed_groups() {
+        println!(
+            "  {:<18} parent={:<14} members={:?}",
+            g.label.to_string(),
+            g.parent.map(|p| p.to_string()).unwrap_or_default(),
+            g.members.iter().map(|n| n.index()).collect::<Vec<_>>()
+        );
+    }
+
+    // Publish an event from a node with no subscriptions at all.
+    let id = net
+        .publish(nodes[10], "temp = 35 & unit = celsius".parse()?)
+        .expect("publisher alive");
+    net.run(60);
+
+    println!("\nevent 'temp = 35 & unit = celsius':");
+    for (i, n) in nodes.iter().enumerate().take(4) {
+        println!(
+            "  node {i}: contacted={} notified={}",
+            net.sink().was_contacted(id, *n),
+            net.sink().was_notified(id, *n)
+        );
+    }
+    println!("\ndelivered ratio: {}", net.delivered_ratio());
+    assert_eq!(net.delivered_ratio(), 1.0);
+    Ok(())
+}

@@ -1,0 +1,67 @@
+//! Stock ticker — the paper's Workload 1 scenario (§5.2, Table 1).
+//!
+//! Traders subscribe to price levels or ticker symbols; a feed publishes ticks.
+//! Subscriptions follow Zipf distributions (everyone watches the same few hot
+//! symbols), ticks are uniform. Run with:
+//!
+//! ```sh
+//! cargo run --release --example stock_ticker
+//! ```
+
+use dps::{CommKind, DpsConfig, DpsNetwork, JoinRule, TraversalKind};
+use dps_workload::Workload;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut cfg = DpsConfig::named(TraversalKind::Generic, CommKind::Leader);
+    cfg.join_rule = JoinRule::Explicit;
+    let mut net = DpsNetwork::new(cfg, 7);
+    let traders = net.add_nodes(120);
+    net.run(30);
+
+    let w = Workload::stock_exchange();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+    println!("installing {} trader subscriptions...", traders.len());
+    for (i, t) in traders.iter().enumerate() {
+        net.subscribe(*t, w.subscription(&mut rng));
+        if i % 10 == 9 {
+            net.run(2);
+        }
+    }
+    net.quiesce(3000);
+    net.run(150);
+
+    println!("publishing 50 ticks...");
+    let mut ids = Vec::new();
+    for k in 0..50 {
+        let feed = traders[k % traders.len()];
+        if let Some(id) = net.publish(feed, w.event(&mut rng)) {
+            ids.push(id);
+        }
+        net.run(10);
+    }
+    net.run(400);
+
+    // Table-1 style accounting: matching vs contacted vs false positives.
+    let n = traders.len() as f64;
+    let mut matching = 0.0;
+    let mut contacted = 0.0;
+    for r in net.reports() {
+        matching += r.expected.len() as f64 / n;
+        contacted += r.contacted as f64 / n;
+    }
+    let pubs = ids.len() as f64;
+    println!("\nper-tick averages over {} ticks:", ids.len());
+    println!("  matching subscribers: {:5.2}%", 100.0 * matching / pubs);
+    println!("  contacted nodes:      {:5.2}%", 100.0 * contacted / pubs);
+    println!(
+        "  false positives:      {:5.2}%",
+        100.0 * (contacted - matching).max(0.0) / pubs
+    );
+    println!(
+        "  visited-node reduction vs broadcast: {:.0}%",
+        100.0 * (1.0 - contacted / pubs)
+    );
+    println!("  delivered ratio: {:.3}", net.delivered_ratio());
+    Ok(())
+}

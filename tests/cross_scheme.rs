@@ -1,0 +1,96 @@
+//! Cross-scheme agreement: all four protocol flavors (§4) must notify the same
+//! subscribers for the same workload when nothing fails — they differ in cost
+//! and robustness, not in semantics.
+
+use std::collections::BTreeSet;
+
+use dps::{CommKind, DpsConfig, DpsNetwork, JoinRule, NodeId, TraversalKind};
+
+struct Outcome {
+    notified: BTreeSet<(u32, NodeId)>,
+    ratio: f64,
+}
+
+fn run_scheme(cfg: DpsConfig) -> Outcome {
+    let mut net = DpsNetwork::new(cfg, 99);
+    let nodes = net.add_nodes(24);
+    net.run(30);
+    let subs = [
+        "a > 10",
+        "a > 10 & a < 90",
+        "a < 50",
+        "a = 42",
+        "a > 40",
+        "b > 0",
+        "b < -5",
+        "a > 10 & b > 0",
+        "c = ab*",
+        "c = abc",
+    ];
+    for (i, s) in subs.iter().enumerate() {
+        net.subscribe(nodes[i], s.parse().unwrap());
+        net.run(12);
+    }
+    assert!(net.quiesce(2000), "convergence failed for {}", net.sim().now());
+    net.run(150);
+    let events = [
+        "a = 42 & b = 3",
+        "a = 5",
+        "a = 95",
+        "b = -10",
+        "c = abc",
+        "c = abd",
+        "a = 50 & c = abc",
+    ];
+    let mut ids = Vec::new();
+    for (k, e) in events.iter().enumerate() {
+        let id = net
+            .publish(nodes[20 + (k % 4)], e.parse().unwrap())
+            .unwrap();
+        ids.push((k as u32, id));
+        net.run(40);
+    }
+    net.run(100);
+    let mut notified = BTreeSet::new();
+    for (k, id) in &ids {
+        for n in &nodes {
+            if net.sink().was_notified(*id, *n) {
+                notified.insert((*k, *n));
+            }
+        }
+    }
+    Outcome {
+        notified,
+        ratio: net.delivered_ratio(),
+    }
+}
+
+#[test]
+fn all_four_schemes_agree_on_notified_sets() {
+    let schemes = [
+        DpsConfig::named(TraversalKind::Root, CommKind::Leader),
+        DpsConfig::named(TraversalKind::Generic, CommKind::Leader),
+        DpsConfig::named(TraversalKind::Root, CommKind::Epidemic).with_fanout(2),
+        DpsConfig::named(TraversalKind::Generic, CommKind::Epidemic).with_fanout(2),
+    ];
+    let mut outcomes = Vec::new();
+    for s in schemes {
+        let mut cfg = s;
+        cfg.join_rule = JoinRule::First;
+        let label = cfg.label();
+        let out = run_scheme(cfg);
+        assert!(
+            out.ratio >= 0.99,
+            "{label}: delivered ratio {} < 0.99 without failures",
+            out.ratio
+        );
+        outcomes.push((label, out));
+    }
+    let (ref base_label, ref base) = outcomes[0];
+    for (label, out) in &outcomes[1..] {
+        assert_eq!(
+            &base.notified, &out.notified,
+            "notified sets differ between {base_label} and {label}"
+        );
+    }
+}

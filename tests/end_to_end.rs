@@ -1,0 +1,164 @@
+//! End-to-end integration: subscriptions self-organize, publications reach
+//! exactly the matching subscribers (plus the false positives inherent to the
+//! single-tree join), across all four protocol flavors.
+
+use dps::{CommKind, DpsConfig, DpsNetwork, JoinRule, TraversalKind};
+
+fn config(t: TraversalKind, c: CommKind) -> DpsConfig {
+    DpsConfig::named(t, c)
+}
+
+/// Small single-attribute scenario: every flavor must deliver everything.
+fn single_attribute_scenario(cfg: DpsConfig, seed: u64) -> f64 {
+    let mut net = DpsNetwork::new(cfg, seed);
+    let nodes = net.add_nodes(12);
+    net.run(30); // let peer sampling warm up
+    let subs = [
+        "a > 2",
+        "a > 5",
+        "a > 2 & a < 500",
+        "a < 20",
+        "a < 11",
+        "a = 4",
+        "a > 3",
+        "a < 4",
+    ];
+    for (i, s) in subs.iter().enumerate() {
+        net.subscribe(nodes[i], s.parse().unwrap());
+        net.run(10); // stagger, as the paper's scenarios do
+    }
+    assert!(net.quiesce(600), "overlay failed to converge");
+    net.run(50);
+    for v in [4i64, 1, 10, 100, -5] {
+        net.publish(nodes[11], format!("a = {v}").parse().unwrap());
+        net.run(30);
+    }
+    net.run(60);
+    net.delivered_ratio()
+}
+
+#[test]
+fn leader_root_delivers_everything() {
+    let r = single_attribute_scenario(config(TraversalKind::Root, CommKind::Leader), 1);
+    assert_eq!(r, 1.0, "leader/root should be lossless without failures");
+}
+
+#[test]
+fn leader_generic_delivers_everything() {
+    let r = single_attribute_scenario(config(TraversalKind::Generic, CommKind::Leader), 2);
+    assert_eq!(r, 1.0, "leader/generic should be lossless without failures");
+}
+
+#[test]
+fn epidemic_root_delivers_everything_without_failures() {
+    let r = single_attribute_scenario(
+        config(TraversalKind::Root, CommKind::Epidemic).with_fanout(2),
+        3,
+    );
+    assert!(r >= 0.95, "epidemic/root delivered only {r}");
+}
+
+#[test]
+fn epidemic_generic_delivers_everything_without_failures() {
+    let r = single_attribute_scenario(
+        config(TraversalKind::Generic, CommKind::Epidemic).with_fanout(2),
+        4,
+    );
+    assert!(r >= 0.95, "epidemic/generic delivered only {r}");
+}
+
+/// Multi-attribute events must be delivered through every matching tree, and
+/// subscribers matching on a non-joined attribute are exactly the paper's false
+/// positives: contacted, but not notified.
+#[test]
+fn multi_attribute_events_and_false_positives() {
+    let mut cfg = config(TraversalKind::Root, CommKind::Leader);
+    cfg.join_rule = JoinRule::First;
+    let mut net = DpsNetwork::new(cfg, 7);
+    let nodes = net.add_nodes(10);
+    net.run(30);
+    // s0 joins tree "a" (first predicate) but requires b > 0 too.
+    net.subscribe(nodes[0], "a > 2 & b > 0".parse().unwrap());
+    net.run(10);
+    // s3 joins tree "b" and requires c = abc.
+    net.subscribe(nodes[3], "b > 3 & c = abc".parse().unwrap());
+    net.run(10);
+    // s9 joins tree "a" alone.
+    net.subscribe(nodes[9], "a < 11".parse().unwrap());
+    assert!(net.quiesce(600));
+    net.run(50);
+
+    // Event matching s0 (via a & b) and s9 (via a), contacting s3 (b > 3 matches,
+    // but its c = abc predicate cannot: false positive).
+    let id = net
+        .publish(nodes[5], "a = 4 & b = 5".parse().unwrap())
+        .unwrap();
+    net.run(60);
+
+    assert!(net.sink().was_notified(id, nodes[0]), "s0 must be notified");
+    assert!(net.sink().was_notified(id, nodes[9]), "s9 must be notified");
+    assert!(
+        net.sink().was_contacted(id, nodes[3]),
+        "s3 must be contacted (false positive)"
+    );
+    assert!(
+        !net.sink().was_notified(id, nodes[3]),
+        "s3 must NOT be notified"
+    );
+    assert_eq!(net.delivered_ratio(), 1.0);
+}
+
+/// Unsubscribing removes a node from delivery.
+#[test]
+fn unsubscribe_stops_delivery() {
+    let mut net = DpsNetwork::new(config(TraversalKind::Root, CommKind::Leader), 9);
+    let nodes = net.add_nodes(8);
+    net.run(30);
+    let sub = net.subscribe(nodes[0], "a > 0".parse().unwrap()).unwrap();
+    net.subscribe(nodes[1], "a > 0".parse().unwrap());
+    assert!(net.quiesce(600));
+    net.run(40);
+
+    let first = net.publish(nodes[5], "a = 1".parse().unwrap()).unwrap();
+    net.run(40);
+    assert!(net.sink().was_notified(first, nodes[0]));
+
+    net.unsubscribe(nodes[0], sub);
+    net.run(60);
+    let second = net.publish(nodes[5], "a = 2".parse().unwrap()).unwrap();
+    net.run(40);
+    assert!(
+        !net.sink().was_notified(second, nodes[0]),
+        "unsubscribed node still notified"
+    );
+    assert!(net.sink().was_notified(second, nodes[1]));
+}
+
+/// The overlay really prunes: an event matching only a deep chain suffix must
+/// not contact subscribers of disjoint branches.
+#[test]
+fn dissemination_prunes_non_matching_branches() {
+    let mut net = DpsNetwork::new(config(TraversalKind::Root, CommKind::Leader), 11);
+    let nodes = net.add_nodes(8);
+    net.run(30);
+    // nodes[3] subscribes first and becomes the tree owner: the owner/root relays
+    // every event, so the pruning claim is only meaningful for non-owners.
+    net.subscribe(nodes[3], "a > 1000".parse().unwrap());
+    net.run(60);
+    net.subscribe(nodes[0], "a > 100".parse().unwrap());
+    net.run(10);
+    net.subscribe(nodes[1], "a < 0".parse().unwrap());
+    net.run(10);
+    net.subscribe(nodes[2], "a < -50".parse().unwrap());
+    assert!(net.quiesce(600));
+    net.run(50);
+
+    let id = net.publish(nodes[7], "a = -60".parse().unwrap()).unwrap();
+    net.run(40);
+    assert!(net.sink().was_notified(id, nodes[1]));
+    assert!(net.sink().was_notified(id, nodes[2]));
+    assert!(
+        !net.sink().was_contacted(id, nodes[0]),
+        "a > 100 subscriber contacted by a = -60: pruning failed"
+    );
+}

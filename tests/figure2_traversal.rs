@@ -1,0 +1,94 @@
+//! Reconstructs Figure 2 of the paper: the placement of the subscription
+//! `a = 3` (left side) and the dissemination of the publication `a = 4`
+//! (right side), under both the root-based and the generic traversal.
+
+use dps::{CommKind, DpsConfig, DpsNetwork, JoinRule, NodeId, TraversalKind};
+
+/// Builds the tree of Figure 2: groups a>2, a>3, a>5, a<20, a<11, a<4, a=4.
+fn build(traversal: TraversalKind, seed: u64) -> (DpsNetwork, Vec<NodeId>) {
+    let mut cfg = DpsConfig::named(traversal, CommKind::Leader);
+    cfg.join_rule = JoinRule::First;
+    let mut net = DpsNetwork::new(cfg, seed);
+    let nodes = net.add_nodes(10);
+    net.run(30);
+    for (i, s) in ["a > 2", "a > 3", "a > 5", "a < 20", "a < 11", "a < 4", "a = 4"]
+        .iter()
+        .enumerate()
+    {
+        net.subscribe(nodes[i], s.parse().unwrap());
+        net.run(12);
+    }
+    assert!(net.quiesce(1500), "tree construction did not converge");
+    net.run(200);
+    (net, nodes)
+}
+
+/// Left side of Figure 2: the subscription a = 3 is placed below a > 2 — the
+/// smallest possible predecessor (a > 3 does not include a = 3; C1 keeps it off
+/// the less-than chain).
+#[test]
+fn subscription_a_eq_3_lands_under_a_gt_2() {
+    for traversal in [TraversalKind::Root, TraversalKind::Generic] {
+        let (mut net, nodes) = build(traversal, 21);
+        net.subscribe(nodes[7], "a = 3".parse().unwrap());
+        assert!(net.quiesce(1000), "a = 3 not placed ({traversal:?})");
+        net.run(100);
+        let group = net
+            .distributed_groups()
+            .into_iter()
+            .find(|g| g.label.to_string() == "⟨a = 3⟩")
+            .unwrap_or_else(|| panic!("group a = 3 missing ({traversal:?})"));
+        assert_eq!(
+            group.parent.map(|l| l.to_string()).as_deref(),
+            Some("⟨a > 2⟩"),
+            "designated predecessor of a = 3 ({traversal:?})"
+        );
+        assert_eq!(group.members, vec![nodes[7]]);
+    }
+}
+
+/// Right side of Figure 2: the publication a = 4 reaches the subscribers of all
+/// matching groups (a>2, a>3, a<20, a<11, a=4) and none of the others (a>5,
+/// a<4).
+#[test]
+fn publication_a_eq_4_reaches_matching_groups_only() {
+    for traversal in [TraversalKind::Root, TraversalKind::Generic] {
+        let (mut net, nodes) = build(traversal, 22);
+        let id = net.publish(nodes[9], "a = 4".parse().unwrap()).unwrap();
+        net.run(80);
+        // Matching subscribers are notified.
+        for (i, s) in ["a > 2", "a > 3", "a < 20", "a < 11", "a = 4"].iter().enumerate() {
+            let node = match *s {
+                "a > 2" => nodes[0],
+                "a > 3" => nodes[1],
+                "a < 20" => nodes[3],
+                "a < 11" => nodes[4],
+                _ => nodes[6],
+            };
+            let _ = i;
+            assert!(
+                net.sink().was_notified(id, node),
+                "{s} subscriber not notified ({traversal:?})"
+            );
+        }
+        // Non-matching subscribers are not notified (a > 5 fails 4 > 5; a < 4
+        // fails 4 < 4), and their subtrees are pruned.
+        assert!(!net.sink().was_notified(id, nodes[2]), "a > 5 notified ({traversal:?})");
+        assert!(!net.sink().was_notified(id, nodes[5]), "a < 4 notified ({traversal:?})");
+        assert_eq!(net.delivered_ratio(), 1.0, "({traversal:?})");
+    }
+}
+
+/// Generic traversal from an interior contact point must still reach groups on
+/// the *other* branch by climbing to the root first (the gray paths of Fig. 2).
+#[test]
+fn generic_contact_point_reaches_other_branches() {
+    let (mut net, nodes) = build(TraversalKind::Generic, 23);
+    // Publish from the a < 4 subscriber: its own group does not match, the event
+    // must climb and re-descend into the greater-than branch and the a = 4 leaf.
+    let id = net.publish(nodes[5], "a = 4".parse().unwrap()).unwrap();
+    net.run(80);
+    assert!(net.sink().was_notified(id, nodes[0]), "a > 2 missed");
+    assert!(net.sink().was_notified(id, nodes[6]), "a = 4 missed");
+    assert!(net.sink().was_notified(id, nodes[4]), "a < 11 missed");
+}

@@ -1,0 +1,152 @@
+//! Property-based end-to-end tests: for random subscription sets and random
+//! events, the distributed overlay (a) notifies exactly the oracle's matching
+//! set, and (b) converges to the reference forest. Case counts are kept small —
+//! each case is a full protocol simulation.
+
+use std::collections::{BTreeMap, BTreeSet, HashSet};
+
+use dps::{CommKind, DpsConfig, DpsNetwork, Event, Filter, JoinRule, TraversalKind};
+use proptest::prelude::*;
+
+/// A compact predicate universe on two numeric attributes; constants in a small
+/// range so that inclusion chains and matches are frequent.
+fn pred_strategy() -> impl Strategy<Value = String> {
+    (
+        proptest::sample::select(&["a", "b"][..]),
+        proptest::sample::select(&["<", ">", "="][..]),
+        -8i64..=8,
+    )
+        .prop_map(|(n, op, c)| format!("{n} {op} {c}"))
+}
+
+fn filter_strategy() -> impl Strategy<Value = String> {
+    proptest::collection::vec(pred_strategy(), 1..=2).prop_map(|ps| ps.join(" & "))
+}
+
+fn events_strategy() -> impl Strategy<Value = Vec<(i64, i64)>> {
+    proptest::collection::vec((-10i64..=10, -10i64..=10), 3..=5)
+}
+
+fn run_case(
+    traversal: TraversalKind,
+    comm: CommKind,
+    filters: &[String],
+    events: &[(i64, i64)],
+    seed: u64,
+) {
+    let mut cfg = DpsConfig::named(traversal, comm);
+    cfg.join_rule = JoinRule::First;
+    if comm == CommKind::Epidemic {
+        cfg = cfg.with_fanout(3);
+    }
+    let label = cfg.label();
+    let mut net = DpsNetwork::new(cfg, seed);
+    let nodes = net.add_nodes(filters.len() + 4);
+    net.run(30);
+    for (i, f) in filters.iter().enumerate() {
+        let filter: Filter = f.parse().unwrap();
+        net.subscribe(nodes[i], filter);
+        net.run(10);
+    }
+    assert!(net.quiesce(3000), "{label}: convergence failed");
+    net.run(150);
+
+    let publisher = nodes[filters.len()];
+    let mut ids = Vec::new();
+    for (a, b) in events {
+        let ev: Event = format!("a = {a} & b = {b}").parse().unwrap();
+        let expected: HashSet<_> = filters
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| f.parse::<Filter>().unwrap().matches(&ev))
+            .map(|(i, _)| nodes[i])
+            .collect();
+        let id = net.publish(publisher, ev).unwrap();
+        ids.push((id, expected));
+        net.run(30);
+    }
+    net.run(120);
+
+    for (id, expected) in &ids {
+        let got: HashSet<_> = nodes
+            .iter()
+            .copied()
+            .filter(|n| net.sink().was_notified(*id, *n))
+            .collect();
+        assert_eq!(&got, expected, "{label}: notified set differs for {id:?}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 6, .. ProptestConfig::default() })]
+
+    /// Leader/root: exact delivery to the oracle's matching set.
+    #[test]
+    fn leader_root_delivers_exactly_matching(
+        filters in proptest::collection::vec(filter_strategy(), 2..=6),
+        events in events_strategy(),
+        seed in 0u64..1000,
+    ) {
+        run_case(TraversalKind::Root, CommKind::Leader, &filters, &events, seed);
+    }
+
+    /// Leader/generic: same guarantee from arbitrary contact points.
+    #[test]
+    fn leader_generic_delivers_exactly_matching(
+        filters in proptest::collection::vec(filter_strategy(), 2..=6),
+        events in events_strategy(),
+        seed in 0u64..1000,
+    ) {
+        run_case(TraversalKind::Generic, CommKind::Leader, &filters, &events, seed);
+    }
+
+    /// The distributed forest always matches the reference model, whatever the
+    /// subscription mix and arrival order.
+    #[test]
+    fn distributed_forest_always_matches_reference(
+        filters in proptest::collection::vec(filter_strategy(), 2..=8),
+        seed in 0u64..1000,
+    ) {
+        let mut cfg = DpsConfig::named(TraversalKind::Root, CommKind::Leader);
+        cfg.join_rule = JoinRule::First;
+        let mut net = DpsNetwork::new(cfg, seed);
+        let nodes = net.add_nodes(filters.len() + 2);
+        net.run(30);
+        for (i, f) in filters.iter().enumerate() {
+            net.subscribe(nodes[i], f.parse().unwrap());
+            net.run(10);
+        }
+        prop_assert!(net.quiesce(3000), "convergence failed");
+        net.run(250);
+
+        // Expected parent relation from the oracle.
+        let mut expect: BTreeMap<String, (String, BTreeSet<usize>)> = BTreeMap::new();
+        for tree in net.oracle().trees() {
+            for g in tree.groups() {
+                if let Some(pi) = g.parent {
+                    expect.insert(
+                        g.label.to_string(),
+                        (
+                            tree.group(pi).label.to_string(),
+                            g.members.iter().map(|n| n.index()).collect(),
+                        ),
+                    );
+                }
+            }
+        }
+        let mut got: BTreeMap<String, (String, BTreeSet<usize>)> = BTreeMap::new();
+        for g in net.distributed_groups() {
+            if g.label.is_root() {
+                continue;
+            }
+            got.insert(
+                g.label.to_string(),
+                (
+                    g.parent.map(|l| l.to_string()).unwrap_or_default(),
+                    g.members.iter().map(|n| n.index()).collect(),
+                ),
+            );
+        }
+        prop_assert_eq!(&expect, &got, "distributed forest diverged from reference");
+    }
+}
