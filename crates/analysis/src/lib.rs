@@ -70,8 +70,8 @@ pub mod reliability {
         let mut p = 0.0;
         for i in 0..n {
             for j in (i + 1)..n {
-                for k in (j + 1)..n {
-                    p += contact_levels[i] * contact_levels[j] * group_levels[k];
+                for s_k in &group_levels[j + 1..] {
+                    p += contact_levels[i] * contact_levels[j] * s_k;
                 }
             }
         }

@@ -105,7 +105,9 @@ impl BroadcastNet {
     pub fn new(n: usize, degree: usize, seed: u64) -> Self {
         let sink = Arc::new(CountingSink::new());
         let mut sim = Sim::new(seed);
-        let nodes: Vec<NodeId> = (0..n).map(|_| sim.add_node(FloodNode::new(sink.clone()))).collect();
+        let nodes: Vec<NodeId> = (0..n)
+            .map(|_| sim.add_node(FloodNode::new(sink.clone())))
+            .collect();
         // Ring + random chords: connected, low diameter.
         for i in 0..n {
             let mut neigh = vec![nodes[(i + 1) % n]];

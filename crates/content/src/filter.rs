@@ -83,11 +83,9 @@ impl Filter {
     /// Tests whether `event` matches this filter: for all predicates, a
     /// corresponding matching value appears in the event (paper §2).
     pub fn matches(&self, event: &Event) -> bool {
-        self.predicates.iter().all(|p| {
-            event
-                .get(p.name())
-                .is_some_and(|v| p.matches_value(v))
-        })
+        self.predicates
+            .iter()
+            .all(|p| event.get(p.name()).is_some_and(|v| p.matches_value(v)))
     }
 }
 
@@ -145,7 +143,7 @@ mod tests {
         assert!(f.matches(&ev(&[("a", 3), ("b", 1)])));
         assert!(!f.matches(&ev(&[("a", 3), ("b", 0)])));
         assert!(!f.matches(&ev(&[("a", 3)]))); // b absent: predicate unsatisfied
-        // Extra attributes in the event are fine.
+                                               // Extra attributes in the event are fine.
         assert!(f.matches(&ev(&[("a", 3), ("b", 1), ("z", 9)])));
     }
 
@@ -182,7 +180,11 @@ mod tests {
             Predicate::str_eq("c", "abc"),
             Predicate::lt("b", 7),
         ]);
-        let names: Vec<_> = f.attributes().iter().map(|n| n.as_str().to_owned()).collect();
+        let names: Vec<_> = f
+            .attributes()
+            .iter()
+            .map(|n| n.as_str().to_owned())
+            .collect();
         assert_eq!(names, ["b", "c"]);
     }
 

@@ -222,7 +222,9 @@ mod tests {
 
     #[test]
     fn round_trip_display_parse() {
-        for s in ["a > 2", "a < 20", "a = 4", "c = abc", "c = ab*", "c = *bc", "c = *b*"] {
+        for s in [
+            "a > 2", "a < 20", "a = 4", "c = abc", "c = ab*", "c = *bc", "c = *b*",
+        ] {
             let p: Predicate = s.parse().unwrap();
             let again: Predicate = p.to_string().parse().unwrap();
             assert_eq!(p, again, "{s}");

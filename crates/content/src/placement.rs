@@ -188,7 +188,10 @@ mod tests {
         assert_eq!(choose_branch([p("a > 3")].iter(), &target), Some(0));
         assert_eq!(choose_branch([p("a > 4")].iter(), &target), None);
         // Sibling set with both: deeper one preferred.
-        assert_eq!(choose_branch([p("a > 2"), p("a > 3")].iter(), &target), Some(1));
+        assert_eq!(
+            choose_branch([p("a > 2"), p("a > 3")].iter(), &target),
+            Some(1)
+        );
     }
 
     #[test]
@@ -211,22 +214,25 @@ mod tests {
         assert!(on_designated_path(&c1, &target));
         assert!(on_designated_path(&c2, &target));
         // Same length: lexicographically smaller pattern wins.
-        assert_eq!(choose_branch([c2.clone(), c1.clone()].iter(), &target), Some(1));
+        assert_eq!(
+            choose_branch([c2.clone(), c1.clone()].iter(), &target),
+            Some(1)
+        );
         assert_eq!(choose_branch([c1, c2].iter(), &target), Some(0));
         // Longer pattern beats shorter regardless of lex order.
         let long = p("s = *zabc*");
         let target2 = p("s = *xzabc*");
         let short = p("s = *x*");
-        assert_eq!(
-            choose_branch([short, long].iter(), &target2),
-            Some(1)
-        );
+        assert_eq!(choose_branch([short, long].iter(), &target2), Some(1));
     }
 
     #[test]
     fn no_branch_means_create_here() {
         let target = p("a > 7");
-        assert_eq!(choose_branch([p("a > 9"), p("a < 3")].iter(), &target), None);
+        assert_eq!(
+            choose_branch([p("a > 9"), p("a < 3")].iter(), &target),
+            None
+        );
         // a > 5 includes a > 7 so we descend.
         assert_eq!(choose_branch([p("a > 5")].iter(), &target), Some(0));
     }

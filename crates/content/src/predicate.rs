@@ -223,12 +223,8 @@ impl Predicate {
             (Op::Eq, _, Op::Lt | Op::Gt, _) => false,
 
             // Strings. A longer prefix is included in any of its own prefixes.
-            (Op::Prefix, Value::Str(p1), Op::Prefix, Value::Str(p2)) => {
-                p2.starts_with(p1.as_ref())
-            }
-            (Op::Suffix, Value::Str(s1), Op::Suffix, Value::Str(s2)) => {
-                s2.ends_with(s1.as_ref())
-            }
+            (Op::Prefix, Value::Str(p1), Op::Prefix, Value::Str(p2)) => p2.starts_with(p1.as_ref()),
+            (Op::Suffix, Value::Str(s1), Op::Suffix, Value::Str(s2)) => s2.ends_with(s1.as_ref()),
             (Op::Contains, Value::Str(c1), Op::Contains, Value::Str(c2)) => {
                 c2.contains(c1.as_ref())
             }

@@ -70,15 +70,13 @@ pub fn value() -> impl Strategy<Value = Value> {
 /// Strategy for an event assigning a random value to every attribute of the
 /// universe (so any generated predicate finds its attribute present).
 pub fn full_event() -> impl Strategy<Value = Event> {
-    proptest::collection::vec(value(), ATTRS.len()).prop_map(|vs| {
-        Event::new(ATTRS.iter().copied().zip(vs))
-    })
+    proptest::collection::vec(value(), ATTRS.len())
+        .prop_map(|vs| Event::new(ATTRS.iter().copied().zip(vs)))
 }
 
 /// Strategy for an event over a random subset of the attributes.
 pub fn event() -> impl Strategy<Value = Event> {
-    proptest::collection::vec((attr_name(), value()), 0..=ATTRS.len())
-        .prop_map(Event::new)
+    proptest::collection::vec((attr_name(), value()), 0..=ATTRS.len()).prop_map(Event::new)
 }
 
 /// Strategy for an event whose typed values are compatible with the given

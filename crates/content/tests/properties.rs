@@ -103,7 +103,7 @@ proptest! {
                 for (j, c) in children.iter().enumerate() {
                     if j != i && on_designated_path(c, &t) {
                         prop_assert!(!children[i].strictly_includes(c) || !c.includes(&t) ||
-                                     c.strictly_includes(&children[i]) == false);
+                                     !c.strictly_includes(&children[i]));
                     }
                 }
             }

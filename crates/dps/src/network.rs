@@ -241,7 +241,10 @@ impl DpsNetwork {
                 continue;
             }
             expected += exp.len();
-            delivered += exp.iter().filter(|n| self.sink.was_notified(*id, **n)).count();
+            delivered += exp
+                .iter()
+                .filter(|n| self.sink.was_notified(*id, **n))
+                .count();
         }
         if expected == 0 {
             1.0

@@ -12,15 +12,27 @@ fn main() {
     for round in 0..3 {
         for (i, node) in nodes.iter().enumerate() {
             net.subscribe(*node, w.subscription(&mut rng));
-            if i % 25 == 24 { net.run(1); }
+            if i % 25 == 24 {
+                net.run(1);
+            }
         }
         let _ = round;
         net.run(20);
-        println!("after round: {:?} pending={}", net.snapshot(), net.pending_subscriptions());
+        println!(
+            "after round: {:?} pending={}",
+            net.snapshot(),
+            net.pending_subscriptions()
+        );
     }
     for k in 0..40 {
         net.run(100);
-        println!("k={k} {:?} pending={}", net.snapshot(), net.pending_subscriptions());
-        if net.pending_subscriptions() == 0 && k > 2 { break; }
+        println!(
+            "k={k} {:?} pending={}",
+            net.snapshot(),
+            net.pending_subscriptions()
+        );
+        if net.pending_subscriptions() == 0 && k > 2 {
+            break;
+        }
     }
 }

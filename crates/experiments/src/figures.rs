@@ -71,7 +71,10 @@ pub fn fig3a(scale: Scale) -> Vec<Fig3aPoint> {
     println!(
         "{:<26} {}",
         "config",
-        ps.iter().map(|p| format!("p={p:<5}")).collect::<Vec<_>>().join(" ")
+        ps.iter()
+            .map(|p| format!("p={p:<5}"))
+            .collect::<Vec<_>>()
+            .join(" ")
     );
     for cfg in fig3a_configs() {
         let label = cfg.label();
@@ -136,7 +139,10 @@ pub struct Fig3bPoint {
 /// Figure 3(b) — *Recovering from failures* (generic traversal): three phases —
 /// calm, storm (one crash every 2 steps), recovery.
 pub fn fig3b(scale: Scale) -> Vec<Fig3bPoint> {
-    crate::banner("Figure 3(b) — recovery from a failure storm (generic)", scale);
+    crate::banner(
+        "Figure 3(b) — recovery from a failure storm (generic)",
+        scale,
+    );
     let n = scale.pick(250usize, 1000);
     // One crash every 2 steps through the middle phase: phase = n/2 kills 50%
     // of the population, like the paper's 500 crashes among 1000 nodes.
@@ -305,7 +311,7 @@ fn load_run(mut cfg: DpsConfig, scale: Scale, seed: u64) -> Vec<LoadPoint> {
     for t in 0..steps {
         // Each node emits a new subscription every `sub_every` steps (staggered).
         for (i, node) in nodes.iter().enumerate() {
-            if (t + i as u64) % sub_every == 0 {
+            if (t + i as u64).is_multiple_of(sub_every) {
                 net.subscribe(*node, w.subscription(&mut w_rng));
             }
         }
@@ -341,7 +347,10 @@ fn load_run(mut cfg: DpsConfig, scale: Scale, seed: u64) -> Vec<LoadPoint> {
 /// Figures 3(e)+3(f) — *Leader vs Epidemic*: incoming/outgoing messages per
 /// 100-step window as subscriptions accumulate (root-based traversal).
 pub fn fig3ef(scale: Scale) -> Vec<LoadPoint> {
-    crate::banner("Figures 3(e)/3(f) — leader vs epidemic per-node load", scale);
+    crate::banner(
+        "Figures 3(e)/3(f) — leader vs epidemic per-node load",
+        scale,
+    );
     let mut rows = Vec::new();
     for (ci, cfg) in [
         DpsConfig::named(TraversalKind::Root, CommKind::Leader),
@@ -364,7 +373,10 @@ pub fn fig3ef(scale: Scale) -> Vec<LoadPoint> {
 
 /// Figure 3(g) — *Root vs Generic* (leader communication).
 pub fn fig3g(scale: Scale) -> Vec<LoadPoint> {
-    crate::banner("Figure 3(g) — root vs generic per-node load (leader comm)", scale);
+    crate::banner(
+        "Figure 3(g) — root vs generic per-node load (leader comm)",
+        scale,
+    );
     let mut rows = Vec::new();
     for (ci, cfg) in [
         DpsConfig::named(TraversalKind::Root, CommKind::Leader),

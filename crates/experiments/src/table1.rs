@@ -38,7 +38,12 @@ impl StatsSink for TallySink {
 
 impl TallySink {
     fn contacted(&self, id: PubId) -> u32 {
-        self.contacted.lock().unwrap().get(&id).copied().unwrap_or(0)
+        self.contacted
+            .lock()
+            .unwrap()
+            .get(&id)
+            .copied()
+            .unwrap_or(0)
     }
 }
 
@@ -207,8 +212,11 @@ pub fn run(scale: Scale) -> Vec<Table1Row> {
         );
         rows.push(row);
     }
-    let avg_reduction: f64 =
-        rows.iter().map(|r| r.reduction_vs_broadcast_pct).sum::<f64>() / rows.len() as f64;
+    let avg_reduction: f64 = rows
+        .iter()
+        .map(|r| r.reduction_vs_broadcast_pct)
+        .sum::<f64>()
+        / rows.len() as f64;
     println!(
         "visited-node reduction vs broadcast: {:.0}% on average (paper: ≥45%, ~70% average, up to 87%)",
         avg_reduction

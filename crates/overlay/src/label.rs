@@ -44,9 +44,7 @@ impl GroupLabel {
     pub fn matches_event(&self, event: &Event) -> bool {
         match self {
             GroupLabel::Root(a) => event.get(a).is_some(),
-            GroupLabel::Pred(p) => event
-                .get(p.name())
-                .is_some_and(|v| p.matches_value(v)),
+            GroupLabel::Pred(p) => event.get(p.name()).is_some_and(|v| p.matches_value(v)),
         }
     }
 

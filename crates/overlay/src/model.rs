@@ -106,7 +106,13 @@ impl TreeModel {
             let child_preds: Vec<Predicate> = self.groups[cur]
                 .children
                 .iter()
-                .map(|&c| self.groups[c].label.predicate().expect("non-root child").clone())
+                .map(|&c| {
+                    self.groups[c]
+                        .label
+                        .predicate()
+                        .expect("non-root child")
+                        .clone()
+                })
                 .collect();
             match choose_branch(child_preds.iter(), pred) {
                 Some(i) => cur = self.groups[cur].children[i],
@@ -118,12 +124,12 @@ impl TreeModel {
     fn create_under(&mut self, parent: usize, pred: &Predicate, member: NodeId) -> usize {
         let idx = self.groups.len();
         // Steal the siblings the new group must adopt (constraint C2).
-        let (stay, adopted): (Vec<usize>, Vec<usize>) =
-            self.groups[parent].children.iter().partition(|&&c| {
-                match self.groups[c].label.predicate() {
-                    Some(cp) => !must_reparent(pred, cp),
-                    None => true,
-                }
+        let (stay, adopted): (Vec<usize>, Vec<usize>) = self.groups[parent]
+            .children
+            .iter()
+            .partition(|&&c| match self.groups[c].label.predicate() {
+                Some(cp) => !must_reparent(pred, cp),
+                None => true,
             });
         self.groups[parent].children = stay;
         self.groups[parent].children.push(idx);
@@ -185,7 +191,11 @@ impl TreeModel {
 
     /// Size of the largest group (the `S` of §5.1).
     pub fn max_group_size(&self) -> usize {
-        self.groups.iter().map(|g| g.members.len()).max().unwrap_or(0)
+        self.groups
+            .iter()
+            .map(|g| g.members.len())
+            .max()
+            .unwrap_or(0)
     }
 
     /// Number of groups at each level, root first (the `s_k` distribution of the
@@ -411,8 +421,8 @@ mod tests {
         use rand::seq::SliceRandom;
         use rand::SeedableRng;
         let preds = [
-            "a > 2", "a > 3", "a > 5", "a > 50", "a < 20", "a < 11", "a < 4", "a = 4",
-            "a = 10", "a = 3",
+            "a > 2", "a > 3", "a > 5", "a > 50", "a < 20", "a < 11", "a < 4", "a = 4", "a = 10",
+            "a = 3",
         ];
         let canonical = {
             let mut t = TreeModel::new("a".into());
@@ -434,7 +444,9 @@ mod tests {
             for s in &preds {
                 let a = canonical.find(&p(s)).unwrap();
                 let b = t.find(&p(s)).unwrap();
-                let pa = canonical.groups()[a].parent.map(|i| canonical.groups()[i].label.clone());
+                let pa = canonical.groups()[a]
+                    .parent
+                    .map(|i| canonical.groups()[i].label.clone());
                 let pb = t.groups()[b].parent.map(|i| t.groups()[i].label.clone());
                 assert_eq!(pa, pb, "parent of {s} differs");
             }
@@ -452,16 +464,21 @@ mod tests {
             .into_iter()
             .map(|g| t.groups()[g].label.to_string())
             .collect();
-        let expect: HashSet<String> =
-            ["⟨a⟩", "⟨a > 2⟩", "⟨a > 3⟩", "⟨a = 4⟩", "⟨a < 20⟩", "⟨a < 11⟩"]
-                .iter()
-                .map(|s| s.to_string())
-                .collect();
+        let expect: HashSet<String> = [
+            "⟨a⟩",
+            "⟨a > 2⟩",
+            "⟨a > 3⟩",
+            "⟨a = 4⟩",
+            "⟨a < 20⟩",
+            "⟨a < 11⟩",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
         assert_eq!(visited, expect);
         // Contacted members: s0,s1 (a>2), s11 (a>3), s5 (a=4), s8 (a<20), s9 (a<11).
         let contacted = t.contacted_members(&ev);
-        let expect_members: HashSet<NodeId> =
-            [0, 1, 11, 5, 8, 9].iter().map(|i| n(*i)).collect();
+        let expect_members: HashSet<NodeId> = [0, 1, 11, 5, 8, 9].iter().map(|i| n(*i)).collect();
         assert_eq!(contacted, expect_members);
     }
 

@@ -152,11 +152,7 @@ impl DpsNode {
 
     /// A walk came back empty: retry (or create the tree) right away by expiring
     /// the pending requests waiting on this attribute.
-    pub(crate) fn handle_tree_not_found(
-        &mut self,
-        attr: AttrName,
-        ctx: &mut Context<'_, DpsMsg>,
-    ) {
+    pub(crate) fn handle_tree_not_found(&mut self, attr: AttrName, ctx: &mut Context<'_, DpsMsg>) {
         if !self.walks.iter().any(|w| w.attr == attr) {
             return; // stale answer from an earlier walk
         }
@@ -207,8 +203,14 @@ impl DpsNode {
                 }
             }
         }
-        self.tree_cache
-            .insert(attr.clone(), TreeContact { contact, owner, epoch });
+        self.tree_cache.insert(
+            attr.clone(),
+            TreeContact {
+                contact,
+                owner,
+                epoch,
+            },
+        );
         self.resume_for_attr(&attr, ctx);
     }
 
@@ -376,9 +378,7 @@ impl DpsNode {
         if other_owner == self.id || self.suspected.contains(&other_owner) {
             return;
         }
-        let mine = self
-            .membership_owner_claim(attr)
-            .unwrap_or((self.id, 0));
+        let mine = self.membership_owner_claim(attr).unwrap_or((self.id, 0));
         if claim_beats((other_owner, other_epoch), mine) {
             self.handle_dissolve(attr.clone(), contact, other_owner, other_epoch, ctx);
         }

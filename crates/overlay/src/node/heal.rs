@@ -125,7 +125,6 @@ impl DpsNode {
             c.contact != dead
         });
 
-
         for i in 0..self.memberships.len() {
             let label = self.memberships[i].label.clone();
             let was_leader_dead = self.memberships[i].leader == dead;
@@ -156,7 +155,12 @@ impl DpsNode {
                         .filter(|n| *n != me)
                         .choose(ctx.rng());
                     if let Some(n) = target {
-                        ctx.send(n, DpsMsg::ViewPull { label: label.clone() });
+                        ctx.send(
+                            n,
+                            DpsMsg::ViewPull {
+                                label: label.clone(),
+                            },
+                        );
                     }
                     self.bridge_dead_branches(i, dead, ctx);
                 }
@@ -192,7 +196,13 @@ impl DpsNode {
             Role::Member => {
                 let cos = self.memberships[i].co_leaders.clone();
                 for c in cos {
-                    ctx.send(c, DpsMsg::LeaderGone { label: label.clone(), dead });
+                    ctx.send(
+                        c,
+                        DpsMsg::LeaderGone {
+                            label: label.clone(),
+                            dead,
+                        },
+                    );
                 }
             }
             Role::Leader => {}
@@ -362,7 +372,13 @@ impl DpsNode {
             });
         match contact {
             Some(n) => {
-                ctx.send(n, DpsMsg::Reattach { branch, ttl: 100_000 });
+                ctx.send(
+                    n,
+                    DpsMsg::Reattach {
+                        branch,
+                        ttl: 100_000,
+                    },
+                );
             }
             None => {
                 // Nobody above us is reachable: become the owner (§4.1's tree
@@ -410,7 +426,13 @@ impl DpsNode {
             if let Some(c) = self.tree_cache.get(&attr) {
                 let to = c.contact;
                 if to != self.id {
-                    ctx.send(to, DpsMsg::Reattach { branch, ttl: ttl - 1 });
+                    ctx.send(
+                        to,
+                        DpsMsg::Reattach {
+                            branch,
+                            ttl: ttl - 1,
+                        },
+                    );
                 }
             }
             return;
@@ -465,7 +487,13 @@ impl DpsNode {
         if self.cfg.comm == CommKind::Leader && !self.memberships[i].is_leader() {
             let leader = self.memberships[i].leader;
             if leader != self.id {
-                ctx.send(leader, DpsMsg::Reattach { branch, ttl: ttl - 1 });
+                ctx.send(
+                    leader,
+                    DpsMsg::Reattach {
+                        branch,
+                        ttl: ttl - 1,
+                    },
+                );
             }
             return;
         }
@@ -488,7 +516,13 @@ impl DpsNode {
             let target_label = GroupLabel::Pred(branch_preds[ci].clone());
             if let Some(b) = m.branch(&target_label) {
                 if let Some(n) = b.primary().or_else(|| b.refs.first().map(|r| r.node)) {
-                    ctx.send(n, DpsMsg::Reattach { branch, ttl: ttl - 1 });
+                    ctx.send(
+                        n,
+                        DpsMsg::Reattach {
+                            branch,
+                            ttl: ttl - 1,
+                        },
+                    );
                     return;
                 }
             }
@@ -657,7 +691,7 @@ impl DpsNode {
         let phase = self.id.index() as u64;
 
         // Peer shuffle every ~16 steps.
-        if (now + phase) % 16 == 0 {
+        if (now + phase).is_multiple_of(16) {
             let sample = self.peer_sample(ctx, 4);
             if let Some(p) = self.peer_sample(ctx, 1).first().copied() {
                 ctx.send(p, DpsMsg::Shuffle { peers: sample });
@@ -665,7 +699,7 @@ impl DpsNode {
         }
 
         let exch = self.cfg.view_exchange_every.max(1);
-        if (now + phase) % exch == 0 {
+        if (now + phase).is_multiple_of(exch) {
             match self.cfg.comm {
                 CommKind::Leader => self.leader_view_exchange(ctx),
                 CommKind::Epidemic => self.epidemic_merge_push(ctx),
@@ -689,16 +723,14 @@ impl DpsNode {
             }
             // Orphans retry their reattachment.
             for i in 0..self.memberships.len() {
-                if self.memberships[i].predview.is_empty()
-                    && !self.memberships[i].label.is_root()
-                {
+                if self.memberships[i].predview.is_empty() && !self.memberships[i].label.is_root() {
                     self.reattach_or_promote(i, ctx);
                 }
             }
         }
 
         let merge = self.cfg.owner_merge_every.max(1);
-        if (now + phase) % merge == 0 {
+        if (now + phase).is_multiple_of(merge) {
             self.owner_merge_walk(ctx);
         }
     }
@@ -737,14 +769,23 @@ impl DpsNode {
             if let Some(parent) = m.predview.first().cloned() {
                 let mut refs = self.own_refs(m);
                 for b in &m.branches {
-                    refs.extend(b.refs.iter().filter(|r| r.label == b.label).take(1).cloned());
+                    refs.extend(
+                        b.refs
+                            .iter()
+                            .filter(|r| r.label == b.label)
+                            .take(1)
+                            .cloned(),
+                    );
                 }
                 if parent.node != me {
                     ctx.send(
                         parent.node,
                         DpsMsg::ChildReport {
                             parent_label: parent.label.clone(),
-                            branch: BranchInfo { label: label.clone(), refs },
+                            branch: BranchInfo {
+                                label: label.clone(),
+                                refs,
+                            },
                         },
                     );
                 }
@@ -804,7 +845,13 @@ impl DpsNode {
             if let Some(parent) = m.predview.first().cloned() {
                 let mut refs = self.own_refs(m);
                 for b in &m.branches {
-                    refs.extend(b.refs.iter().filter(|r| r.label == b.label).take(1).cloned());
+                    refs.extend(
+                        b.refs
+                            .iter()
+                            .filter(|r| r.label == b.label)
+                            .take(1)
+                            .cloned(),
+                    );
                 }
                 if parent.node != me {
                     ctx.send(

@@ -390,9 +390,7 @@ impl Process for DpsNode {
             // Bootstrap.
             DpsMsg::Shuffle { peers } => self.handle_shuffle(from, peers, ctx),
             DpsMsg::ShuffleReply { peers } => self.merge_peers(&peers),
-            DpsMsg::FindTree { attr, origin, ttl } => {
-                self.handle_find_tree(attr, origin, ttl, ctx)
-            }
+            DpsMsg::FindTree { attr, origin, ttl } => self.handle_find_tree(attr, origin, ttl, ctx),
             DpsMsg::TreeFound {
                 attr,
                 contact,

@@ -25,8 +25,7 @@ impl DpsNode {
         self.next_pub += 1;
         let attrs: Vec<AttrName> = event.names().cloned().collect();
         for attr in &attrs {
-            let known =
-                !self.memberships_in(attr).is_empty() || self.tree_cache.contains_key(attr);
+            let known = !self.memberships_in(attr).is_empty() || self.tree_cache.contains_key(attr);
             if known {
                 self.send_publication(id, &event, attr.clone(), ctx);
             } else {

@@ -83,7 +83,12 @@ impl DpsNode {
                 let info = DpsMsg::GroupInfo {
                     label: label.clone(),
                     leader: heir,
-                    co_leaders: m.co_leaders.iter().copied().filter(|c| *c != heir).collect(),
+                    co_leaders: m
+                        .co_leaders
+                        .iter()
+                        .copied()
+                        .filter(|c| *c != heir)
+                        .collect(),
                     owner: m.owner,
                     owner_epoch: m.owner_epoch,
                 };
@@ -118,7 +123,12 @@ impl DpsNode {
                 );
                 // We may ourselves hold neighbor views of the group we just left
                 // (e.g. a branch in the parent root we own): refresh them too.
-                let co: Vec<_> = m.co_leaders.iter().copied().filter(|c| *c != heir).collect();
+                let co: Vec<_> = m
+                    .co_leaders
+                    .iter()
+                    .copied()
+                    .filter(|c| *c != heir)
+                    .collect();
                 self.handle_group_info(label.clone(), heir, co, m.owner, m.owner_epoch, ctx);
             }
         } else {
@@ -165,15 +175,13 @@ impl DpsNode {
         let attr = pred.name().clone();
         let in_tree = !self.memberships_in(&attr).is_empty();
         let has_contact = in_tree || self.tree_cache.contains_key(&attr);
-        if has_contact {
-            if self.send_find_group(sub_id, pred, ctx) {
-                let deadline = ctx.now() + self.cfg.traversal_timeout;
-                if let Some(p) = self.pending_subs.iter_mut().find(|p| p.sub_id == sub_id) {
-                    p.phase = SubPhase::Traversing;
-                    p.deadline = deadline;
-                }
-                return;
+        if has_contact && self.send_find_group(sub_id, pred, ctx) {
+            let deadline = ctx.now() + self.cfg.traversal_timeout;
+            if let Some(p) = self.pending_subs.iter_mut().find(|p| p.sub_id == sub_id) {
+                p.phase = SubPhase::Traversing;
+                p.deadline = deadline;
             }
+            return;
         }
         // No known contact: walk for the tree.
         if let Some(p) = self.pending_subs.iter_mut().find(|p| p.sub_id == sub_id) {
@@ -235,9 +243,7 @@ impl DpsNode {
                     if retries > MAX_SUB_RETRIES {
                         // The tree may have collapsed entirely; start over.
                         self.tree_cache.remove(&attr);
-                        if let Some(p) =
-                            self.pending_subs.iter_mut().find(|p| p.sub_id == sub_id)
-                        {
+                        if let Some(p) = self.pending_subs.iter_mut().find(|p| p.sub_id == sub_id) {
                             p.phase = SubPhase::FindingTree;
                             p.retries = 0;
                         }
@@ -380,10 +386,8 @@ impl DpsNode {
                 .enumerate()
                 .filter_map(|(bi, b)| b.label.predicate().map(|p| (bi, p.clone())))
                 .collect();
-            let choice = dps_content::placement::choose_branch(
-                branch_preds.iter().map(|(_, p)| p),
-                &t.pred,
-            );
+            let choice =
+                dps_content::placement::choose_branch(branch_preds.iter().map(|(_, p)| p), &t.pred);
             if let Some(ci) = choice {
                 let bi = branch_preds[ci].0;
                 let b = &m.branches[bi];
@@ -492,7 +496,14 @@ impl DpsNode {
         if self.cfg.comm == CommKind::Leader && !self.memberships[i].is_leader() {
             let leader = self.memberships[i].leader;
             if leader != self.id {
-                ctx.send(leader, DpsMsg::JoinGroup { sub_id, label, member });
+                ctx.send(
+                    leader,
+                    DpsMsg::JoinGroup {
+                        sub_id,
+                        label,
+                        member,
+                    },
+                );
             }
             return;
         }
@@ -517,8 +528,7 @@ impl DpsNode {
             });
         }
         let mut co_leader = false;
-        if !epidemic && member != me && m.co_leaders.len() < kc && !m.co_leaders.contains(&member)
-        {
+        if !epidemic && member != me && m.co_leaders.len() < kc && !m.co_leaders.contains(&member) {
             m.co_leaders.push(member);
             co_leader = true;
         }
@@ -610,7 +620,11 @@ impl DpsNode {
             m.sub_ids.push(sub_id);
             return;
         }
-        let role = if co_leader { Role::CoLeader } else { Role::Member };
+        let role = if co_leader {
+            Role::CoLeader
+        } else {
+            Role::Member
+        };
         let mut m = Membership::new(Some(sub_id), group.label.clone(), role, self.id);
         m.owner = group.owner;
         m.owner_epoch = group.owner_epoch;
@@ -826,8 +840,11 @@ impl DpsNode {
     pub(crate) fn gossip_branches(&mut self, i: usize, ctx: &mut Context<'_, DpsMsg>) {
         let fanout = self.cfg.sub_gossip_fanout;
         let label = self.memberships[i].label.clone();
-        let branches: Vec<BranchInfo> =
-            self.memberships[i].branches.iter().map(Branch::info).collect();
+        let branches: Vec<BranchInfo> = self.memberships[i]
+            .branches
+            .iter()
+            .map(Branch::info)
+            .collect();
         let me = self.id;
         let targets: Vec<NodeId> = self.memberships[i]
             .members

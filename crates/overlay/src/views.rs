@@ -84,7 +84,8 @@ impl Branch {
         let label = self.label.clone();
         self.refs.sort_by_key(|r| usize::from(r.label != label));
         let in_group = self.refs.iter().filter(|r| r.label == self.label).count();
-        self.refs.truncate(in_group.max(1).min(self.refs.len()) + depth);
+        self.refs
+            .truncate(in_group.max(1).min(self.refs.len()) + depth);
     }
 
     /// Drops a dead node from the branch pointers.

@@ -4,9 +4,7 @@
 
 use std::sync::Arc;
 
-use dps_overlay::{
-    CommKind, CountingSink, DpsConfig, DpsNode, JoinRule, StatsSink, TraversalKind,
-};
+use dps_overlay::{CommKind, CountingSink, DpsConfig, DpsNode, JoinRule, StatsSink, TraversalKind};
 use dps_sim::{MsgClass, NodeId, Sim};
 
 fn network(cfg: DpsConfig, n: usize, seed: u64) -> (Sim<DpsNode>, Vec<NodeId>, Arc<CountingSink>) {
@@ -63,8 +61,8 @@ fn first_subscriber_becomes_owner_and_leader() {
 #[test]
 fn co_leaders_are_the_first_joiners() {
     let (mut sim, nodes, _) = network(cfg(), 6, 2);
-    for i in 0..4 {
-        sim.invoke(nodes[i], |n, ctx| {
+    for node in &nodes[..4] {
+        sim.invoke(*node, |n, ctx| {
             n.subscribe("a > 1".parse().unwrap(), ctx);
         });
         sim.run(120);
@@ -121,7 +119,10 @@ fn notification_requires_full_filter_match() {
     });
     sim.run(120);
     let id = id.unwrap();
-    assert!(sink.was_contacted(id, nodes[0]), "false positive is contacted");
+    assert!(
+        sink.was_contacted(id, nodes[0]),
+        "false positive is contacted"
+    );
     assert!(!sink.was_notified(id, nodes[0]), "but never notified");
     let n0 = sim.node(nodes[0]).unwrap();
     assert_eq!(n0.publications_received(), 1);
@@ -156,15 +157,15 @@ fn epidemic_members_keep_partial_views() {
     c.join_rule = JoinRule::First;
     c.group_view_cap = 4;
     let (mut sim, nodes, _) = network(c, 10, 6);
-    for i in 0..8 {
-        sim.invoke(nodes[i], |n, ctx| {
+    for node in &nodes[..8] {
+        sim.invoke(*node, |n, ctx| {
             n.subscribe("a > 1".parse().unwrap(), ctx);
         });
         sim.run(60);
     }
     sim.run(400);
-    for i in 0..8 {
-        let nd = sim.node(nodes[i]).unwrap();
+    for node in &nodes[..8] {
+        let nd = sim.node(*node).unwrap();
         for m in nd.memberships() {
             if !m.label.is_root() {
                 assert!(
@@ -206,8 +207,8 @@ fn unsubscribing_last_subscription_leaves_the_group() {
 fn deterministic_replay_at_protocol_level() {
     let run = |seed: u64| {
         let (mut sim, nodes, sink) = network(cfg(), 6, seed);
-        for i in 0..3 {
-            sim.invoke(nodes[i], |n, ctx| {
+        for node in &nodes[..3] {
+            sim.invoke(*node, |n, ctx| {
                 n.subscribe("a > 1".parse().unwrap(), ctx);
             });
             sim.run(80);

@@ -68,7 +68,10 @@ impl ChurnPlan {
     ///
     /// Panics if `p` is negative or not finite.
     pub fn rate(p: f64) -> Self {
-        assert!(p.is_finite() && p >= 0.0, "failure probability must be >= 0");
+        assert!(
+            p.is_finite() && p >= 0.0,
+            "failure probability must be >= 0"
+        );
         ChurnPlan {
             crash_per_step: p,
             ..ChurnPlan::none()
@@ -116,7 +119,10 @@ impl ChurnPlan {
         }
         let mut out = Vec::new();
         let crashes = fires(self.crash_per_step, self.crash_from, self.crash_until, now);
-        out.extend(std::iter::repeat_n(ChurnEvent::CrashRandom, crashes as usize));
+        out.extend(std::iter::repeat_n(
+            ChurnEvent::CrashRandom,
+            crashes as usize,
+        ));
         let joins = fires(self.join_per_step, self.join_from, self.join_until, now);
         out.extend(std::iter::repeat_n(ChurnEvent::Join, joins as usize));
         out
@@ -137,9 +143,15 @@ mod tests {
     #[test]
     fn rate_matches_paper_survival_figures() {
         // p = 0.01 -> ~30 crashes over 3000 steps (97% of 1000 nodes survive).
-        assert_eq!(count(&ChurnPlan::rate(0.01), 3000, ChurnEvent::CrashRandom), 30);
+        assert_eq!(
+            count(&ChurnPlan::rate(0.01), 3000, ChurnEvent::CrashRandom),
+            30
+        );
         // p = 0.25 -> 750 crashes (25% survive).
-        assert_eq!(count(&ChurnPlan::rate(0.25), 3000, ChurnEvent::CrashRandom), 750);
+        assert_eq!(
+            count(&ChurnPlan::rate(0.25), 3000, ChurnEvent::CrashRandom),
+            750
+        );
     }
 
     #[test]

@@ -13,9 +13,7 @@ pub type Step = u64;
 ///
 /// Ids are dense indices assigned by [`Sim::add_node`](crate::Sim::add_node) in
 /// join order, which keeps per-node bookkeeping in flat vectors.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct NodeId(u64);
 
 impl NodeId {

@@ -292,7 +292,10 @@ mod tests {
         let alert = rate(&Workload::alert_monitoring(), &mut rng);
         assert!(game > stock, "game {game} vs stock {stock}");
         assert!(stock > alert, "stock {stock} vs alert {alert}");
-        assert!(alert < 0.02, "alert workload must be very selective: {alert}");
+        assert!(
+            alert < 0.02,
+            "alert workload must be very selective: {alert}"
+        );
     }
 
     #[test]

@@ -52,7 +52,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         contacted as f64 / 100.0,
         operators.len()
     );
-    println!("  publication messages: {msgs} ({:.1} per reading)", msgs as f64 / 100.0);
+    println!(
+        "  publication messages: {msgs} ({:.1} per reading)",
+        msgs as f64 / 100.0
+    );
     println!("  delivered ratio: {:.3}", net.delivered_ratio());
     println!("\nmost readings die at the first non-matching group: that is the pruning");
     println!("the semantic overlay exists for (Table 1, workload 3).");

@@ -48,7 +48,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     net.run(500);
 
     let snap = net.snapshot();
-    println!("\nfinal population: {} alive / {} total (+{joined} joined mid-game)", snap.alive_nodes, snap.total_nodes);
+    println!(
+        "\nfinal population: {} alive / {} total (+{joined} joined mid-game)",
+        snap.alive_nodes, snap.total_nodes
+    );
     println!("delivered ratio under churn: {:.3}", net.delivered_ratio());
     println!(
         "events delivered to zone owners despite {} crashes",

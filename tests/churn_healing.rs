@@ -28,8 +28,11 @@ fn leader_crash_is_healed_by_co_leader() {
 
     let before = net.publish(publisher, "a = 5".parse().unwrap()).unwrap();
     net.run(60);
-    for i in 0..3 {
-        assert!(net.sink().was_notified(before, nodes[i]), "warm-up delivery failed");
+    for node in &nodes[..3] {
+        assert!(
+            net.sink().was_notified(before, *node),
+            "warm-up delivery failed"
+        );
     }
 
     // Find and kill the leader of a > 0.
@@ -110,7 +113,11 @@ fn owner_crash_rebuilds_root() {
         .sim()
         .alive_ids()
         .into_iter()
-        .find(|id| net.sim().node(*id).is_some_and(|n| !n.owned_attrs().is_empty()))
+        .find(|id| {
+            net.sim()
+                .node(*id)
+                .is_some_and(|n| !n.owned_attrs().is_empty())
+        })
         .expect("an owner exists");
     net.crash(owner);
     net.run(300); // detection, re-rooting, owner announcements

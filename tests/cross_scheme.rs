@@ -31,7 +31,11 @@ fn run_scheme(cfg: DpsConfig) -> Outcome {
         net.subscribe(nodes[i], s.parse().unwrap());
         net.run(12);
     }
-    assert!(net.quiesce(2000), "convergence failed for {}", net.sim().now());
+    assert!(
+        net.quiesce(2000),
+        "convergence failed for {}",
+        net.sim().now()
+    );
     net.run(150);
     let events = [
         "a = 42 & b = 3",

@@ -84,13 +84,15 @@ fn distributed_forest_converges_to_reference() {
             let filter: Filter = s.parse().unwrap();
             // Reorder so the figure's join predicate comes first (JoinRule::First).
             let pred = filter.predicates()[*idx].clone();
-            let reordered = Filter::new(
-                std::iter::once(pred).chain(filter.predicates().iter().cloned()),
-            );
+            let reordered =
+                Filter::new(std::iter::once(pred).chain(filter.predicates().iter().cloned()));
             net.subscribe(nodes[i], reordered);
             net.run(15);
         }
-        assert!(net.quiesce(2000), "overlay failed to converge ({traversal:?})");
+        assert!(
+            net.quiesce(2000),
+            "overlay failed to converge ({traversal:?})"
+        );
         net.run(300); // let view exchange settle re-parenting
 
         let reference = reference();

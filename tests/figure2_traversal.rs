@@ -11,9 +11,11 @@ fn build(traversal: TraversalKind, seed: u64) -> (DpsNetwork, Vec<NodeId>) {
     let mut net = DpsNetwork::new(cfg, seed);
     let nodes = net.add_nodes(10);
     net.run(30);
-    for (i, s) in ["a > 2", "a > 3", "a > 5", "a < 20", "a < 11", "a < 4", "a = 4"]
-        .iter()
-        .enumerate()
+    for (i, s) in [
+        "a > 2", "a > 3", "a > 5", "a < 20", "a < 11", "a < 4", "a = 4",
+    ]
+    .iter()
+    .enumerate()
     {
         net.subscribe(nodes[i], s.parse().unwrap());
         net.run(12);
@@ -57,7 +59,10 @@ fn publication_a_eq_4_reaches_matching_groups_only() {
         let id = net.publish(nodes[9], "a = 4".parse().unwrap()).unwrap();
         net.run(80);
         // Matching subscribers are notified.
-        for (i, s) in ["a > 2", "a > 3", "a < 20", "a < 11", "a = 4"].iter().enumerate() {
+        for (i, s) in ["a > 2", "a > 3", "a < 20", "a < 11", "a = 4"]
+            .iter()
+            .enumerate()
+        {
             let node = match *s {
                 "a > 2" => nodes[0],
                 "a > 3" => nodes[1],
@@ -73,8 +78,14 @@ fn publication_a_eq_4_reaches_matching_groups_only() {
         }
         // Non-matching subscribers are not notified (a > 5 fails 4 > 5; a < 4
         // fails 4 < 4), and their subtrees are pruned.
-        assert!(!net.sink().was_notified(id, nodes[2]), "a > 5 notified ({traversal:?})");
-        assert!(!net.sink().was_notified(id, nodes[5]), "a < 4 notified ({traversal:?})");
+        assert!(
+            !net.sink().was_notified(id, nodes[2]),
+            "a > 5 notified ({traversal:?})"
+        );
+        assert!(
+            !net.sink().was_notified(id, nodes[5]),
+            "a < 4 notified ({traversal:?})"
+        );
         assert_eq!(net.delivered_ratio(), 1.0, "({traversal:?})");
     }
 }

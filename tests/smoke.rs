@@ -1,0 +1,27 @@
+//! Fast end-to-end smoke test mirroring the `dps` crate's quickstart example:
+//! a small network converges and a publication reaches exactly the matching
+//! subscribers. Runs in well under a second, so CI exercises publish→deliver
+//! on every push even when heavier scenario suites grow `#[ignore]` markers.
+
+use dps::{DpsConfig, DpsNetwork};
+
+#[test]
+fn quickstart_publish_reaches_matching_subscribers() {
+    let mut net = DpsNetwork::new(DpsConfig::default(), 42);
+    let nodes = net.add_nodes(8);
+
+    net.subscribe(nodes[0], "price > 100".parse().unwrap());
+    net.subscribe(nodes[1], "price > 100 & price < 200".parse().unwrap());
+    net.subscribe(nodes[2], "price < 50".parse().unwrap());
+    net.run(120);
+
+    net.publish(nodes[7], "price = 150".parse().unwrap());
+    net.run(40);
+
+    assert_eq!(
+        net.delivered_ratio(),
+        1.0,
+        "every matching subscriber must be notified: {:?}",
+        net.snapshot()
+    );
+}

@@ -1,0 +1,144 @@
+//! Offline stand-in for `criterion`.
+//!
+//! The build environment has no network access, so the workspace vendors the
+//! API surface its micro-benchmarks use: [`Criterion::bench_function`],
+//! [`Bencher::iter`], [`Bencher::iter_batched`], [`BatchSize`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros. Timing is a plain
+//! wall-clock mean over a short, fixed measurement window — no statistics, no
+//! HTML reports — which is enough for `cargo bench --no-run` CI gating and for
+//! eyeballing relative numbers locally.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How batched inputs are sized; accepted for source compatibility, all
+/// variants behave identically here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// The benchmark driver handed to bench functions.
+pub struct Criterion {
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measurement: Duration::from_millis(200),
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut body: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            measurement: self.measurement,
+            report: None,
+        };
+        body(&mut bencher);
+        match bencher.report {
+            Some((iters, total)) => {
+                let per_iter = total.as_nanos() / u128::from(iters.max(1));
+                println!("bench {name:<40} {per_iter:>12} ns/iter ({iters} iters)");
+            }
+            None => println!("bench {name:<40} (no measurement)"),
+        }
+        self
+    }
+}
+
+/// Runs the measured routine and records timing.
+pub struct Bencher {
+    measurement: Duration,
+    report: Option<(u64, Duration)>,
+}
+
+impl Bencher {
+    /// Times `routine` over a short measurement window.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up round, also a safety net for very slow routines.
+        let start = Instant::now();
+        black_box(routine());
+        let first = start.elapsed();
+        let mut iters = 1u64;
+        let mut total = first;
+        let deadline = self.measurement;
+        while total < deadline && iters < 1_000_000 {
+            let start = Instant::now();
+            black_box(routine());
+            total += start.elapsed();
+            iters += 1;
+        }
+        self.report = Some((iters, total));
+    }
+
+    /// Times `routine` over fresh inputs built by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut iters = 0u64;
+        let mut total = Duration::ZERO;
+        while (total < self.measurement && iters < 1_000_000) || iters == 0 {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+            iters += 1;
+        }
+        self.report = Some((iters, total));
+    }
+}
+
+/// Declares a benchmark group: a function invoking each target in turn.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_reports() {
+        let mut c = Criterion {
+            measurement: Duration::from_millis(1),
+        };
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        c.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+    }
+}

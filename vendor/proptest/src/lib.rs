@@ -1,0 +1,111 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The build environment has no network access, so the workspace vendors a
+//! miniature property-testing framework with the `proptest` API surface its
+//! test suites use: the [`proptest!`] macro (with `#![proptest_config(..)]`),
+//! [`Strategy`] with `prop_map`/`boxed`, range and tuple strategies,
+//! [`collection::vec`], [`sample::select`], [`prop_oneof!`] and the
+//! `prop_assert*` macros.
+//!
+//! Differences from real proptest, on purpose: cases are drawn from a
+//! deterministic RNG seeded by the test name (every run explores the same
+//! cases), and failures are plain panics — there is **no shrinking**. The
+//! printed values in assertion messages are the exact failing inputs, so a
+//! failure is still directly reproducible.
+
+#![forbid(unsafe_code)]
+
+pub mod collection;
+pub mod sample;
+pub mod strategy;
+pub mod test_runner;
+
+/// The common imports: `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{Config as ProptestConfig, TestRng};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+pub use strategy::{BoxedStrategy, Just, Strategy};
+pub use test_runner::Config as ProptestConfig;
+
+/// Defines property tests: each `#[test] fn name(binder in strategy, ...)`
+/// runs its body over `cases` random draws from the strategies.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { @cfg($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { @cfg($crate::test_runner::Config::default()) $($rest)* }
+    };
+}
+
+/// Internal expansion of [`proptest!`] — one plain `#[test]` per property.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (@cfg($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($binding:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::Config = $cfg;
+            let mut rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+            for case in 0..config.cases {
+                let _ = case;
+                $(let $binding = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                $body
+            }
+        }
+    )*};
+}
+
+/// Asserts a condition inside a property (plain `assert!` here).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a property (plain `assert_eq!` here).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Asserts inequality inside a property (plain `assert_ne!` here).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Skips the rest of the current case when the assumption fails. Real proptest
+/// retries the case; this stand-in simply moves on to the next one.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            continue;
+        }
+    };
+}
+
+/// Picks one of several strategies per case, with optional `weight =>`
+/// prefixes.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}

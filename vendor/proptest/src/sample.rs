@@ -1,0 +1,28 @@
+//! Sampling strategies over fixed candidate sets: [`select`].
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+/// Picks uniformly from a fixed, non-empty slice of candidates (cloned out of
+/// the slice, so the borrow does not outlive the call).
+pub fn select<T: Clone>(items: &[T]) -> Select<T> {
+    assert!(!items.is_empty(), "select() needs at least one candidate");
+    Select {
+        items: items.to_vec(),
+    }
+}
+
+/// Strategy returned by [`select`].
+#[derive(Debug, Clone)]
+pub struct Select<T> {
+    items: Vec<T>,
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.items[rng.random_range(0..self.items.len())].clone()
+    }
+}

@@ -1,0 +1,46 @@
+//! Test configuration and the deterministic case RNG.
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// Per-test configuration, settable via
+/// `#![proptest_config(ProptestConfig { cases: n, ..ProptestConfig::default() })]`.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+    /// Accepted for source compatibility; this stand-in never shrinks.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            cases: 64,
+            max_shrink_iters: 0,
+        }
+    }
+}
+
+/// The RNG strategies draw from: deterministic per test name, so every run of
+/// a given test explores the same cases.
+#[derive(Debug, Clone)]
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// Builds the RNG for the named test (FNV-1a over the name).
+    pub fn for_test(name: &str) -> Self {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng(StdRng::seed_from_u64(hash))
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}

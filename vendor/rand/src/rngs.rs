@@ -1,0 +1,56 @@
+//! Bundled generators. [`StdRng`] and [`SmallRng`] are both xoshiro256++;
+//! cryptographic strength is not a goal of this offline stand-in.
+
+use crate::{RngCore, SeedableRng};
+
+/// The workspace's standard deterministic RNG (xoshiro256++).
+#[derive(Debug, Clone)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+/// A small, fast RNG — same engine as [`StdRng`] here.
+pub type SmallRng = StdRng;
+
+impl StdRng {
+    fn from_state(s: [u64; 4]) -> Self {
+        // xoshiro's state must not be all-zero.
+        if s == [0; 4] {
+            StdRng { s: [1, 2, 3, 4] }
+        } else {
+            StdRng { s }
+        }
+    }
+}
+
+impl RngCore for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        // xoshiro256++ step (Blackman & Vigna).
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+impl SeedableRng for StdRng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: [u8; 32]) -> Self {
+        let mut s = [0u64; 4];
+        for (i, chunk) in seed.chunks(8).enumerate() {
+            let mut b = [0u8; 8];
+            b.copy_from_slice(chunk);
+            s[i] = u64::from_le_bytes(b);
+        }
+        StdRng::from_state(s)
+    }
+}

@@ -1,0 +1,132 @@
+//! Sequence helpers: shuffling and sampling from slices and iterators.
+
+use crate::Rng;
+
+/// Random operations on slices (both `rand 0.8` and `0.9` call-site styles:
+/// `shuffle`, `choose`, and iterator-returning `choose_multiple`).
+pub trait SliceRandom {
+    /// The element type.
+    type Item;
+
+    /// Fisher–Yates shuffle in place.
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+
+    /// Uniformly random element, or `None` if empty.
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+
+    /// `amount` distinct elements in random order (all of them if the slice is
+    /// shorter). Returned as an iterator, as in `rand`.
+    fn choose_multiple<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        amount: usize,
+    ) -> std::vec::IntoIter<&Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = rng.random_range(0..=i);
+            self.swap(i, j);
+        }
+    }
+
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[rng.random_range(0..self.len())])
+        }
+    }
+
+    fn choose_multiple<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        amount: usize,
+    ) -> std::vec::IntoIter<&T> {
+        let mut idx: Vec<usize> = (0..self.len()).collect();
+        idx.shuffle(rng);
+        idx.truncate(amount.min(self.len()));
+        idx.into_iter()
+            .map(|i| &self[i])
+            .collect::<Vec<_>>()
+            .into_iter()
+    }
+}
+
+/// `rand 0.9` name for the read-only half of [`SliceRandom`]; same methods.
+pub use SliceRandom as IndexedRandom;
+
+/// Random sampling from iterators (reservoir sampling, single pass).
+pub trait IteratorRandom: Iterator + Sized {
+    /// Uniformly random element, or `None` if the iterator is empty.
+    fn choose<R: Rng + ?Sized>(mut self, rng: &mut R) -> Option<Self::Item> {
+        let mut chosen = self.next()?;
+        for (seen, item) in (2usize..).zip(self) {
+            if rng.random_range(0..seen) == 0 {
+                chosen = item;
+            }
+        }
+        Some(chosen)
+    }
+
+    /// `amount` elements sampled without replacement (all of them if the
+    /// iterator is shorter), in random order.
+    fn choose_multiple<R: Rng + ?Sized>(mut self, rng: &mut R, amount: usize) -> Vec<Self::Item> {
+        let mut reservoir: Vec<Self::Item> = Vec::with_capacity(amount);
+        for _ in 0..amount {
+            match self.next() {
+                Some(item) => reservoir.push(item),
+                None => break,
+            }
+        }
+        for (seen, item) in (reservoir.len() + 1..).zip(self) {
+            let j = rng.random_range(0..seen);
+            if j < reservoir.len() {
+                reservoir[j] = item;
+            }
+        }
+        reservoir.as_mut_slice().shuffle(rng);
+        reservoir
+    }
+}
+
+impl<I: Iterator> IteratorRandom for I {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn choose_multiple_is_distinct() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let v: Vec<u32> = (0..20).collect();
+        let picked: Vec<u32> = v.choose_multiple(&mut rng, 5).copied().collect();
+        assert_eq!(picked.len(), 5);
+        let mut uniq = picked.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), 5);
+    }
+
+    #[test]
+    fn iterator_choose_multiple_handles_short_input() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let picked = (0..3).choose_multiple(&mut rng, 10);
+        assert_eq!(picked.len(), 3);
+    }
+}

@@ -1,0 +1,142 @@
+//! Offline stand-in for `rand_distr`: just the [`Zipf`] distribution the
+//! workload generator needs, sampled with Hörmann & Derflinger's
+//! rejection-inversion method (the same algorithm the real crate uses), plus a
+//! re-export of the [`Distribution`] trait.
+
+#![forbid(unsafe_code)]
+
+pub use rand::distr::Distribution;
+use rand::Rng;
+
+/// Error constructing a distribution from invalid parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParamError(&'static str);
+
+impl std::fmt::Display for ParamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid distribution parameter: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParamError {}
+
+/// The Zipf distribution over ranks `1..=n`: `P(k) ∝ k^(−s)`.
+///
+/// Matches the `rand_distr 0.5` constructor signature (`n` as `f64`) and
+/// samples `f64` ranks in `1..=n`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Zipf {
+    n: f64,
+    s: f64,
+    h_x1: f64,
+    h_n: f64,
+    threshold: f64,
+}
+
+impl Zipf {
+    /// Creates a Zipf distribution over `1..=n` with exponent `s ≥ 0`.
+    pub fn new(n: f64, s: f64) -> Result<Zipf, ParamError> {
+        if n < 1.0 || !n.is_finite() {
+            return Err(ParamError("n must be a finite value >= 1"));
+        }
+        if s < 0.0 || !s.is_finite() {
+            return Err(ParamError("s must be a finite value >= 0"));
+        }
+        let h_x1 = h_integral(1.5, s) - 1.0;
+        let h_n = h_integral(n + 0.5, s);
+        let threshold = 2.0 - h_integral_inverse(h_integral(2.5, s) - h(2.0, s), s);
+        Ok(Zipf {
+            n,
+            s,
+            h_x1,
+            h_n,
+            threshold,
+        })
+    }
+}
+
+/// `H(x) = ∫₁ˣ t^(−s) dt` (shifted antiderivative of the weight function).
+fn h_integral(x: f64, s: f64) -> f64 {
+    let log_x = x.ln();
+    if (1.0 - s).abs() < 1e-12 {
+        log_x
+    } else {
+        ((1.0 - s) * log_x).exp_m1() / (1.0 - s)
+    }
+}
+
+/// The weight function `h(x) = x^(−s)`.
+fn h(x: f64, s: f64) -> f64 {
+    (-s * x.ln()).exp()
+}
+
+/// Inverse of [`h_integral`].
+fn h_integral_inverse(x: f64, s: f64) -> f64 {
+    if (1.0 - s).abs() < 1e-12 {
+        x.exp()
+    } else {
+        let t = (x * (1.0 - s)).max(-1.0);
+        (t.ln_1p() / (1.0 - s)).exp()
+    }
+}
+
+impl Distribution<f64> for Zipf {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Hörmann & Derflinger rejection-inversion, as in Apache Commons'
+        // RejectionInversionZipfSampler and rand_distr itself.
+        loop {
+            let u = self.h_n + rng.random::<f64>() * (self.h_x1 - self.h_n);
+            let x = h_integral_inverse(u, self.s);
+            let k = x.round().clamp(1.0, self.n);
+            if k - x <= self.threshold || u >= h_integral(k + 0.5, self.s) - h(k, self.s) {
+                return k;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn samples_stay_in_range() {
+        let z = Zipf::new(100.0, 1.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v = z.sample(&mut rng);
+            assert!((1.0..=100.0).contains(&v), "out of range: {v}");
+        }
+    }
+
+    #[test]
+    fn rank_one_dominates() {
+        let z = Zipf::new(100.0, 1.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut counts = [0u32; 101];
+        for _ in 0..20_000 {
+            counts[z.sample(&mut rng) as usize] += 1;
+        }
+        assert!(counts[1] > 10 * counts[50].max(1));
+    }
+
+    #[test]
+    fn s_zero_is_uniform_ish() {
+        let z = Zipf::new(10.0, 0.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut seen = [false; 11];
+        for _ in 0..2_000 {
+            seen[z.sample(&mut rng) as usize] = true;
+        }
+        assert!(seen[1..].iter().all(|s| *s));
+    }
+
+    #[test]
+    fn rejects_bad_params() {
+        assert!(Zipf::new(0.0, 1.0).is_err());
+        assert!(Zipf::new(10.0, -1.0).is_err());
+        assert!(Zipf::new(f64::NAN, 1.0).is_err());
+    }
+}

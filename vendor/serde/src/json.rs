@@ -1,0 +1,101 @@
+//! The JSON value tree [`Serialize`](crate::Serialize) renders into, plus the
+//! pretty printer `serde_json::to_string_pretty` delegates to.
+
+/// A JSON value. Numbers keep their already-formatted literal so integer
+/// precision is never lost through an `f64` round-trip.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A numeric literal, pre-formatted (e.g. `"42"`, `"0.5"`).
+    Number(String),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object; insertion order is preserved.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Renders the value as pretty-printed JSON at the given indent level
+    /// (two spaces per level).
+    pub fn render(&self, indent: usize) -> String {
+        let pad = "  ".repeat(indent + 1);
+        let close = "  ".repeat(indent);
+        match self {
+            Value::Null => "null".to_string(),
+            Value::Bool(b) => b.to_string(),
+            Value::Number(n) => n.clone(),
+            Value::String(s) => escape(s),
+            Value::Array(items) => {
+                if items.is_empty() {
+                    return "[]".to_string();
+                }
+                let body = items
+                    .iter()
+                    .map(|v| format!("{pad}{}", v.render(indent + 1)))
+                    .collect::<Vec<_>>()
+                    .join(",\n");
+                format!("[\n{body}\n{close}]")
+            }
+            Value::Object(fields) => {
+                if fields.is_empty() {
+                    return "{}".to_string();
+                }
+                let body = fields
+                    .iter()
+                    .map(|(k, v)| format!("{pad}{}: {}", escape(k), v.render(indent + 1)))
+                    .collect::<Vec<_>>()
+                    .join(",\n");
+                format!("{{\n{body}\n{close}}}")
+            }
+        }
+    }
+}
+
+/// JSON string escaping.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nested_structures() {
+        let v = Value::Object(vec![
+            ("name".into(), Value::String("a\"b".into())),
+            (
+                "xs".into(),
+                Value::Array(vec![Value::Number("1".into()), Value::Null]),
+            ),
+        ]);
+        let s = v.render(0);
+        assert!(s.contains("\"name\": \"a\\\"b\""));
+        assert!(s.contains("\"xs\": [\n    1,\n    null\n  ]"));
+    }
+
+    #[test]
+    fn empty_collections_are_compact() {
+        assert_eq!(Value::Array(vec![]).render(0), "[]");
+        assert_eq!(Value::Object(vec![]).render(0), "{}");
+    }
+}

@@ -1,0 +1,206 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no network access, so the workspace vendors the
+//! slice of serde it uses: `#[derive(Serialize)]` producing JSON trees (pretty
+//! printed by the vendored `serde_json`), and `#[derive(Deserialize)]` as a
+//! marker (nothing in the workspace deserializes yet). The full serde data
+//! model (visitors, serializers, zero-copy) is deliberately out of scope.
+
+#![forbid(unsafe_code)]
+
+pub mod json;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A type renderable as a JSON value tree.
+///
+/// Unlike real serde this is not format-agnostic: the only consumer in the
+/// workspace is JSON experiment output, so the trait goes straight to
+/// [`json::Value`].
+pub trait Serialize {
+    /// Renders `self` as a JSON value.
+    fn to_json(&self) -> json::Value;
+}
+
+/// Marker for types that would be deserializable; no workspace code
+/// deserializes, so there are no required methods.
+pub trait Deserialize: Sized {}
+
+macro_rules! impl_ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json(&self) -> json::Value {
+                json::Value::Number(self.to_string())
+            }
+        }
+        impl Deserialize for $t {}
+    )*};
+}
+impl_ser_int!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+macro_rules! impl_ser_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json(&self) -> json::Value {
+                if self.is_finite() {
+                    json::Value::Number(format!("{self:?}"))
+                } else {
+                    json::Value::Null
+                }
+            }
+        }
+        impl Deserialize for $t {}
+    )*};
+}
+impl_ser_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_json(&self) -> json::Value {
+        json::Value::Bool(*self)
+    }
+}
+impl Deserialize for bool {}
+
+impl Serialize for String {
+    fn to_json(&self) -> json::Value {
+        json::Value::String(self.clone())
+    }
+}
+impl Deserialize for String {}
+
+impl Serialize for str {
+    fn to_json(&self) -> json::Value {
+        json::Value::String(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_json(&self) -> json::Value {
+        json::Value::String(self.to_string())
+    }
+}
+impl Deserialize for char {}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json(&self) -> json::Value {
+        (**self).to_json()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_json(&self) -> json::Value {
+        (**self).to_json()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for std::rc::Rc<T> {
+    fn to_json(&self) -> json::Value {
+        (**self).to_json()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for std::sync::Arc<T> {
+    fn to_json(&self) -> json::Value {
+        (**self).to_json()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json(&self) -> json::Value {
+        match self {
+            Some(v) => v.to_json(),
+            None => json::Value::Null,
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_json(&self) -> json::Value {
+        json::Value::Array(self.iter().map(Serialize::to_json).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_json(&self) -> json::Value {
+        self.as_slice().to_json()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json(&self) -> json::Value {
+        self.as_slice().to_json()
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {}
+
+impl<T: Serialize> Serialize for std::collections::VecDeque<T> {
+    fn to_json(&self) -> json::Value {
+        json::Value::Array(self.iter().map(Serialize::to_json).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for std::collections::BTreeSet<T> {
+    fn to_json(&self) -> json::Value {
+        json::Value::Array(self.iter().map(Serialize::to_json).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for std::collections::HashSet<T> {
+    fn to_json(&self) -> json::Value {
+        json::Value::Array(self.iter().map(Serialize::to_json).collect())
+    }
+}
+
+/// Renders a map key: JSON object keys must be strings, so string-ish keys are
+/// used verbatim and any other key type falls back to its JSON rendering.
+fn key_string<K: Serialize>(key: &K) -> String {
+    match key.to_json() {
+        json::Value::String(s) => s,
+        json::Value::Number(n) => n,
+        other => other.render(0),
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn to_json(&self) -> json::Value {
+        json::Value::Object(
+            self.iter()
+                .map(|(k, v)| (key_string(k), v.to_json()))
+                .collect(),
+        )
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for std::collections::HashMap<K, V> {
+    fn to_json(&self) -> json::Value {
+        let mut entries: Vec<(String, json::Value)> = self
+            .iter()
+            .map(|(k, v)| (key_string(k), v.to_json()))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        json::Value::Object(entries)
+    }
+}
+
+impl Serialize for () {
+    fn to_json(&self) -> json::Value {
+        json::Value::Null
+    }
+}
+
+macro_rules! impl_ser_tuple {
+    ($(($($name:ident . $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_json(&self) -> json::Value {
+                json::Value::Array(vec![$(self.$idx.to_json()),+])
+            }
+        }
+    )*};
+}
+impl_ser_tuple! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}

@@ -1,0 +1,290 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` against the
+//! vendored `serde`'s JSON-tree model, parsing the item token stream by hand
+//! (the build environment has no network access, so `syn`/`quote` are not
+//! available). Supported shapes — the ones this workspace actually derives:
+//!
+//! * structs with named fields → JSON objects;
+//! * tuple structs — single field is transparent (covers
+//!   `#[serde(transparent)]` newtypes), multi-field becomes an array;
+//! * enums with unit, tuple and struct variants, externally tagged like serde
+//!   (`"Variant"` / `{"Variant": …}`).
+//!
+//! Generics and `where` clauses are rejected with a `compile_error!`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The shape of the item the derive is attached to.
+enum Item {
+    NamedStruct {
+        name: String,
+        fields: Vec<String>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    UnitStruct {
+        name: String,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// One enum variant.
+enum Variant {
+    Unit(String),
+    Tuple(String, usize),
+    Struct(String, Vec<String>),
+}
+
+impl Item {
+    fn name(&self) -> &str {
+        match self {
+            Item::NamedStruct { name, .. }
+            | Item::TupleStruct { name, .. }
+            | Item::UnitStruct { name }
+            | Item::Enum { name, .. } => name,
+        }
+    }
+}
+
+/// Derives the vendored `serde::Serialize` (render to a JSON value tree).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_serialize(&item).parse().unwrap(),
+        Err(msg) => error(&msg),
+    }
+}
+
+/// Derives the vendored `serde::Deserialize` marker trait.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => format!("impl ::serde::Deserialize for {} {{}}", item.name())
+            .parse()
+            .unwrap(),
+        Err(msg) => error(&msg),
+    }
+}
+
+fn error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Parses `[attrs] [vis] (struct|enum) Name (fields|variants|;)`.
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&tokens, 0);
+
+    let kind = match &tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    i += 1;
+    let name = match &tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected item name, found {other:?}")),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "derive(Serialize): generic type `{name}` is not supported by the vendored serde"
+        ));
+    }
+
+    match (kind.as_str(), tokens.get(i)) {
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Ok(Item::NamedStruct {
+                name,
+                fields: parse_named_fields(g.stream())?,
+            })
+        }
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Parenthesis => {
+            Ok(Item::TupleStruct {
+                name,
+                arity: count_top_level_items(g.stream()),
+            })
+        }
+        ("struct", Some(TokenTree::Punct(p))) if p.as_char() == ';' => {
+            Ok(Item::UnitStruct { name })
+        }
+        ("struct", None) => Ok(Item::UnitStruct { name }),
+        ("enum", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Ok(Item::Enum {
+                name,
+                variants: parse_variants(g.stream())?,
+            })
+        }
+        (k, other) => Err(format!("cannot derive for `{k}` with body {other:?}")),
+    }
+}
+
+/// Advances past any `#[...]` attributes and a `pub` / `pub(...)` visibility.
+fn skip_attrs_and_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2, // `#` + `[...]`
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if matches!(tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    i += 1;
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+/// Splits a token stream on top-level commas. Angle brackets are bare puncts
+/// (not groups), so generic arguments like `HashMap<K, V>` are tracked by
+/// depth; `->` is the only `>` in type position that is not a closer.
+fn split_commas(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut out = vec![Vec::new()];
+    let mut depth = 0usize;
+    let mut prev_dash = false;
+    for tt in stream {
+        let mut is_dash = false;
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                ',' if depth == 0 => {
+                    out.push(Vec::new());
+                    continue;
+                }
+                '<' => depth += 1,
+                '>' if !prev_dash => depth = depth.saturating_sub(1),
+                '-' => is_dash = true,
+                _ => {}
+            }
+        }
+        prev_dash = is_dash;
+        out.last_mut().unwrap().push(tt);
+    }
+    out.retain(|item| !item.is_empty());
+    out
+}
+
+fn count_top_level_items(stream: TokenStream) -> usize {
+    split_commas(stream).len()
+}
+
+/// `field: Type, ...` → field names, skipping attributes and visibility.
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    split_commas(stream)
+        .into_iter()
+        .map(|field| {
+            let i = skip_attrs_and_vis(&field, 0);
+            match field.get(i) {
+                Some(TokenTree::Ident(id)) => Ok(id.to_string()),
+                other => Err(format!("expected field name, found {other:?}")),
+            }
+        })
+        .collect()
+}
+
+/// `Variant, Variant(T, U), Variant { a: T }, ...`.
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    split_commas(stream)
+        .into_iter()
+        .map(|var| {
+            let i = skip_attrs_and_vis(&var, 0);
+            let name = match var.get(i) {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                other => return Err(format!("expected variant name, found {other:?}")),
+            };
+            match var.get(i + 1) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Ok(Variant::Tuple(name, count_top_level_items(g.stream())))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Ok(Variant::Struct(name, parse_named_fields(g.stream())?))
+                }
+                _ => Ok(Variant::Unit(name)), // `= discriminant` also lands here
+            }
+        })
+        .collect()
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let body = match item {
+        Item::NamedStruct { fields, .. } => {
+            let entries = fields
+                .iter()
+                .map(|f| format!("({f:?}.to_string(), ::serde::Serialize::to_json(&self.{f}))"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!("::serde::json::Value::Object(vec![{entries}])")
+        }
+        Item::TupleStruct { arity: 1, .. } => {
+            // Single-field newtypes serialize transparently (covers
+            // `#[serde(transparent)]`).
+            "::serde::Serialize::to_json(&self.0)".to_string()
+        }
+        Item::TupleStruct { arity, .. } => {
+            let entries = (0..*arity)
+                .map(|i| format!("::serde::Serialize::to_json(&self.{i})"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!("::serde::json::Value::Array(vec![{entries}])")
+        }
+        Item::UnitStruct { .. } => "::serde::json::Value::Null".to_string(),
+        Item::Enum { name, variants } => {
+            let arms = variants
+                .iter()
+                .map(|v| gen_variant_arm(name, v))
+                .collect::<Vec<_>>()
+                .join("\n            ");
+            format!("match self {{\n            {arms}\n        }}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {} {{\n    \
+             fn to_json(&self) -> ::serde::json::Value {{\n        {body}\n    }}\n\
+         }}",
+        item.name()
+    )
+}
+
+/// One `match self` arm, externally tagged like real serde.
+fn gen_variant_arm(enum_name: &str, variant: &Variant) -> String {
+    match variant {
+        Variant::Unit(v) => {
+            format!("{enum_name}::{v} => ::serde::json::Value::String({v:?}.to_string()),")
+        }
+        Variant::Tuple(v, 1) => format!(
+            "{enum_name}::{v}(f0) => ::serde::json::Value::Object(vec![\
+                ({v:?}.to_string(), ::serde::Serialize::to_json(f0))]),"
+        ),
+        Variant::Tuple(v, arity) => {
+            let binders = (0..*arity)
+                .map(|i| format!("f{i}"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            let items = (0..*arity)
+                .map(|i| format!("::serde::Serialize::to_json(f{i})"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!(
+                "{enum_name}::{v}({binders}) => ::serde::json::Value::Object(vec![\
+                    ({v:?}.to_string(), ::serde::json::Value::Array(vec![{items}]))]),"
+            )
+        }
+        Variant::Struct(v, fields) => {
+            let binders = fields.join(", ");
+            let entries = fields
+                .iter()
+                .map(|f| format!("({f:?}.to_string(), ::serde::Serialize::to_json({f}))"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!(
+                "{enum_name}::{v} {{ {binders} }} => ::serde::json::Value::Object(vec![\
+                    ({v:?}.to_string(), ::serde::json::Value::Object(vec![{entries}]))]),"
+            )
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! Offline stand-in for `serde_json`: the `to_string` / `to_string_pretty`
+//! entry points over the vendored `serde`'s JSON value tree.
+
+#![forbid(unsafe_code)]
+
+pub use serde::json::Value;
+use serde::Serialize;
+
+/// Serialization error. The vendored pipeline is infallible, but the public
+/// signatures keep `Result` so call sites read like real `serde_json`.
+#[derive(Debug)]
+pub struct Error(());
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "JSON serialization error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serializes `value` as pretty-printed JSON (two-space indent).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_json().render(0))
+}
+
+/// Serializes `value` as JSON (same layout as [`to_string_pretty`] here).
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    to_string_pretty(value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pretty_prints_vecs_of_values() {
+        let rows = vec![1u64, 2, 3];
+        assert_eq!(to_string_pretty(&rows).unwrap(), "[\n  1,\n  2,\n  3\n]");
+    }
+}
