@@ -47,8 +47,10 @@ pub struct DpsNetwork {
     /// Filters per node, maintained by subscribe/unsubscribe (the oracle's
     /// subscription list is append-only, so matching uses this registry).
     filters: HashMap<NodeId, Vec<(SubId, Filter)>>,
-    pubs: Vec<(PubId, Event, Step, HashSet<NodeId>)>,
+    pubs: Vec<(PubId, Step, HashSet<NodeId>)>,
     rng: StdRng,
+    /// Reusable buffer for peer sampling (avoids per-join allocations).
+    scratch: Vec<NodeId>,
 }
 
 impl DpsNetwork {
@@ -63,6 +65,7 @@ impl DpsNetwork {
             filters: HashMap::new(),
             pubs: Vec::new(),
             rng: StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15),
+            scratch: Vec::new(),
         }
     }
 
@@ -70,14 +73,15 @@ impl DpsNetwork {
     /// peers (and registered as a peer of a few existing nodes, so joins are
     /// discoverable in both directions).
     pub fn add_node(&mut self) -> NodeId {
+        // Both samples are drawn from the pre-join population.
+        let sample = self.sample_alive(self.cfg.peer_view.min(8));
+        let introducers = self.sample_alive(3);
         let sink: Arc<dyn dps_overlay::StatsSink> = self.sink.clone();
         let mut node = DpsNode::with_sink(self.cfg.clone(), sink);
-        let alive = self.sim.alive_ids();
-        let sample = self.sample(&alive, self.cfg.peer_view.min(8));
-        node.seed_peers(sample.clone());
+        node.seed_peers(sample);
         let id = self.sim.add_node(node);
         // Symmetric introduction: a few existing peers learn about the newcomer.
-        for p in self.sample(&alive, 3) {
+        for p in introducers {
             if let Some(n) = self.sim.node_mut(p) {
                 n.seed_peers(vec![id]);
             }
@@ -90,21 +94,18 @@ impl DpsNetwork {
         (0..n).map(|_| self.add_node()).collect()
     }
 
-    fn sample(&mut self, from: &[NodeId], n: usize) -> Vec<NodeId> {
-        if from.is_empty() {
-            return Vec::new();
+    /// Picks up to `n` distinct alive nodes, uniformly, via a partial
+    /// Fisher–Yates shuffle over the scratch buffer: exactly `min(n, alive)`
+    /// picks, no rejection loop.
+    fn sample_alive(&mut self, n: usize) -> Vec<NodeId> {
+        self.scratch.clear();
+        self.scratch.extend(self.sim.alive());
+        let take = n.min(self.scratch.len());
+        for i in 0..take {
+            let j = self.rng.random_range(i..self.scratch.len());
+            self.scratch.swap(i, j);
         }
-        let mut out = Vec::new();
-        for _ in 0..n.min(from.len()) * 2 {
-            let pick = from[self.rng.random_range(0..from.len())];
-            if !out.contains(&pick) {
-                out.push(pick);
-                if out.len() == n {
-                    break;
-                }
-            }
-        }
-        out
+        self.scratch[..take].to_vec()
     }
 
     /// Issues a subscription from `node`. The predicate used to join the overlay
@@ -144,21 +145,22 @@ impl DpsNetwork {
         if !self.sim.is_alive(node) {
             return None;
         }
+        // Scan the registry by reference; the event itself is moved into the
+        // node, not cloned.
+        let sim = &self.sim;
         let expected: HashSet<NodeId> = self
             .filters
             .iter()
-            .filter(|(n, _)| self.sim.is_alive(**n))
-            .filter(|(_, subs)| subs.iter().any(|(_, f)| f.matches(&event)))
+            .filter(|(n, subs)| sim.is_alive(**n) && subs.iter().any(|(_, f)| f.matches(&event)))
             .map(|(n, _)| *n)
             .collect();
         let mut out = None;
-        let ev = event.clone();
         self.sim.invoke(node, |n, ctx| {
-            out = Some(n.publish(ev, ctx));
+            out = Some(n.publish(event, ctx));
         });
         let id = out?;
         let now = self.sim.now();
-        self.pubs.push((id, event, now, expected));
+        self.pubs.push((id, now, expected));
         Some(id)
     }
 
@@ -182,8 +184,7 @@ impl DpsNetwork {
     /// Total subscriptions still in flight across alive nodes.
     pub fn pending_subscriptions(&self) -> usize {
         self.sim
-            .alive_ids()
-            .into_iter()
+            .alive()
             .filter_map(|id| self.sim.node(id))
             .map(|n| n.pending_subscriptions())
             .sum()
@@ -196,13 +197,25 @@ impl DpsNetwork {
 
     /// Crashes a uniformly random alive node; returns it.
     pub fn crash_random(&mut self) -> Option<NodeId> {
-        let alive = self.sim.alive_ids();
-        if alive.is_empty() {
+        let n = self.sim.alive_count();
+        if n == 0 {
             return None;
         }
-        let victim = alive[self.rng.random_range(0..alive.len())];
+        let victim = self.sim.nth_alive(self.rng.random_range(0..n))?;
         self.sim.crash(victim);
         Some(victim)
+    }
+
+    /// A uniformly random alive node (e.g. the next publisher), drawn from the
+    /// simulation RNG. Allocation-free; replaces the `alive_ids()` rebuild the
+    /// figure runners used to do every step.
+    pub fn random_alive(&mut self) -> Option<NodeId> {
+        let n = self.sim.alive_count();
+        if n == 0 {
+            return None;
+        }
+        let k = rand::Rng::random_range(self.sim.rng(), 0..n);
+        self.sim.nth_alive(k)
     }
 
     // ---- measurement ----
@@ -211,7 +224,7 @@ impl DpsNetwork {
     pub fn reports(&self) -> Vec<DeliveryReport> {
         self.pubs
             .iter()
-            .map(|(id, _, at, expected)| DeliveryReport {
+            .map(|(id, at, expected)| DeliveryReport {
                 id: *id,
                 published_at: *at,
                 expected: expected.clone(),
@@ -236,7 +249,7 @@ impl DpsNetwork {
     pub fn delivered_ratio_between(&self, from: Step, to: Step) -> f64 {
         let mut expected = 0usize;
         let mut delivered = 0usize;
-        for (id, _, at, exp) in &self.pubs {
+        for (id, at, exp) in &self.pubs {
             if *at < from || *at >= to {
                 continue;
             }
@@ -289,7 +302,7 @@ impl DpsNetwork {
     /// quiesced network this is directly comparable to [`Self::oracle`].
     pub fn distributed_groups(&self) -> Vec<GroupSnapshot> {
         let mut out = Vec::new();
-        for id in self.sim.alive_ids() {
+        for id in self.sim.alive() {
             let Some(n) = self.sim.node(id) else { continue };
             for m in n.memberships() {
                 if !m.is_leader() {

@@ -19,8 +19,8 @@ struct AnalysisRow {
 fn main() {
     let scale = Scale::from_env();
     banner("§5.1 — analytical vs simulated message complexity", scale);
-    let n = scale.pick(200usize, 1000);
-    let n_events = scale.pick(30usize, 100);
+    let n = scale.pick(60usize, 200, 1000);
+    let n_events = scale.pick(10usize, 30, 100);
     let w = Workload::multiplayer_game();
     let mut rows = Vec::new();
     println!(

@@ -86,20 +86,22 @@ fn bench_tree_insert(c: &mut Criterion) {
 
 fn bench_sim_step(c: &mut Criterion) {
     use dps::{DpsConfig, DpsNetwork};
-    c.bench_function("overlay_100_nodes_one_step", |b| {
-        let mut net = DpsNetwork::new(DpsConfig::default(), 3);
-        let nodes = net.add_nodes(100);
-        net.run(30);
-        let w = Workload::multiplayer_game();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
-        for n in &nodes {
-            net.subscribe(*n, w.subscription(&mut rng));
-        }
-        net.quiesce(3000);
-        b.iter(|| {
-            net.run(1);
-        })
-    });
+    for n in [100usize, 250] {
+        c.bench_function(&format!("overlay_{n}_nodes_one_step"), |b| {
+            let mut net = DpsNetwork::new(DpsConfig::default(), 3);
+            let nodes = net.add_nodes(n);
+            net.run(30);
+            let w = Workload::multiplayer_game();
+            let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+            for n in &nodes {
+                net.subscribe(*n, w.subscription(&mut rng));
+            }
+            net.quiesce(3000);
+            b.iter(|| {
+                net.run(1);
+            })
+        });
+    }
 }
 
 criterion_group!(

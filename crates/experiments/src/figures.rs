@@ -1,9 +1,16 @@
 //! Figure runners: the dependability, recovery, scalability and comparison
 //! plots of §5.2 (Figures 3(a)–3(g)).
+//!
+//! Every `(config, parameter)` cell is an independent deterministic simulation
+//! with its own seeds, so the runners build one closure per cell and fan them
+//! out through [`crate::run_cells`]; rows come back in cell order, making the
+//! output identical whatever `DPS_THREADS` is.
 
-use dps::{CommKind, DpsConfig, DpsNetwork, JoinRule, MsgClass, NodeId, TraversalKind};
+use dps::{CommKind, DpsConfig, DpsNetwork, JoinRule, MsgClass, TraversalKind};
 use dps_sim::{ChurnEvent, ChurnPlan};
 use dps_workload::Workload;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use serde::Serialize;
 
 use crate::Scale;
@@ -31,16 +38,14 @@ fn build_overlay(cfg: DpsConfig, n: usize, subs_per_node: usize, seed: u64) -> D
     let mut net = DpsNetwork::new(cfg, seed);
     let nodes = net.add_nodes(n);
     net.run(30);
-    let mut rng = rand::SeedableRng::seed_from_u64(seed ^ 0xabcd);
-    let rng: &mut rand::rngs::StdRng = &mut { rng };
-    for round in 0..subs_per_node {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xabcd);
+    for _round in 0..subs_per_node {
         for (i, node) in nodes.iter().enumerate() {
-            net.subscribe(*node, w.subscription(rng));
+            net.subscribe(*node, w.subscription(&mut rng));
             if i % 25 == 24 {
                 net.run(1);
             }
         }
-        let _ = round;
         net.run(20);
     }
     net.quiesce(1500);
@@ -59,15 +64,47 @@ pub struct Fig3aPoint {
     pub delivered_ratio: f64,
 }
 
+/// One Figure 3(a) cell: build the overlay, crash at rate `p`, publish every
+/// 10 steps, then drain and measure.
+fn fig3a_cell(cfg: DpsConfig, p: f64, pi: usize, n: usize, steps: u64) -> Fig3aPoint {
+    let label = cfg.label();
+    let mut net = build_overlay(cfg, n, 3, 42 + pi as u64);
+    let start = net.sim().now();
+    let plan = ChurnPlan::rate(p);
+    let mut w_rng = StdRng::seed_from_u64(7 ^ pi as u64);
+    let w = Workload::multiplayer_game();
+    for t in 0..steps {
+        for ev in plan.events_at(t) {
+            if ev == ChurnEvent::CrashRandom {
+                net.crash_random();
+            }
+        }
+        // "A new event is published every 10 steps."
+        if t % 10 == 0 {
+            if let Some(publisher) = net.random_alive() {
+                net.publish(publisher, w.event(&mut w_rng));
+            }
+        }
+        net.run(1);
+    }
+    // Deep chains deliver one hop per step: drain proportionally to the
+    // population before measuring.
+    net.run(2 * n as u64 + 400);
+    Fig3aPoint {
+        config: label,
+        p,
+        delivered_ratio: net.delivered_ratio_between(start, u64::MAX),
+    }
+}
+
 /// Figure 3(a) — *Dependability*: delivered ratio vs failure probability.
 pub fn fig3a(scale: Scale) -> Vec<Fig3aPoint> {
     crate::banner("Figure 3(a) — dependability under uniform failures", scale);
-    let n = scale.pick(250usize, 1000);
+    let n = scale.pick(60usize, 250, 1000);
     // Keep the paper's survivor fractions: 3000 steps per 1000 nodes means
     // 3 × n steps at any scale (p = 0.25 then kills 75% of the population).
-    let steps = scale.pick(750u64, 3000);
+    let steps = scale.pick(180u64, 750, 3000);
     let ps = [0.0, 0.05, 0.10, 0.15, 0.20, 0.25];
-    let mut rows = Vec::new();
     println!(
         "{:<26} {}",
         "config",
@@ -76,53 +113,24 @@ pub fn fig3a(scale: Scale) -> Vec<Fig3aPoint> {
             .collect::<Vec<_>>()
             .join(" ")
     );
+    let mut cells = Vec::new();
     for cfg in fig3a_configs() {
-        let label = cfg.label();
-        let mut line = format!("{label:<26}");
         for (pi, p) in ps.iter().enumerate() {
-            let mut net = build_overlay(cfg.clone(), n, 3, 42 + pi as u64);
-            let start = net.sim().now();
-            let plan = ChurnPlan::rate(*p);
-            let mut w_rng: rand::rngs::StdRng = rand::SeedableRng::seed_from_u64(7 ^ pi as u64);
-            let w = Workload::multiplayer_game();
-            for t in 0..steps {
-                for ev in plan.events_at(t) {
-                    if ev == ChurnEvent::CrashRandom {
-                        net.crash_random();
-                    }
-                }
-                // "A new event is published every 10 steps."
-                if t % 10 == 0 {
-                    if let Some(publisher) = random_alive(&mut net) {
-                        net.publish(publisher, w.event(&mut w_rng));
-                    }
-                }
-                net.run(1);
-            }
-            // Deep chains deliver one hop per step: drain proportionally to the
-            // population before measuring.
-            net.run(2 * n as u64 + 400);
-            let ratio = net.delivered_ratio_between(start, u64::MAX);
-            line.push_str(&format!(" {ratio:<7.3}"));
-            rows.push(Fig3aPoint {
-                config: label.clone(),
-                p: *p,
-                delivered_ratio: ratio,
-            });
+            let cfg = cfg.clone();
+            let p = *p;
+            cells.push(move || fig3a_cell(cfg, p, pi, n, steps));
+        }
+    }
+    let rows = crate::run_cells(cells);
+    for config_rows in rows.chunks(ps.len()) {
+        let mut line = format!("{:<26}", config_rows[0].config);
+        for r in config_rows {
+            line.push_str(&format!(" {:<7.3}", r.delivered_ratio));
         }
         println!("{line}");
     }
     println!("paper shape: all ≥ 0.8; epidemic > leader; epidemic k=2 ≥ 0.97 even at p = 0.25");
     rows
-}
-
-fn random_alive(net: &mut DpsNetwork) -> Option<NodeId> {
-    let alive = net.sim().alive_ids();
-    if alive.is_empty() {
-        return None;
-    }
-    let i = rand::Rng::random_range(net.sim_mut().rng(), 0..alive.len());
-    Some(alive[i])
 }
 
 /// One measured window of Figure 3(b).
@@ -143,50 +151,62 @@ pub fn fig3b(scale: Scale) -> Vec<Fig3bPoint> {
         "Figure 3(b) — recovery from a failure storm (generic)",
         scale,
     );
-    let n = scale.pick(250usize, 1000);
+    let n = scale.pick(60usize, 250, 1000);
     // One crash every 2 steps through the middle phase: phase = n/2 kills 50%
     // of the population, like the paper's 500 crashes among 1000 nodes.
-    let phase = scale.pick(200u64, 1000);
-    let window = 100u64;
+    let phase = scale.pick(60u64, 200, 1000);
+    let window = 100u64.min(phase);
     let configs = vec![
         DpsConfig::named(TraversalKind::Generic, CommKind::Epidemic).with_fanout(2),
         DpsConfig::named(TraversalKind::Generic, CommKind::Epidemic),
         DpsConfig::named(TraversalKind::Generic, CommKind::Leader),
     ];
+    let cells: Vec<_> = configs
+        .into_iter()
+        .enumerate()
+        .map(|(ci, mut cfg)| {
+            move || {
+                cfg.join_rule = JoinRule::Explicit;
+                let label = cfg.label();
+                let mut net = build_overlay(cfg, n, 3, 90 + ci as u64);
+                let start = net.sim().now();
+                let plan = ChurnPlan::storm(phase, 2 * phase, 2);
+                let w = Workload::multiplayer_game();
+                let mut w_rng = StdRng::seed_from_u64(17 + ci as u64);
+                for t in 0..3 * phase {
+                    for ev in plan.events_at(t) {
+                        if ev == ChurnEvent::CrashRandom {
+                            net.crash_random();
+                        }
+                    }
+                    if t % 10 == 0 {
+                        if let Some(publisher) = net.random_alive() {
+                            net.publish(publisher, w.event(&mut w_rng));
+                        }
+                    }
+                    net.run(1);
+                }
+                net.run(2 * n as u64 + 400);
+                (0..3 * phase)
+                    .step_by(window as usize)
+                    .map(|wstart| Fig3bPoint {
+                        config: label.clone(),
+                        step: wstart,
+                        delivered_ratio: net
+                            .delivered_ratio_between(start + wstart, start + wstart + window),
+                    })
+                    .collect::<Vec<_>>()
+            }
+        })
+        .collect();
     let mut rows = Vec::new();
-    for (ci, mut cfg) in configs.into_iter().enumerate() {
-        cfg.join_rule = JoinRule::Explicit;
-        let label = cfg.label();
-        let mut net = build_overlay(cfg, n, 3, 90 + ci as u64);
-        let start = net.sim().now();
-        let plan = ChurnPlan::storm(phase, 2 * phase, 2);
-        let w = Workload::multiplayer_game();
-        let mut w_rng: rand::rngs::StdRng = rand::SeedableRng::seed_from_u64(17 + ci as u64);
-        for t in 0..3 * phase {
-            for ev in plan.events_at(t) {
-                if ev == ChurnEvent::CrashRandom {
-                    net.crash_random();
-                }
-            }
-            if t % 10 == 0 {
-                if let Some(publisher) = random_alive(&mut net) {
-                    net.publish(publisher, w.event(&mut w_rng));
-                }
-            }
-            net.run(1);
+    for pts in crate::run_cells(cells) {
+        let mut line = format!("{:<26}", pts[0].config);
+        for p in &pts {
+            line.push_str(&format!(" {:.2}", p.delivered_ratio));
         }
-        net.run(2 * n as u64 + 400);
-        print!("{label:<26}");
-        for wstart in (0..3 * phase).step_by(window as usize) {
-            let ratio = net.delivered_ratio_between(start + wstart, start + wstart + window);
-            print!(" {ratio:.2}");
-            rows.push(Fig3bPoint {
-                config: label.clone(),
-                step: wstart,
-                delivered_ratio: ratio,
-            });
-        }
-        println!();
+        println!("{line}");
+        rows.extend(pts);
     }
     println!(
         "(phases: calm 0..{phase}, storm {phase}..{}, recovery after; paper shape: ratio ≥ ~0.95 \
@@ -216,60 +236,70 @@ pub fn fig3cd(scale: Scale) -> Vec<Fig3cdPoint> {
         "Figures 3(c)/3(d) — scalability: outgoing messages per event (median / max)",
         scale,
     );
-    let n0 = scale.pick(250usize, 1000);
-    let steps = scale.pick(2000u64, 5000);
+    let n0 = scale.pick(60usize, 250, 1000);
+    let steps = scale.pick(400u64, 2000, 5000);
     let configs = vec![
         DpsConfig::named(TraversalKind::Root, CommKind::Leader),
         DpsConfig::named(TraversalKind::Root, CommKind::Epidemic),
         DpsConfig::named(TraversalKind::Root, CommKind::Epidemic).with_fanout(2),
     ];
-    let mut rows = Vec::new();
-    for (ci, mut cfg) in configs.into_iter().enumerate() {
-        cfg.join_rule = JoinRule::Explicit;
-        let label = cfg.label();
-        let mut net = build_overlay(cfg, n0, 1, 700 + ci as u64);
-        let w = Workload::multiplayer_game();
-        let mut w_rng: rand::rngs::StdRng = rand::SeedableRng::seed_from_u64(23 + ci as u64);
-        net.sim_mut().set_metrics_window(100);
-        let base = net.sim().now();
-        for t in 0..steps {
-            // "A new node enters the system every two steps and immediately
-            // emits a new subscription."
-            if t % 2 == 0 {
-                let id = net.add_node();
-                net.subscribe(id, w.subscription(&mut w_rng));
-            }
-            // "10 new events every 100 steps."
-            if t % 10 == 0 {
-                if let Some(publisher) = random_alive(&mut net) {
-                    net.publish(publisher, w.event(&mut w_rng));
+    let cells: Vec<_> = configs
+        .into_iter()
+        .enumerate()
+        .map(|(ci, mut cfg)| {
+            move || {
+                cfg.join_rule = JoinRule::Explicit;
+                let label = cfg.label();
+                let mut net = build_overlay(cfg, n0, 1, 700 + ci as u64);
+                let w = Workload::multiplayer_game();
+                let mut w_rng = StdRng::seed_from_u64(23 + ci as u64);
+                net.sim_mut().set_metrics_window(100);
+                let base = net.sim().now();
+                for t in 0..steps {
+                    // "A new node enters the system every two steps and immediately
+                    // emits a new subscription."
+                    if t % 2 == 0 {
+                        let id = net.add_node();
+                        net.subscribe(id, w.subscription(&mut w_rng));
+                    }
+                    // "10 new events every 100 steps."
+                    if t % 10 == 0 {
+                        if let Some(publisher) = net.random_alive() {
+                            net.publish(publisher, w.event(&mut w_rng));
+                        }
+                    }
+                    net.run(1);
                 }
+                let series = net.metrics().sent_series(&[MsgClass::Publication]);
+                series
+                    .iter()
+                    .filter(|wstat| wstat.start >= base)
+                    .map(|wstat| {
+                        let per_event = 10.0; // events per 100-step window
+                        Fig3cdPoint {
+                            config: label.clone(),
+                            step: wstat.start - base,
+                            median_per_event: wstat.stat.median / per_event,
+                            max_per_event: wstat.stat.max / per_event,
+                        }
+                    })
+                    .collect::<Vec<_>>()
             }
-            net.run(1);
-        }
-        let series = net.metrics().sent_series(&[MsgClass::Publication]);
-        print!("{label:<26}");
-        for wstat in &series {
-            if wstat.start < base {
-                continue;
+        })
+        .collect();
+    let mut rows = Vec::new();
+    for pts in crate::run_cells(cells) {
+        if let Some(first) = pts.first() {
+            let mut line = format!("{:<26}", first.config);
+            for p in pts.iter().step_by(4) {
+                line.push_str(&format!(
+                    " {:.1}/{:.0}",
+                    p.median_per_event, p.max_per_event
+                ));
             }
-            let per_event = 10.0; // events per 100-step window
-            let median = wstat.stat.median / per_event;
-            let max = wstat.stat.max / per_event;
-            rows.push(Fig3cdPoint {
-                config: label.clone(),
-                step: wstat.start - base,
-                median_per_event: median,
-                max_per_event: max,
-            });
+            println!("{line}   (median/max per event, every 4th window)");
         }
-        for (i, p) in rows.iter().filter(|r| r.config == label).enumerate() {
-            if i % 4 == 0 {
-                print!(" {:.1}/{:.0}", p.median_per_event, p.max_per_event);
-            }
-        }
-        println!("   (median/max per event, every 4th window)");
-        let _ = ci;
+        rows.extend(pts);
     }
     println!(
         "paper shape: 3(c) epidemic medians stay flat as the system grows; 3(d) the \
@@ -298,14 +328,14 @@ pub struct LoadPoint {
 fn load_run(mut cfg: DpsConfig, scale: Scale, seed: u64) -> Vec<LoadPoint> {
     cfg.join_rule = JoinRule::Explicit;
     let label = cfg.label();
-    let n = scale.pick(250usize, 1000);
-    let steps = scale.pick(1500u64, 3000);
-    let sub_every = scale.pick(150u64, 300);
+    let n = scale.pick(60usize, 250, 1000);
+    let steps = scale.pick(400u64, 1500, 3000);
+    let sub_every = scale.pick(100u64, 150, 300);
     let w = Workload::multiplayer_game();
     let mut net = DpsNetwork::new(cfg, seed);
     let nodes = net.add_nodes(n);
     net.run(30);
-    let mut w_rng: rand::rngs::StdRng = rand::SeedableRng::seed_from_u64(seed ^ 0xfeed);
+    let mut w_rng = StdRng::seed_from_u64(seed ^ 0xfeed);
     net.sim_mut().set_metrics_window(100);
     let base = net.sim().now();
     for t in 0..steps {
@@ -316,7 +346,7 @@ fn load_run(mut cfg: DpsConfig, scale: Scale, seed: u64) -> Vec<LoadPoint> {
             }
         }
         if t % 10 == 0 {
-            if let Some(publisher) = random_alive(&mut net) {
+            if let Some(publisher) = net.random_alive() {
                 net.publish(publisher, w.event(&mut w_rng));
             }
         }
@@ -344,6 +374,21 @@ fn load_run(mut cfg: DpsConfig, scale: Scale, seed: u64) -> Vec<LoadPoint> {
         .collect()
 }
 
+/// Runs `load_run` for each config in parallel and prints the summaries in order.
+fn load_runs(configs: Vec<DpsConfig>, scale: Scale, seed0: u64) -> Vec<LoadPoint> {
+    let cells: Vec<_> = configs
+        .into_iter()
+        .enumerate()
+        .map(|(ci, cfg)| move || load_run(cfg, scale, seed0 + ci as u64))
+        .collect();
+    let mut rows = Vec::new();
+    for pts in crate::run_cells(cells) {
+        summarize_load(&pts);
+        rows.extend(pts);
+    }
+    rows
+}
+
 /// Figures 3(e)+3(f) — *Leader vs Epidemic*: incoming/outgoing messages per
 /// 100-step window as subscriptions accumulate (root-based traversal).
 pub fn fig3ef(scale: Scale) -> Vec<LoadPoint> {
@@ -351,18 +396,14 @@ pub fn fig3ef(scale: Scale) -> Vec<LoadPoint> {
         "Figures 3(e)/3(f) — leader vs epidemic per-node load",
         scale,
     );
-    let mut rows = Vec::new();
-    for (ci, cfg) in [
-        DpsConfig::named(TraversalKind::Root, CommKind::Leader),
-        DpsConfig::named(TraversalKind::Root, CommKind::Epidemic),
-    ]
-    .into_iter()
-    .enumerate()
-    {
-        let pts = load_run(cfg, scale, 300 + ci as u64);
-        summarize_load(&pts);
-        rows.extend(pts);
-    }
+    let rows = load_runs(
+        vec![
+            DpsConfig::named(TraversalKind::Root, CommKind::Leader),
+            DpsConfig::named(TraversalKind::Root, CommKind::Epidemic),
+        ],
+        scale,
+        300,
+    );
     println!(
         "paper shape: epidemic receives more than leader overall (redundancy); leader max \
          outgoing grows steeply with subscriptions while its median stays ~0; epidemic \
@@ -377,18 +418,14 @@ pub fn fig3g(scale: Scale) -> Vec<LoadPoint> {
         "Figure 3(g) — root vs generic per-node load (leader comm)",
         scale,
     );
-    let mut rows = Vec::new();
-    for (ci, cfg) in [
-        DpsConfig::named(TraversalKind::Root, CommKind::Leader),
-        DpsConfig::named(TraversalKind::Generic, CommKind::Leader),
-    ]
-    .into_iter()
-    .enumerate()
-    {
-        let pts = load_run(cfg, scale, 500 + ci as u64);
-        summarize_load(&pts);
-        rows.extend(pts);
-    }
+    let rows = load_runs(
+        vec![
+            DpsConfig::named(TraversalKind::Root, CommKind::Leader),
+            DpsConfig::named(TraversalKind::Generic, CommKind::Leader),
+        ],
+        scale,
+        500,
+    );
     println!(
         "paper shape: the root-based max incoming grows with subscriptions (the owner takes \
          every request); generic spreads it nearly flat; outgoing differs little"

@@ -7,10 +7,18 @@
 //!
 //! Scale is controlled by the `DPS_SCALE` environment variable:
 //!
+//! * `smoke` — tiny populations/durations so a full figure runs end-to-end in
+//!   seconds (the CI smoke job);
 //! * unset or `quick` — reduced populations/durations so the full suite runs in
 //!   minutes (defaults used by `cargo bench`);
 //! * `paper` — the paper's parameters (10,000 subscriptions/events for Table 1,
 //!   1,000 nodes and 3,000–5,000 steps for the figures).
+//!
+//! Every `(config, p)` / `(config, seed)` cell of a figure is an independent
+//! deterministic simulation, so runners fan cells out across threads via
+//! [`run_cells`]; `DPS_THREADS` caps the worker count (default: available
+//! parallelism). Results are collected in cell order, so the output rows — and
+//! the JSON written by the bench targets — are byte-identical to a serial run.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -19,29 +27,36 @@ pub mod figures;
 pub mod output;
 pub mod table1;
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
 use serde::Serialize;
 
 /// Experiment scale, from the `DPS_SCALE` environment variable.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
 pub enum Scale {
-    /// Reduced scale for CI / `cargo bench` (minutes for the whole suite).
+    /// Tiny scale: a full figure end-to-end in seconds (CI smoke test).
+    Smoke,
+    /// Reduced scale for local runs / `cargo bench` (minutes for the whole suite).
     Quick,
     /// The paper's parameters.
     Paper,
 }
 
 impl Scale {
-    /// Reads `DPS_SCALE` (`quick` default, `paper` for full runs).
+    /// Reads `DPS_SCALE` (`quick` default, `smoke` for CI, `paper` for full runs).
     pub fn from_env() -> Self {
         match std::env::var("DPS_SCALE").as_deref() {
             Ok("paper") | Ok("PAPER") | Ok("full") => Scale::Paper,
+            Ok("smoke") | Ok("SMOKE") => Scale::Smoke,
             _ => Scale::Quick,
         }
     }
 
-    /// Picks `quick` or `paper` parameter.
-    pub fn pick<T>(self, quick: T, paper: T) -> T {
+    /// Picks the parameter for this scale.
+    pub fn pick<T>(self, smoke: T, quick: T, paper: T) -> T {
         match self {
+            Scale::Smoke => smoke,
             Scale::Quick => quick,
             Scale::Paper => paper,
         }
@@ -52,4 +67,83 @@ impl Scale {
 pub fn banner(title: &str, scale: Scale) {
     println!();
     println!("=== {title} [scale: {scale:?}] ===");
+}
+
+/// Worker-thread count for [`run_cells`]: `DPS_THREADS` if set (≥ 1), otherwise
+/// the machine's available parallelism.
+pub fn thread_count() -> usize {
+    match std::env::var("DPS_THREADS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+    {
+        Some(n) if n >= 1 => n,
+        _ => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+    }
+}
+
+/// Runs independent scenario cells on a scoped thread pool and returns their
+/// results **in cell order**, so output is identical to a serial run.
+///
+/// Each cell is claimed exactly once (work-stealing over an atomic cursor), so
+/// uneven cell durations don't leave workers idle. With `DPS_THREADS=1` (or a
+/// single cell) everything runs inline on the caller's thread.
+pub fn run_cells<T, F>(cells: Vec<F>) -> Vec<T>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    let n = cells.len();
+    let threads = thread_count().min(n);
+    if threads <= 1 {
+        return cells.into_iter().map(|f| f()).collect();
+    }
+    let jobs: Vec<Mutex<Option<F>>> = cells.into_iter().map(|f| Mutex::new(Some(f))).collect();
+    let done: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let job = jobs[i].lock().unwrap().take().expect("cell claimed twice");
+                let out = job();
+                *done[i].lock().unwrap() = Some(out);
+            });
+        }
+    });
+    done.into_iter()
+        .map(|m| m.into_inner().unwrap().expect("cell did not run"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_cells_preserves_order() {
+        let cells: Vec<_> = (0..32)
+            .map(|i| {
+                move || {
+                    // Uneven durations to exercise the work-stealing path.
+                    std::thread::sleep(std::time::Duration::from_millis((32 - i) % 7));
+                    i * i
+                }
+            })
+            .collect();
+        let got = run_cells(cells);
+        let want: Vec<_> = (0..32).map(|i| i * i).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn run_cells_handles_empty_and_single() {
+        let empty: Vec<fn() -> u32> = Vec::new();
+        assert!(run_cells(empty).is_empty());
+        assert_eq!(run_cells(vec![|| 7u32]), vec![7]);
+    }
 }

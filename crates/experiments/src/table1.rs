@@ -78,10 +78,10 @@ fn paper_values(name: &str) -> (f64, f64, f64) {
 
 /// Runs the Table 1 experiment for one workload.
 pub fn run_workload(w: &Workload, scale: Scale, seed: u64) -> Table1Row {
-    let n = scale.pick(600usize, 10_000);
-    let n_events = scale.pick(300usize, 10_000);
-    let sub_rate = scale.pick(4usize, 25); // subscriptions issued per step
-    let ev_rate = scale.pick(2usize, 5); // events published per step
+    let n = scale.pick(120usize, 600, 10_000);
+    let n_events = scale.pick(60usize, 300, 10_000);
+    let sub_rate = scale.pick(4usize, 4, 25); // subscriptions issued per step
+    let ev_rate = scale.pick(2usize, 2, 5); // events published per step
 
     // Generic traversal + leader communication, as in the paper.
     let mut cfg = DpsConfig::named(TraversalKind::Generic, CommKind::Leader);
@@ -190,16 +190,19 @@ pub fn run(scale: Scale) -> Vec<Table1Row> {
         "{:<34} {:>9} {:>10} {:>9}   {:>24}",
         "workload", "matching%", "contacted%", "falsepos%", "paper (m%, c%, fp%)"
     );
-    let mut rows = Vec::new();
-    for (i, w) in [
-        Workload::stock_exchange(),
-        Workload::multiplayer_game(),
-        Workload::alert_monitoring(),
-    ]
-    .iter()
-    .enumerate()
-    {
-        let row = run_workload(w, scale, 1000 + i as u64);
+    // One independent deterministic cell per workload.
+    let makers: [fn() -> Workload; 3] = [
+        Workload::stock_exchange,
+        Workload::multiplayer_game,
+        Workload::alert_monitoring,
+    ];
+    let cells: Vec<_> = makers
+        .into_iter()
+        .enumerate()
+        .map(|(i, mk)| move || run_workload(&mk(), scale, 1000 + i as u64))
+        .collect();
+    let rows = crate::run_cells(cells);
+    for row in &rows {
         println!(
             "{:<34} {:>9.2} {:>10.2} {:>9.2}   ({:>5.2}, {:>5.2}, {:>5.2})",
             row.workload,
@@ -210,7 +213,6 @@ pub fn run(scale: Scale) -> Vec<Table1Row> {
             row.paper.1,
             row.paper.2,
         );
-        rows.push(row);
     }
     let avg_reduction: f64 = rows
         .iter()

@@ -23,7 +23,7 @@ mod heal;
 mod publish;
 mod subscribe;
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
 use dps_content::{AttrName, Event, Filter};
@@ -128,8 +128,10 @@ pub struct DpsNode {
     pub(crate) pubs_received: u64,
     pub(crate) pubs_notified: u64,
 
-    // Failure detection.
-    pub(crate) probes: HashMap<NodeId, Probe>,
+    // Failure detection. A BTreeMap, not a HashMap: `tick_probes` iterates it
+    // and the resulting ping/death order feeds the shared RNG, so iteration
+    // must not depend on hasher seeds (which differ per thread).
+    pub(crate) probes: BTreeMap<NodeId, Probe>,
     pub(crate) nonce_counter: u64,
     /// Recently declared-dead nodes (bounded memory), used to rank co-leaders
     /// during takeover and to avoid re-adding dead nodes from stale gossip.
@@ -173,7 +175,7 @@ impl DpsNode {
             seen_node: SeenCache::new(seen_cap),
             pubs_received: 0,
             pubs_notified: 0,
-            probes: HashMap::new(),
+            probes: BTreeMap::new(),
             nonce_counter: 0,
             suspected: SeenCache::new(128),
         }

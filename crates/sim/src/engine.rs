@@ -1,4 +1,9 @@
 //! The simulation engine: step loop, message queues, node lifecycle.
+//!
+//! The step loop is the hot path of every experiment, so it is written to be
+//! allocation-free in steady state: messages live in per-destination buckets
+//! that are double-buffered across steps (no global sort), and handler output
+//! goes through one reusable scratch buffer instead of a fresh `Vec` per call.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -11,9 +16,10 @@ struct Slot<P> {
     alive: bool,
 }
 
-struct Envelope<M> {
+/// A queued message: the sender and the payload. The destination is implicit in
+/// the bucket the message sits in.
+struct Inflight<M> {
     from: NodeId,
-    to: NodeId,
     msg: M,
 }
 
@@ -24,9 +30,20 @@ struct Envelope<M> {
 /// unchanged.
 pub struct Sim<P: Process> {
     nodes: Vec<Slot<P>>,
+    alive_count: usize,
     now: Step,
-    /// Messages to deliver at step `now + 1`.
-    next_inbox: Vec<Envelope<P::Msg>>,
+    /// Messages to deliver at step `now + 1`, bucketed by destination index.
+    /// Delivering bucket-by-bucket in index order reproduces exactly the order
+    /// of the former global `sort_by_key(|e| e.to)` (stable: send order within
+    /// a destination is preserved), without sorting.
+    next_inboxes: Vec<Vec<Inflight<P::Msg>>>,
+    /// Last step's buckets, drained and kept to be swapped back in next step
+    /// (the other half of the double buffer; retains per-bucket capacity).
+    spare_inboxes: Vec<Vec<Inflight<P::Msg>>>,
+    /// Messages currently queued in `next_inboxes`.
+    in_flight: usize,
+    /// Reusable buffer behind [`Context::send`]; drained after every handler.
+    scratch_out: Vec<(NodeId, P::Msg)>,
     rng: StdRng,
     metrics: Metrics,
 }
@@ -50,8 +67,12 @@ impl<P: Process> Sim<P> {
     pub fn new(seed: u64) -> Self {
         Sim {
             nodes: Vec::new(),
+            alive_count: 0,
             now: 0,
-            next_inbox: Vec::new(),
+            next_inboxes: Vec::new(),
+            spare_inboxes: Vec::new(),
+            in_flight: 0,
+            scratch_out: Vec::new(),
             rng: StdRng::seed_from_u64(seed),
             metrics: Metrics::new(100),
         }
@@ -61,6 +82,10 @@ impl<P: Process> Sim<P> {
     /// used throughout the paper's §5.2.1). Resets collected metrics.
     pub fn set_metrics_window(&mut self, steps: Step) {
         self.metrics = Metrics::new(steps);
+        // Align the fresh collector with the current step: rolling is otherwise
+        // only done once per step(), so traffic recorded before the next step
+        // would be stamped into the window starting at 0.
+        self.metrics.roll_to(self.now);
     }
 
     /// Adds a node running `proc`; `on_start` fires immediately (its sends are
@@ -68,15 +93,18 @@ impl<P: Process> Sim<P> {
     pub fn add_node(&mut self, proc: P) -> NodeId {
         let id = NodeId::from_index(self.nodes.len());
         self.nodes.push(Slot { proc, alive: true });
+        self.alive_count += 1;
+        if self.next_inboxes.len() < self.nodes.len() {
+            self.next_inboxes.resize_with(self.nodes.len(), Vec::new);
+        }
         let mut ctx = Context {
             me: id,
             now: self.now,
             rng: &mut self.rng,
-            out: Vec::new(),
+            out: &mut self.scratch_out,
         };
         self.nodes[id.index()].proc.on_start(&mut ctx);
-        let out = ctx.out;
-        self.queue_outgoing(id, out);
+        self.flush_outgoing(id);
         id
     }
 
@@ -85,7 +113,10 @@ impl<P: Process> Sim<P> {
     /// their own failure-detection traffic, as in the paper.
     pub fn crash(&mut self, id: NodeId) {
         if let Some(slot) = self.nodes.get_mut(id.index()) {
-            slot.alive = false;
+            if slot.alive {
+                slot.alive = false;
+                self.alive_count -= 1;
+            }
         }
     }
 
@@ -111,19 +142,39 @@ impl<P: Process> Sim<P> {
         (0..self.nodes.len()).map(NodeId::from_index).collect()
     }
 
+    /// Iterates over the currently alive node ids, ascending. Allocation-free;
+    /// prefer this (or [`alive_count`](Sim::alive_count)/[`nth_alive`](Sim::nth_alive))
+    /// over [`alive_ids`](Sim::alive_ids) in per-step loops.
+    pub fn alive(&self) -> impl DoubleEndedIterator<Item = NodeId> + '_ {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.alive)
+            .map(|(i, _)| NodeId::from_index(i))
+    }
+
+    /// Number of currently alive nodes. O(1): maintained incrementally.
+    pub fn alive_count(&self) -> usize {
+        self.alive_count
+    }
+
+    /// The `k`-th alive node in ascending id order, if `k < alive_count()`.
+    /// Combined with a random `k` this picks a uniform alive node without
+    /// materializing the population.
+    pub fn nth_alive(&self, k: usize) -> Option<NodeId> {
+        self.alive().nth(k)
+    }
+
     /// Ids of the currently alive nodes, ascending.
     pub fn alive_ids(&self) -> Vec<NodeId> {
-        (0..self.nodes.len())
-            .filter(|i| self.nodes[*i].alive)
-            .map(NodeId::from_index)
-            .collect()
+        self.alive().collect()
     }
 
     /// Injects an external message to `to`, delivered at the next step, attributed
     /// to the recipient itself (external stimuli such as a user's Publish call).
     pub fn post(&mut self, to: NodeId, msg: P::Msg) {
-        self.metrics.on_send(self.now, to, msg.class());
-        self.next_inbox.push(Envelope { from: to, to, msg });
+        self.metrics.on_send(to, msg.class());
+        self.push_inflight(to, Inflight { from: to, msg });
     }
 
     /// Runs the protocol handler `f` on node `id` as if it were executing within
@@ -140,11 +191,10 @@ impl<P: Process> Sim<P> {
             me: id,
             now: self.now,
             rng: &mut self.rng,
-            out: Vec::new(),
+            out: &mut self.scratch_out,
         };
         f(&mut self.nodes[id.index()].proc, &mut ctx);
-        let out = ctx.out;
-        self.queue_outgoing(id, out);
+        self.flush_outgoing(id);
     }
 
     /// Current step number (the number of completed [`step`](Sim::step) calls).
@@ -162,8 +212,8 @@ impl<P: Process> Sim<P> {
         SimSnapshot {
             now: self.now,
             total_nodes: self.nodes.len(),
-            alive_nodes: self.nodes.iter().filter(|s| s.alive).count(),
-            in_flight: self.next_inbox.len(),
+            alive_nodes: self.alive_count,
+            in_flight: self.in_flight,
         }
     }
 
@@ -177,30 +227,45 @@ impl<P: Process> Sim<P> {
     /// then send order), then ticks every alive node (in id order).
     pub fn step(&mut self) {
         self.now += 1;
+        // The only metrics roll of the step: every send/receive below happens
+        // at this `now`, so per-message rolling would be a no-op.
         self.metrics.roll_to(self.now);
 
-        // Deliver. Stable sort keeps send order among messages to one node.
-        let mut inbox = std::mem::take(&mut self.next_inbox);
-        inbox.sort_by_key(|e| e.to);
-        for env in inbox {
-            let Envelope { from, to, msg } = env;
-            let Some(slot) = self.nodes.get_mut(to.index()) else {
-                continue;
-            };
-            if !slot.alive {
-                continue; // dropped: crashed nodes receive nothing
-            }
-            self.metrics.on_recv(self.now, to, msg.class());
-            let mut ctx = Context {
-                me: to,
-                now: self.now,
-                rng: &mut self.rng,
-                out: Vec::new(),
-            };
-            slot.proc.on_message(from, msg, &mut ctx);
-            let out = ctx.out;
-            self.queue_outgoing(to, out);
+        // Swap in the spare buckets to collect this step's sends; deliver from
+        // the buckets filled last step. Both buffers keep their per-bucket
+        // capacity, so steady-state stepping does not allocate.
+        let mut cur = std::mem::take(&mut self.next_inboxes);
+        std::mem::swap(&mut self.next_inboxes, &mut self.spare_inboxes);
+        if self.next_inboxes.len() < self.nodes.len() {
+            self.next_inboxes.resize_with(self.nodes.len(), Vec::new);
         }
+        self.in_flight = 0;
+
+        // Deliver.
+        for (idx, slot) in cur.iter_mut().enumerate() {
+            if slot.is_empty() {
+                continue;
+            }
+            if !self.nodes.get(idx).is_some_and(|s| s.alive) {
+                slot.clear(); // dropped: crashed nodes receive nothing
+                continue;
+            }
+            let to = NodeId::from_index(idx);
+            let mut bucket = std::mem::take(slot);
+            for Inflight { from, msg } in bucket.drain(..) {
+                self.metrics.on_recv(to, msg.class());
+                let mut ctx = Context {
+                    me: to,
+                    now: self.now,
+                    rng: &mut self.rng,
+                    out: &mut self.scratch_out,
+                };
+                self.nodes[idx].proc.on_message(from, msg, &mut ctx);
+                self.flush_outgoing(to);
+            }
+            *slot = bucket;
+        }
+        self.spare_inboxes = cur;
 
         // Tick.
         for i in 0..self.nodes.len() {
@@ -212,11 +277,10 @@ impl<P: Process> Sim<P> {
                 me: id,
                 now: self.now,
                 rng: &mut self.rng,
-                out: Vec::new(),
+                out: &mut self.scratch_out,
             };
             self.nodes[i].proc.on_tick(&mut ctx);
-            let out = ctx.out;
-            self.queue_outgoing(id, out);
+            self.flush_outgoing(id);
         }
     }
 
@@ -227,11 +291,34 @@ impl<P: Process> Sim<P> {
         }
     }
 
-    fn queue_outgoing(&mut self, from: NodeId, out: Vec<(NodeId, P::Msg)>) {
-        for (to, msg) in out {
-            self.metrics.on_send(self.now, from, msg.class());
-            self.next_inbox.push(Envelope { from, to, msg });
+    /// Drains the scratch outbox into the next-step buckets, accounting sends.
+    fn flush_outgoing(&mut self, from: NodeId) {
+        // Split borrows: the scratch buffer, metrics and buckets are disjoint.
+        let Sim {
+            scratch_out,
+            metrics,
+            next_inboxes,
+            in_flight,
+            ..
+        } = self;
+        for (to, msg) in scratch_out.drain(..) {
+            metrics.on_send(from, msg.class());
+            let idx = to.index();
+            if idx >= next_inboxes.len() {
+                next_inboxes.resize_with(idx + 1, Vec::new);
+            }
+            next_inboxes[idx].push(Inflight { from, msg });
+            *in_flight += 1;
         }
+    }
+
+    fn push_inflight(&mut self, to: NodeId, env: Inflight<P::Msg>) {
+        let idx = to.index();
+        if idx >= self.next_inboxes.len() {
+            self.next_inboxes.resize_with(idx + 1, Vec::new);
+        }
+        self.next_inboxes[idx].push(env);
+        self.in_flight += 1;
     }
 }
 
@@ -354,5 +441,57 @@ mod tests {
         });
         sim.step();
         assert_eq!(sim.node(a).unwrap().seen.len(), 1);
+    }
+
+    #[test]
+    fn alive_accessors_track_crashes() {
+        let mut sim: Sim<Forwarder> = Sim::new(0);
+        let ids: Vec<NodeId> = (0..5)
+            .map(|_| sim.add_node(Forwarder { n: 5, seen: vec![] }))
+            .collect();
+        assert_eq!(sim.alive_count(), 5);
+        sim.crash(ids[1]);
+        sim.crash(ids[1]); // idempotent
+        sim.crash(ids[3]);
+        assert_eq!(sim.alive_count(), 3);
+        assert_eq!(sim.alive_ids(), vec![ids[0], ids[2], ids[4]]);
+        assert_eq!(sim.nth_alive(0), Some(ids[0]));
+        assert_eq!(sim.nth_alive(1), Some(ids[2]));
+        assert_eq!(sim.nth_alive(2), Some(ids[4]));
+        assert_eq!(sim.nth_alive(3), None);
+    }
+
+    #[test]
+    fn metrics_reset_mid_run_stamps_current_window() {
+        let mut sim: Sim<Forwarder> = Sim::new(0);
+        let a = sim.add_node(Forwarder { n: 1, seen: vec![] });
+        sim.run(25);
+        sim.set_metrics_window(10);
+        // Traffic recorded between the reset and the next step must land in
+        // the window containing `now`, not in a window stamped 0.
+        sim.post(a, TestMsg::Token(0));
+        sim.run(10);
+        let windows = sim.metrics().windows();
+        let traffic: Vec<_> = windows
+            .iter()
+            .filter(|(_, per_node)| per_node.iter().any(|c| c.sent != [0; 3]))
+            .collect();
+        assert_eq!(traffic.len(), 1);
+        assert_eq!(traffic[0].0, 20); // the window [20, 30) contains now = 25
+    }
+
+    #[test]
+    fn messages_to_future_nodes_reach_them_once_added() {
+        // A message can be addressed to a node that joins before the next step;
+        // the bucket queue must deliver it exactly like the old global queue.
+        let mut sim: Sim<Forwarder> = Sim::new(0);
+        let a = sim.add_node(Forwarder { n: 1, seen: vec![] });
+        let _ = a;
+        let future = NodeId::from_index(1);
+        sim.post(future, TestMsg::Token(0));
+        let b = sim.add_node(Forwarder { n: 2, seen: vec![] });
+        assert_eq!(b, future);
+        sim.step();
+        assert_eq!(sim.node(b).unwrap().seen, vec![(1, 0)]);
     }
 }

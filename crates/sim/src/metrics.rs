@@ -5,8 +5,11 @@
 //! period of 100 steps". [`Metrics`] keeps exactly that: counters per `(node,
 //! class, direction)` for the current window, snapshotting them when the window
 //! rolls over, and offers median/max/mean summaries over any subset of classes.
-
-use std::collections::HashMap;
+//!
+//! Counters are dense `Vec<ClassCounts>` indexed by [`NodeId::index`] (node ids
+//! are dense join-order indices), so the per-message hot path is two array
+//! increments — no hashing. Window rolling is hoisted out of the per-message
+//! path: the engine calls [`Metrics::roll_to`] once per step.
 
 use serde::Serialize;
 
@@ -30,6 +33,10 @@ impl ClassCounts {
     /// Total received over the given classes.
     pub fn recv_in(&self, classes: &[MsgClass]) -> u64 {
         classes.iter().map(|c| self.recv[c.index()]).sum()
+    }
+
+    fn is_zero(&self) -> bool {
+        self.sent == [0; 3] && self.recv == [0; 3]
     }
 }
 
@@ -60,8 +67,10 @@ pub struct Metrics {
     window: Step,
     /// Start step of the current window.
     cur_start: Step,
-    cur: HashMap<NodeId, ClassCounts>,
-    history: Vec<(Step, HashMap<NodeId, ClassCounts>)>,
+    /// Current-window counters, indexed by node index; all-zero means the node
+    /// was not active in the window.
+    cur: Vec<ClassCounts>,
+    history: Vec<(Step, Vec<ClassCounts>)>,
     totals: ClassCounts,
 }
 
@@ -80,21 +89,30 @@ impl Metrics {
         Metrics {
             window: window.max(1),
             cur_start: 0,
-            cur: HashMap::new(),
+            cur: Vec::new(),
             history: Vec::new(),
             totals: ClassCounts::default(),
         }
     }
 
-    pub(crate) fn on_send(&mut self, now: Step, node: NodeId, class: MsgClass) {
-        self.roll_to(now);
-        self.cur.entry(node).or_default().sent[class.index()] += 1;
+    fn slot(&mut self, node: NodeId) -> &mut ClassCounts {
+        let idx = node.index();
+        if idx >= self.cur.len() {
+            self.cur.resize(idx + 1, ClassCounts::default());
+        }
+        &mut self.cur[idx]
+    }
+
+    /// Counts one sent message. The caller guarantees the window was rolled to
+    /// the current step (the engine rolls once per step).
+    pub(crate) fn on_send(&mut self, node: NodeId, class: MsgClass) {
+        self.slot(node).sent[class.index()] += 1;
         self.totals.sent[class.index()] += 1;
     }
 
-    pub(crate) fn on_recv(&mut self, now: Step, node: NodeId, class: MsgClass) {
-        self.roll_to(now);
-        self.cur.entry(node).or_default().recv[class.index()] += 1;
+    /// Counts one received message. Same rolling contract as `on_send`.
+    pub(crate) fn on_recv(&mut self, node: NodeId, class: MsgClass) {
+        self.slot(node).recv[class.index()] += 1;
         self.totals.recv[class.index()] += 1;
     }
 
@@ -116,8 +134,10 @@ impl Metrics {
         self.totals.recv[class.index()]
     }
 
-    /// Completed windows: `(start_step, per-node counters)`.
-    pub fn windows(&self) -> &[(Step, HashMap<NodeId, ClassCounts>)] {
+    /// Completed windows: `(start_step, per-node counters indexed by node index)`.
+    /// An all-zero entry (or an index past the end) means the node was inactive
+    /// in that window.
+    pub fn windows(&self) -> &[(Step, Vec<ClassCounts>)] {
         &self.history
     }
 
@@ -136,34 +156,30 @@ impl Metrics {
     /// but with an explicit population: nodes in `population` that sent/received
     /// nothing in a window count as zero (the paper's median is over all nodes, and
     /// e.g. leader-based medians are famously zero because most nodes never send).
+    /// Without a population, only nodes active in the window (any class, either
+    /// direction) are counted.
     pub fn series(
         &self,
         dir: Dir,
         classes: &[MsgClass],
         population: Option<&[NodeId]>,
     ) -> Vec<WindowStat> {
+        let pick = |c: &ClassCounts| match dir {
+            Dir::Sent => c.sent_in(classes),
+            Dir::Recv => c.recv_in(classes),
+        };
         self.history
             .iter()
             .map(|(start, per_node)| {
                 let mut values: Vec<u64> = match population {
                     Some(pop) => pop
                         .iter()
-                        .map(|id| {
-                            per_node
-                                .get(id)
-                                .map(|c| match dir {
-                                    Dir::Sent => c.sent_in(classes),
-                                    Dir::Recv => c.recv_in(classes),
-                                })
-                                .unwrap_or(0)
-                        })
+                        .map(|id| per_node.get(id.index()).map(&pick).unwrap_or(0))
                         .collect(),
                     None => per_node
-                        .values()
-                        .map(|c| match dir {
-                            Dir::Sent => c.sent_in(classes),
-                            Dir::Recv => c.recv_in(classes),
-                        })
+                        .iter()
+                        .filter(|c| !c.is_zero())
+                        .map(&pick)
                         .collect(),
                 };
                 values.sort_unstable();
@@ -195,12 +211,13 @@ mod tests {
         let mut m = Metrics::new(10);
         let a = NodeId::from_index(0);
         let b = NodeId::from_index(1);
-        for step in 1..=9 {
-            m.on_send(step, a, MsgClass::Publication);
+        for _ in 1..=9 {
+            m.on_send(a, MsgClass::Publication);
         }
-        m.on_send(5, b, MsgClass::Management);
+        m.on_send(b, MsgClass::Management);
         // Entering step 10 rolls the first window.
-        m.on_send(10, a, MsgClass::Publication);
+        m.roll_to(10);
+        m.on_send(a, MsgClass::Publication);
         assert_eq!(m.windows().len(), 1);
         let series = m.sent_series(&[MsgClass::Publication]);
         assert_eq!(series.len(), 1);
@@ -221,9 +238,9 @@ mod tests {
     fn class_filtering() {
         let mut m = Metrics::new(10);
         let a = NodeId::from_index(0);
-        m.on_send(1, a, MsgClass::Publication);
-        m.on_send(1, a, MsgClass::Management);
-        m.on_recv(1, a, MsgClass::Subscription);
+        m.on_send(a, MsgClass::Publication);
+        m.on_send(a, MsgClass::Management);
+        m.on_recv(a, MsgClass::Subscription);
         m.roll_to(10);
         assert_eq!(m.sent_series(&[MsgClass::Publication])[0].stat.max, 1.0);
         assert_eq!(m.sent_series(&MsgClass::ALL)[0].stat.max, 2.0);
@@ -240,5 +257,22 @@ mod tests {
         for w in m.sent_series(&MsgClass::ALL) {
             assert_eq!(w.stat.max, 0.0);
         }
+    }
+
+    #[test]
+    fn inactive_nodes_are_invisible_without_population() {
+        // A node that only sent Management still contributes a zero to the
+        // Publication series (it was active in the window), while a node that
+        // did nothing at all does not appear.
+        let mut m = Metrics::new(10);
+        let a = NodeId::from_index(0);
+        let b = NodeId::from_index(5); // leaves gaps 1..5 untouched
+        m.on_send(a, MsgClass::Publication);
+        m.on_send(b, MsgClass::Management);
+        m.roll_to(10);
+        let s = m.sent_series(&[MsgClass::Publication]);
+        // Values are [0 (b), 1 (a)]: median over the two active nodes only.
+        assert_eq!(s[0].stat.max, 1.0);
+        assert_eq!(s[0].stat.mean, 0.5);
     }
 }

@@ -98,11 +98,15 @@ pub trait Process {
 
 /// Handler-side capability object: lets a node know who and when it is, send
 /// messages, and draw randomness — all deterministically.
+///
+/// The outbox is a scratch buffer owned by the engine and reused across handler
+/// invocations, so sending allocates only when a step's fan-out exceeds any
+/// previous one.
 pub struct Context<'a, M> {
     pub(crate) me: NodeId,
     pub(crate) now: Step,
     pub(crate) rng: &'a mut StdRng,
-    pub(crate) out: Vec<(NodeId, M)>,
+    pub(crate) out: &'a mut Vec<(NodeId, M)>,
 }
 
 impl<'a, M: Message> Context<'a, M> {

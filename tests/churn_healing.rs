@@ -138,6 +138,105 @@ fn owner_crash_rebuilds_root() {
     );
 }
 
+/// Adversarial churn *during* group creation: nodes crash while subscriptions
+/// are still walking the trees. Placement must route around the victims and
+/// the surviving subscribers must still end up in groups and receive events.
+#[test]
+fn churn_during_group_creation_still_converges() {
+    let mut cfg = DpsConfig::named(TraversalKind::Root, CommKind::Epidemic).with_fanout(2);
+    cfg.join_rule = JoinRule::First;
+    let mut net = DpsNetwork::new(cfg, 35);
+    let nodes = net.add_nodes(60);
+    net.run(30);
+    // Interleave subscriptions with crashes so joins are in flight when their
+    // entry hops / group contacts die.
+    for (i, n) in nodes.iter().enumerate().take(40) {
+        let c = (i % 8) as i64;
+        net.subscribe(*n, format!("a > {c}").parse().unwrap());
+        if i % 5 == 4 {
+            net.crash_random();
+            net.run(2);
+        }
+    }
+    // 8 crashes among 60 nodes happened mid-creation.
+    assert!(net.snapshot().alive_nodes >= 45);
+    assert!(
+        net.quiesce(4000),
+        "subscriptions stuck after churn during creation: {} pending",
+        net.pending_subscriptions()
+    );
+    net.run(200);
+
+    let publisher = net
+        .sim()
+        .alive()
+        .rev()
+        .find(|n| n.index() >= 40)
+        .expect("an alive publisher remains");
+    let at = net.sim().now();
+    net.publish(publisher, "a = 100".parse().unwrap()).unwrap();
+    net.run(250);
+    let ratio = net.delivered_ratio_between(at, u64::MAX);
+    assert!(
+        ratio >= 0.8,
+        "delivery ratio {ratio} after creation-time churn below the paper's floor of 0.8"
+    );
+}
+
+/// A burst of simultaneous leader crashes: every group leader dies at once.
+/// The epidemic variant's redundancy plus heartbeat-driven takeover must heal
+/// the overlay, and the delivered ratio must recover for later publications.
+#[test]
+fn epidemic_heals_after_leader_crash_burst() {
+    let mut cfg = DpsConfig::named(TraversalKind::Root, CommKind::Epidemic).with_fanout(2);
+    cfg.join_rule = JoinRule::First;
+    let mut net = DpsNetwork::new(cfg, 36);
+    let nodes = net.add_nodes(60);
+    net.run(30);
+    for (i, n) in nodes.iter().enumerate().take(40) {
+        let c = (i % 10) as i64;
+        net.subscribe(*n, format!("a > {c}").parse().unwrap());
+        if i % 4 == 0 {
+            net.run(8);
+        }
+    }
+    assert!(net.quiesce(2500), "overlay did not converge");
+    net.run(200);
+
+    // Kill every node currently leading a group, all in the same step.
+    let leaders: Vec<NodeId> = net
+        .sim()
+        .alive()
+        .filter(|id| {
+            net.sim()
+                .node(*id)
+                .is_some_and(|n| n.memberships().iter().any(|m| m.is_leader()))
+        })
+        .collect();
+    assert!(!leaders.is_empty(), "no leaders found before the burst");
+    for l in &leaders {
+        net.crash(*l);
+    }
+
+    // Failure detection (10–25 step heartbeats), takeover and healing.
+    net.run(400);
+
+    let publisher = net
+        .sim()
+        .alive()
+        .rev()
+        .find(|n| n.index() >= 40)
+        .expect("an alive publisher remains");
+    let healed = net.sim().now();
+    net.publish(publisher, "a = 100".parse().unwrap()).unwrap();
+    net.run(250);
+    let ratio = net.delivered_ratio_between(healed, u64::MAX);
+    assert!(
+        ratio >= 0.8,
+        "delivered ratio {ratio} did not recover after the leader crash burst"
+    );
+}
+
 /// Miniature of the paper's Fig. 3(b): a storm kills a quarter of the nodes,
 /// the epidemic overlay keeps delivering and recovers afterwards.
 #[test]
