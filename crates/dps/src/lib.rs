@@ -45,6 +45,8 @@ pub use dps_overlay::{
     model, CommKind, CountingSink, DpsConfig, DpsMsg, DpsNode, GroupLabel, JoinRule, PubId,
     StatsSink, SubId, TraversalKind,
 };
-pub use dps_sim::{ChurnEvent, ChurnPlan, Metrics, MsgClass, NodeId, Sim, Step};
+pub use dps_sim::{
+    ChurnEvent, ChurnPlan, DropReason, FaultPlan, Metrics, MsgClass, NodeId, Sim, Step,
+};
 
 pub use network::{DeliveryReport, DpsNetwork, GroupSnapshot};

@@ -7,7 +7,7 @@ use std::sync::Arc;
 use dps_content::{Event, Filter};
 use dps_overlay::model::ForestModel;
 use dps_overlay::{CountingSink, DpsConfig, DpsNode, GroupLabel, JoinRule, PubId, SubId};
-use dps_sim::{Metrics, NodeId, Sim, SimSnapshot, Step};
+use dps_sim::{FaultPlan, Metrics, NodeId, Sim, SimSnapshot, Step};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -20,10 +20,27 @@ pub struct DeliveryReport {
     pub published_at: Step,
     /// Subscribers that were alive and matching at publish time.
     pub expected: HashSet<NodeId>,
-    /// Of those, how many were actually notified (so far).
+    /// The subset of `expected` the publisher could reach at publish time: no
+    /// active partition absolutely cut the publisher → subscriber pair. A
+    /// window only cuts a pair when it severs the direct link *and* no alive
+    /// bridge node (assigned to no side of that window) could relay across.
+    /// Equals `expected` when no partition was in force.
+    pub reachable: HashSet<NodeId>,
+    /// Of the expected subscribers, how many were actually notified (so far).
     pub delivered: usize,
     /// Distinct nodes the dissemination touched (so far).
     pub contacted: usize,
+}
+
+/// Ground truth recorded for one publication at publish time.
+#[derive(Debug, Clone)]
+struct PubRecord {
+    id: PubId,
+    at: Step,
+    expected: HashSet<NodeId>,
+    /// Expected subscribers not cut off from the publisher by an active
+    /// partition (see [`DeliveryReport::reachable`]).
+    reachable: HashSet<NodeId>,
 }
 
 /// A snapshot of one distributed group, collected from live node state; used by
@@ -47,7 +64,7 @@ pub struct DpsNetwork {
     /// Filters per node, maintained by subscribe/unsubscribe (the oracle's
     /// subscription list is append-only, so matching uses this registry).
     filters: HashMap<NodeId, Vec<(SubId, Filter)>>,
-    pubs: Vec<(PubId, Step, HashSet<NodeId>)>,
+    pubs: Vec<PubRecord>,
     rng: StdRng,
     /// Reusable buffer for peer sampling (avoids per-join allocations).
     scratch: Vec<NodeId>,
@@ -148,19 +165,38 @@ impl DpsNetwork {
         // Scan the registry by reference; the event itself is moved into the
         // node, not cloned.
         let sim = &self.sim;
+        let now = sim.now();
         let expected: HashSet<NodeId> = self
             .filters
             .iter()
             .filter(|(n, subs)| sim.is_alive(**n) && subs.iter().any(|(_, f)| f.matches(&event)))
             .map(|(n, _)| *n)
             .collect();
+        // Reachability is per active window and transitive through bridges: a
+        // subscriber on the far side of a cut still counts as reachable when
+        // some *alive* node sits in no side of that window (it can relay
+        // across), so only absolute cuts shrink the reachable set.
+        let fault = sim.fault_plan();
+        let reachable: HashSet<NodeId> = expected
+            .iter()
+            .copied()
+            .filter(|s| {
+                !fault
+                    .active_partitions(now)
+                    .any(|w| w.severs(node, *s) && !sim.alive().any(|b| w.side_of(b).is_none()))
+            })
+            .collect();
         let mut out = None;
         self.sim.invoke(node, |n, ctx| {
             out = Some(n.publish(event, ctx));
         });
         let id = out?;
-        let now = self.sim.now();
-        self.pubs.push((id, now, expected));
+        self.pubs.push(PubRecord {
+            id,
+            at: now,
+            expected,
+            reachable,
+        });
         Some(id)
     }
 
@@ -218,21 +254,85 @@ impl DpsNetwork {
         self.sim.nth_alive(k)
     }
 
+    // ---- link faults: partitions and lossy links ----
+
+    /// Starts a partition **now**, splitting the id space at `boundary`: node
+    /// indices `< boundary` form side `"low"`, all others (including nodes
+    /// that join while the partition holds) side `"high"`. Cross-side
+    /// messages are dropped at delivery time and accounted as
+    /// [`dps_sim::DropReason::Partitioned`]. The partition holds until
+    /// [`heal`](Self::heal).
+    ///
+    /// ```
+    /// use dps::{DpsConfig, DpsNetwork};
+    /// use dps_sim::DropReason;
+    ///
+    /// let mut net = DpsNetwork::new(DpsConfig::default(), 1);
+    /// net.add_nodes(10);
+    /// net.partition_split(5);
+    /// net.run(50); // heartbeats across the cut all drop
+    /// assert!(net.metrics().dropped_for(DropReason::Partitioned) > 0);
+    /// net.heal();
+    /// ```
+    pub fn partition_split(&mut self, boundary: usize) {
+        let now = self.sim.now();
+        self.sim
+            .fault_plan_mut()
+            .add_split(now, Step::MAX, boundary);
+    }
+
+    /// Starts a partition **now** with explicitly named sides; nodes listed
+    /// in no side keep talking to everyone. Holds until [`heal`](Self::heal).
+    pub fn partition<S: AsRef<str>>(&mut self, sides: &[(S, Vec<NodeId>)]) {
+        let now = self.sim.now();
+        self.sim
+            .fault_plan_mut()
+            .add_partition(now, Step::MAX, sides);
+    }
+
+    /// Ends every partition currently in force; returns how many were open.
+    /// Future windows scheduled on the plan are untouched.
+    pub fn heal(&mut self) -> usize {
+        let now = self.sim.now();
+        self.sim.fault_plan_mut().heal_at(now)
+    }
+
+    /// Sets the default loss rate of **every** link: each delivery drops with
+    /// probability `rate`, sampled from the simulation RNG (runs stay a pure
+    /// function of the seed). Drops are accounted as
+    /// [`dps_sim::DropReason::Loss`]. `rate = 0.0` turns loss back off.
+    pub fn set_loss(&mut self, rate: f64) {
+        self.sim.fault_plan_mut().set_default_loss(rate);
+    }
+
+    /// Sets the loss rate of the directed link `from -> to` only (overrides
+    /// the default rate for that link).
+    pub fn set_link_loss(&mut self, from: NodeId, to: NodeId, rate: f64) {
+        self.sim.fault_plan_mut().set_link_loss(from, to, rate);
+    }
+
+    /// The link-fault schedule in force.
+    pub fn fault_plan(&self) -> &FaultPlan {
+        self.sim.fault_plan()
+    }
+
     // ---- measurement ----
 
     /// Per-publication delivery reports.
     pub fn reports(&self) -> Vec<DeliveryReport> {
         self.pubs
             .iter()
-            .map(|(id, at, expected)| DeliveryReport {
-                id: *id,
-                published_at: *at,
-                expected: expected.clone(),
-                delivered: expected
+            .map(|p| DeliveryReport {
+                id: p.id,
+                published_at: p.at,
+                expected: p.expected.clone(),
+                reachable: p.reachable.clone(),
+                delivered: p
+                    .expected
                     .iter()
-                    .filter(|n| self.sink.was_notified(*id, **n))
+                    .filter(|n| self.sink.was_notified(p.id, **n))
                     .count(),
-                contacted: self.sink.contacted(*id),
+                contacted: self.sink.contacted(p.id),
             })
             .collect()
     }
@@ -247,16 +347,40 @@ impl DpsNetwork {
     /// [`delivered_ratio`](Self::delivered_ratio) restricted to publications
     /// issued in `[from, to)`.
     pub fn delivered_ratio_between(&self, from: Step, to: Step) -> f64 {
+        self.ratio_between(from, to, |p| &p.expected)
+    }
+
+    /// Like [`delivered_ratio`](Self::delivered_ratio), but counting only the
+    /// `(publication, subscriber)` pairs that were **reachable** at publish
+    /// time: subscribers on the far side of an active partition are excluded
+    /// from the denominator. This is the fair dependability measure while a
+    /// partition holds — no protocol can deliver across an absolute cut — and
+    /// it equals [`delivered_ratio`](Self::delivered_ratio) in fault-free runs.
+    pub fn delivered_ratio_reachable(&self) -> f64 {
+        self.delivered_ratio_reachable_between(0, Step::MAX)
+    }
+
+    /// [`delivered_ratio_reachable`](Self::delivered_ratio_reachable)
+    /// restricted to publications issued in `[from, to)`.
+    pub fn delivered_ratio_reachable_between(&self, from: Step, to: Step) -> f64 {
+        self.ratio_between(from, to, |p| &p.reachable)
+    }
+
+    fn ratio_between<F>(&self, from: Step, to: Step, population: F) -> f64
+    where
+        F: Fn(&PubRecord) -> &HashSet<NodeId>,
+    {
         let mut expected = 0usize;
         let mut delivered = 0usize;
-        for (id, at, exp) in &self.pubs {
-            if *at < from || *at >= to {
+        for p in &self.pubs {
+            if p.at < from || p.at >= to {
                 continue;
             }
-            expected += exp.len();
-            delivered += exp
+            let pop = population(p);
+            expected += pop.len();
+            delivered += pop
                 .iter()
-                .filter(|n| self.sink.was_notified(*id, **n))
+                .filter(|n| self.sink.was_notified(p.id, **n))
                 .count();
         }
         if expected == 0 {

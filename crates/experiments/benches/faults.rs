@@ -1,0 +1,12 @@
+//! Runs the fault-injection scenarios: partition + epidemic merge, and the
+//! delivery-under-loss sweep.
+
+use dps_experiments::{faults, output, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    let partition = faults::partition_merge(scale);
+    output::write_json("partition_merge", &partition);
+    let loss = faults::loss_sweep(scale);
+    output::write_json("loss_sweep", &loss);
+}

@@ -32,8 +32,14 @@ pub fn fig3a_configs() -> Vec<DpsConfig> {
 }
 
 /// Builds a converged overlay of `n` nodes with `subs_per_node` workload-2
-/// subscriptions each (the paper's dependability setup).
-fn build_overlay(cfg: DpsConfig, n: usize, subs_per_node: usize, seed: u64) -> DpsNetwork {
+/// subscriptions each (the paper's dependability setup). Shared with the
+/// fault-injection runners in [`crate::faults`].
+pub(crate) fn build_overlay(
+    cfg: DpsConfig,
+    n: usize,
+    subs_per_node: usize,
+    seed: u64,
+) -> DpsNetwork {
     let w = Workload::multiplayer_game();
     let mut net = DpsNetwork::new(cfg, seed);
     let nodes = net.add_nodes(n);
@@ -65,8 +71,9 @@ pub struct Fig3aPoint {
 }
 
 /// One Figure 3(a) cell: build the overlay, crash at rate `p`, publish every
-/// 10 steps, then drain and measure.
-fn fig3a_cell(cfg: DpsConfig, p: f64, pi: usize, n: usize, steps: u64) -> Fig3aPoint {
+/// 10 steps, then drain and measure. Public so the shape regression test can
+/// pin individual cells without paying for the whole figure.
+pub fn fig3a_cell(cfg: DpsConfig, p: f64, pi: usize, n: usize, steps: u64) -> Fig3aPoint {
     let label = cfg.label();
     let mut net = build_overlay(cfg, n, 3, 42 + pi as u64);
     let start = net.sim().now();

@@ -63,10 +63,19 @@ pub struct DpsConfig {
     pub inter_group_fanout: usize,
     /// `Fs`: subscription-gossip fanout (epidemic view updates).
     pub sub_gossip_fanout: usize,
-    /// Base forwarding probability of epidemic gossip; the effective probability
-    /// after `h` forwards is `p0 / (1 + h)` ("reduced proportionally to the number
-    /// of times the message is forwarded", §4.2.2).
+    /// Base forwarding probability of epidemic gossip: a node holding a fresh
+    /// publication runs one gossip round per step, forwarding to
+    /// [`gossip_fanout`](Self::gossip_fanout) random group members with
+    /// probability `p0 / (1 + r)` in its `r`-th round ("reduced proportionally
+    /// to the number of times the message is forwarded", §4.2.2).
     pub gossip_p0: f64,
+    /// Number of per-step gossip rounds a node runs per fresh publication
+    /// before retiring it. The decaying round probability makes late rounds
+    /// rare; this caps the bookkeeping. The expected sends per member are
+    /// `gossip_fanout × Σ p0/(1+r)` (≈ 3.4 × `gossip_fanout` for the default
+    /// 16 rounds) — supercritical for every `k ≥ 1`, which is what makes the
+    /// epidemic rows of Fig. 3(a) beat the leader rows under churn.
+    pub gossip_rounds: u32,
     /// Cap on the size of the partial `groupview` kept by epidemic members.
     pub group_view_cap: usize,
     /// Heartbeat probing interval bounds in steps; each monitored edge draws its
@@ -77,6 +86,12 @@ pub struct DpsConfig {
     /// Steps to wait for a `Pong` (or any request's answer) before declaring the
     /// peer dead / the request failed.
     pub probe_timeout: u64,
+    /// Unanswered pings re-sent before a monitored neighbor is declared dead.
+    /// With 0, a single lost `Ping`/`Pong` kills the neighbor in the detector —
+    /// under link loss the overlay then tears itself apart on false suspicion
+    /// (at 20 % uniform loss a round trip is lost more than a third of the
+    /// time). Retries trade a few steps of detection latency for robustness.
+    pub probe_retries: u32,
     /// TTL of the random walks used to discover a tree for an attribute.
     pub walk_ttl: u32,
     /// Retries before concluding that no tree exists for an attribute.
@@ -85,14 +100,26 @@ pub struct DpsConfig {
     pub request_timeout: u64,
     /// Timeout for an in-flight `FIND_GROUP` traversal. Separate from
     /// [`request_timeout`](Self::request_timeout) because tree descents cover one
-    /// group per step: uniform range workloads build predicate chains hundreds of
-    /// groups deep, and retrying a healthy-but-long descent duplicates work.
+    /// group per step and uniform range workloads build predicate chains many
+    /// groups deep. A retry restarts a *new* descent but does not cancel the old
+    /// one — whichever answers first wins, duplicates are ignored — so this is a
+    /// liveness heartbeat against descents that died with a crashed relay, not a
+    /// worst-case-depth bound. (It was once 1500 on the depth-bound reasoning;
+    /// under churn that left every subscriber whose descent hit a crashed relay
+    /// unplaced — and silently undeliverable — for 1500 steps.)
     pub traversal_timeout: u64,
     /// Period of the leader-mode view exchange (parent chain down / child report
     /// up) and of the epidemic merge push.
     pub view_exchange_every: u64,
     /// Period of the duplicate-tree detection walk run by owners.
     pub owner_merge_every: u64,
+    /// Age limit (steps) of the per-node recent-publication buffer used to
+    /// re-flush events into a branch right after it is repaired, re-attached
+    /// or adopted. Without it, any publication crossing a stale branch
+    /// pointer during the healing window is lost for the entire subtree —
+    /// the dominant dependability failure at high churn. Re-flushes are
+    /// deduplicated by the per-group seen cache, so crossing flows are safe.
+    pub repub_window: u64,
     /// Size of the random peer sample kept per node (bootstrap substrate).
     pub peer_view: usize,
     /// Capacity of the per-node publication dedup cache.
@@ -111,16 +138,19 @@ impl Default for DpsConfig {
             inter_group_fanout: 2,
             sub_gossip_fanout: 2,
             gossip_p0: 1.0,
+            gossip_rounds: 16,
             group_view_cap: 12,
             heartbeat_min: 10,
             heartbeat_max: 25,
             probe_timeout: 5,
+            probe_retries: 2,
             walk_ttl: 24,
             find_tree_retries: 2,
             request_timeout: 40,
-            traversal_timeout: 1500,
+            traversal_timeout: 100,
             view_exchange_every: 20,
             owner_merge_every: 100,
+            repub_window: 240,
             peer_view: 12,
             seen_cap: 512,
         }

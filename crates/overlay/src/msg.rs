@@ -249,7 +249,10 @@ pub enum DpsMsg {
         /// The attribute tree acknowledging.
         attr: AttrName,
     },
-    /// Publication flooding/gossiping inside one group.
+    /// Publication flooding/gossiping inside one group. Epidemic receivers
+    /// start their own decaying gossip rounds on first receipt (the decay is
+    /// per-node forward count, not network hop count, so the infection stays
+    /// supercritical at the frontier).
     PublishGroup {
         /// Publication id.
         id: PubId,
@@ -257,8 +260,6 @@ pub enum DpsMsg {
         event: Event,
         /// Group concerned (receiver's membership).
         label: GroupLabel,
-        /// Gossip hop count (epidemic decay).
-        hops: u32,
     },
 
     // ---- management: views, heartbeats, healing ----
@@ -351,6 +352,12 @@ pub enum DpsMsg {
         predview: Vec<GroupRef>,
         /// Branches known to the sender.
         branches: Vec<BranchInfo>,
+        /// Digest of recent publications the sender already holds: epidemic
+        /// receivers answer with the recent matching events *not* in this
+        /// list (publication anti-entropy). An empty digest requests a full
+        /// replay of the receiver's recent window (used when two cohorts of
+        /// a merged group are introduced).
+        recent: Vec<PubId>,
     },
     /// Tree-merge: instructs members of a duplicate tree to re-subscribe through
     /// the surviving tree (owners detect duplicates by periodic random walks).

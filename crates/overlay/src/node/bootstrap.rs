@@ -10,7 +10,7 @@ use dps_sim::{Context, NodeId};
 use rand::seq::IteratorRandom;
 use rand::Rng;
 
-use crate::config::TraversalKind;
+use crate::config::{CommKind, TraversalKind};
 use crate::label::GroupLabel;
 use crate::msg::{DpsMsg, Ticket};
 use crate::node::{claim_beats, DpsNode, PendingWalk, SubPhase, TreeContact};
@@ -429,9 +429,38 @@ impl DpsNode {
             new_owner,
             epoch,
         };
+        let epidemic = self.cfg.comm == CommKind::Epidemic;
         let mut resubscribe: Vec<crate::msg::SubId> = Vec::new();
+        let mut orphaned: Vec<GroupLabel> = Vec::new();
         // Walk in reverse so removal by index stays valid.
         for i in idxs.into_iter().rev() {
+            if epidemic && !self.memberships[i].label.is_root() {
+                // Epidemic merge-in-place (make-before-break): the group keeps
+                // its label, members and subscriptions, adopts the surviving
+                // owner's claim, and re-attaches into the surviving tree as a
+                // unit via the orphan machinery — instead of every member
+                // individually tearing down and re-traversing, which left
+                // subscribers silently unplaced for hundreds of steps under
+                // churn. The propagation below tells the rest of the cohort;
+                // receivers that already switched claims return early, so the
+                // wave terminates.
+                let m = &mut self.memberships[i];
+                m.owner = new_owner;
+                m.owner_epoch = epoch;
+                m.set_predview(Vec::new(), 0);
+                let targets: Vec<NodeId> = m
+                    .members
+                    .iter()
+                    .copied()
+                    .chain(m.branches.iter().filter_map(|b| b.primary()))
+                    .filter(|n| *n != self.id)
+                    .collect();
+                for n in targets {
+                    ctx.send(n, msg.clone());
+                }
+                orphaned.push(self.memberships[i].label.clone());
+                continue;
+            }
             let m = self.memberships.remove(i);
             if m.is_leader() {
                 for b in &m.branches {
@@ -446,6 +475,14 @@ impl DpsNode {
                 }
             }
             resubscribe.extend(m.sub_ids);
+        }
+        for label in orphaned {
+            if let Some(i) = self.membership_index(&label) {
+                // Routes a Reattach toward the surviving tree's contact (just
+                // cached above); the periodic orphan retry in `tick_periodic`
+                // covers a lost graft.
+                self.reattach_or_promote(i, ctx);
+            }
         }
         for sub_id in resubscribe {
             if let Some((_, filter)) = self.subs.iter().find(|(s, _)| *s == sub_id).cloned() {

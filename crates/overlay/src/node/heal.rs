@@ -5,13 +5,14 @@
 
 use std::collections::BTreeSet;
 
+use dps_content::Event;
 use dps_sim::{Context, NodeId};
 use rand::seq::IteratorRandom;
 use rand::Rng;
 
 use crate::config::CommKind;
 use crate::label::GroupLabel;
-use crate::msg::{BranchInfo, DpsMsg, GroupRef};
+use crate::msg::{BranchInfo, DpsMsg, GroupRef, PubId};
 use crate::node::{claim_beats, DpsNode, Probe};
 use crate::views::{Branch, Role};
 
@@ -69,16 +70,28 @@ impl DpsNode {
                         every,
                         next_at: now + phase,
                         outstanding: None,
+                        misses: 0,
                     },
                 );
             }
         }
         let timeout = self.cfg.probe_timeout;
+        let retries = self.cfg.probe_retries;
         let mut dead: Vec<NodeId> = Vec::new();
         let mut pings: Vec<(NodeId, u64)> = Vec::new();
         for (t, p) in self.probes.iter_mut() {
             match p.outstanding {
-                Some((_, sent)) if now.saturating_sub(sent) > timeout => dead.push(*t),
+                Some((_, sent)) if now.saturating_sub(sent) > timeout => {
+                    if p.misses >= retries {
+                        dead.push(*t);
+                    } else {
+                        // Re-probe before condemning: a single lost pong must
+                        // not look like a crash (nonce assigned below).
+                        p.misses += 1;
+                        pings.push((*t, 0));
+                        p.outstanding = Some((0, now));
+                    }
+                }
                 Some(_) => {}
                 None if p.next_at <= now => {
                     pings.push((*t, 0)); // nonce assigned below (needs &mut self)
@@ -108,6 +121,7 @@ impl DpsNode {
             if matches!(p.outstanding, Some((n, _)) if n == nonce) {
                 p.outstanding = None;
             }
+            p.misses = 0; // any pong proves liveness, even a late one
         }
     }
 
@@ -143,6 +157,12 @@ impl DpsNode {
                     }
                 }
                 CommKind::Epidemic => {
+                    // The leader field is only a contact hint in epidemic mode
+                    // and nothing maintains it: point it at ourselves so stale
+                    // descriptors cannot keep advertising the dead node.
+                    if was_leader_dead {
+                        self.memberships[i].leader = self.id;
+                    }
                     // Pull a fresh view from a surviving member (§4.3: the failed
                     // node "is immediately replaced by pulling a view update from
                     // the other alive nodes"), and bridge branches whose whole
@@ -328,7 +348,7 @@ impl DpsNode {
                 label: label.clone(),
                 refs: refs.clone(),
             };
-            self.memberships[i].upsert_branch(info, depth);
+            self.memberships[i].upsert_branch(info.clone(), depth);
             let parent = self.descriptor(&self.memberships[i]);
             let chain = {
                 let mut v = self.own_refs(&self.memberships[i]);
@@ -345,6 +365,10 @@ impl DpsNode {
                     },
                 );
             }
+            // Publications that crossed the dead edge during the failure
+            // window are gone for the whole adopted subtree: re-flush the
+            // recent ones through the freshly bridged branch.
+            self.flush_recent_to_branch(i, &info, ctx);
         }
     }
 
@@ -501,10 +525,50 @@ impl DpsNode {
         let m = &self.memberships[i];
         if let Some(b) = m.branch(&branch.label) {
             // The branch already exists here: merge refs and re-point the orphan.
-            let _ = b;
+            let was_live = b.primary().is_some();
+            // Two same-label cohorts are meeting (e.g. a dissolved duplicate
+            // tree's group grafting next to the survivor's): introduce their
+            // contacts to each other so the epidemic view merge can unify the
+            // member views — otherwise publications entering via one cohort's
+            // refs never reach the other.
+            if self.cfg.comm == CommKind::Epidemic {
+                let incumbents: Vec<NodeId> = b
+                    .refs
+                    .iter()
+                    .filter(|r| r.label == branch.label)
+                    .map(|r| r.node)
+                    .collect();
+                let newcomers: Vec<NodeId> = branch
+                    .refs
+                    .iter()
+                    .filter(|r| r.label == branch.label)
+                    .map(|r| r.node)
+                    .collect();
+                let fresh: Vec<NodeId> = newcomers
+                    .iter()
+                    .copied()
+                    .filter(|n| !incumbents.contains(n))
+                    .collect();
+                if !incumbents.is_empty() && !fresh.is_empty() {
+                    let intro = |members: Vec<NodeId>| DpsMsg::ViewPush {
+                        label: branch.label.clone(),
+                        members,
+                        predview: Vec::new(),
+                        branches: Vec::new(),
+                        // Empty digest: the receiving cohort replays its whole
+                        // recent window to the other side.
+                        recent: Vec::new(),
+                    };
+                    ctx.send(incumbents[0], intro(fresh.clone()));
+                    ctx.send(fresh[0], intro(incumbents.clone()));
+                }
+            }
             let depth = self.cfg.view_depth;
             self.memberships[i].upsert_branch(branch.clone(), depth);
             self.send_new_parent_for(i, &branch, ctx);
+            if !was_live {
+                self.flush_recent_to_branch(i, &branch, ctx);
+            }
             return;
         }
         let branch_preds: Vec<dps_content::Predicate> = m
@@ -529,8 +593,15 @@ impl DpsNode {
         }
         // We are the designated predecessor: graft the orphan here.
         let depth = self.cfg.view_depth;
+        let was_live = self.memberships[i]
+            .branch(&branch.label)
+            .and_then(Branch::primary)
+            .is_some();
         self.memberships[i].upsert_branch(branch.clone(), depth);
         self.send_new_parent_for(i, &branch, ctx);
+        if !was_live {
+            self.flush_recent_to_branch(i, &branch, ctx);
+        }
     }
 
     fn send_new_parent_for(
@@ -797,6 +868,7 @@ impl DpsNode {
                 members: m.members.clone(),
                 predview: m.predview.clone(),
                 branches: m.branches.iter().map(Branch::info).collect(),
+                recent: self.recent_digest(),
             };
             for c in m.co_leaders.clone() {
                 if c != me {
@@ -818,19 +890,20 @@ impl DpsNode {
                 members: m.members.clone(),
                 predview: m.predview.clone(),
                 branches: m.branches.iter().map(Branch::info).collect(),
+                recent: self.recent_digest(),
             };
             let mut targets: Vec<NodeId> = Vec::new();
             if let Some(n) = m
                 .members
                 .iter()
                 .copied()
-                .filter(|n| *n != me)
+                .filter(|n| *n != me && !self.suspected.contains(n))
                 .choose(ctx.rng())
             {
                 targets.push(n);
             }
             for b in &m.branches {
-                if let Some(r) = b.refs.first() {
+                if let Some(r) = b.refs.iter().find(|r| !self.suspected.contains(&r.node)) {
                     if r.node != me {
                         targets.push(r.node);
                     }
@@ -841,8 +914,18 @@ impl DpsNode {
             }
             // Multi-level exchange, as the leader-mode view exchange does: report
             // ourselves and our children upward so ancestors can bridge our whole
-            // group failing; ship our predecessor chain downward.
-            if let Some(parent) = m.predview.first().cloned() {
+            // group failing; ship our predecessor chain downward. The report goes
+            // to the first two live-believed parent entries — with a single
+            // (possibly stale) target, one dead parent contact silences the
+            // child for whole exchange periods.
+            let parents: Vec<GroupRef> = m
+                .predview
+                .iter()
+                .filter(|r| r.node != me && !self.suspected.contains(&r.node))
+                .take(2)
+                .cloned()
+                .collect();
+            if !parents.is_empty() {
                 let mut refs = self.own_refs(m);
                 for b in &m.branches {
                     refs.extend(
@@ -853,14 +936,14 @@ impl DpsNode {
                             .cloned(),
                     );
                 }
-                if parent.node != me {
+                for parent in parents {
                     ctx.send(
                         parent.node,
                         DpsMsg::ChildReport {
                             parent_label: parent.label.clone(),
                             branch: BranchInfo {
                                 label: m.label.clone(),
-                                refs,
+                                refs: refs.clone(),
                             },
                         },
                     );
@@ -870,7 +953,11 @@ impl DpsNode {
             chain.extend(m.predview.iter().cloned());
             chain.truncate(self.cfg.view_depth + 3);
             for b in &m.branches {
-                if let Some(r) = b.refs.iter().find(|r| r.label == b.label) {
+                if let Some(r) = b
+                    .refs
+                    .iter()
+                    .find(|r| r.label == b.label && !self.suspected.contains(&r.node))
+                {
                     if r.node != me {
                         ctx.send(
                             r.node,
@@ -920,7 +1007,17 @@ impl DpsNode {
                 return;
             }
         }
-        self.memberships[i].upsert_branch(branch, depth);
+        let was_live = self.memberships[i]
+            .branch(&branch.label)
+            .and_then(Branch::primary)
+            .is_some();
+        self.memberships[i].upsert_branch(branch.clone(), depth);
+        if !was_live {
+            // The child went silent long enough to lose its direct entry (or
+            // was never attached here): besides restoring the pointer, replay
+            // what it may have missed.
+            self.flush_recent_to_branch(i, &branch, ctx);
+        }
     }
 
     pub(crate) fn handle_view_pull(
@@ -939,17 +1036,21 @@ impl DpsNode {
                 members: m.members.clone(),
                 predview: m.predview.clone(),
                 branches: m.branches.iter().map(Branch::info).collect(),
+                recent: self.recent_digest(),
             },
         );
     }
 
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn handle_view_push(
         &mut self,
-        _from: NodeId,
+        from: NodeId,
         label: GroupLabel,
         members: Vec<NodeId>,
         predview: Vec<GroupRef>,
         branches: Vec<BranchInfo>,
+        recent: Vec<PubId>,
+        ctx: &mut Context<'_, DpsMsg>,
     ) {
         let epidemic = self.cfg.comm == CommKind::Epidemic;
         let cap = if epidemic {
@@ -964,6 +1065,7 @@ impl DpsNode {
             .copied()
             .filter(|n| self.suspected.contains(n))
             .collect();
+        let me = self.id;
         let Some(m) = self.membership_mut(&label) else {
             return;
         };
@@ -972,14 +1074,39 @@ impl DpsNode {
                 m.add_member(n);
             }
         }
-        if m.members.len() > cap {
-            let overflow = m.members.len() - cap;
-            m.members.drain(0..overflow);
-        }
+        m.evict_members_to_cap(cap, me, ctx.rng());
         m.merge_predview(&predview, pv_cap);
         for b in branches {
             if b.label != label {
                 m.upsert_branch(b, depth);
+            }
+        }
+        // Publication anti-entropy (the merge process applied to events, in
+        // the spirit of lpbcast): answer the pusher with the fresh matching
+        // publications we hold. A member that partial-view gossip skipped
+        // pushes its view somewhere within a couple of exchange periods and
+        // gets the missed events straight back; receivers deduplicate, so the
+        // exchange is idempotent.
+        if epidemic {
+            let now = ctx.now();
+            let window = 4 * self.cfg.view_exchange_every;
+            let missing: Vec<(PubId, Event)> = self
+                .recent_pubs
+                .iter()
+                .filter(|(id, _, _)| !recent.contains(id))
+                .filter(|(_, _, at)| now.saturating_sub(*at) <= window)
+                .filter(|(_, ev, _)| label.matches_event(ev))
+                .map(|(id, ev, _)| (*id, ev.clone()))
+                .collect();
+            for (id, event) in missing {
+                ctx.send(
+                    from,
+                    DpsMsg::PublishGroup {
+                        id,
+                        event,
+                        label: label.clone(),
+                    },
+                );
             }
         }
     }

@@ -23,7 +23,7 @@ mod heal;
 mod publish;
 mod subscribe;
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::Arc;
 
 use dps_content::{AttrName, Event, Filter};
@@ -37,6 +37,10 @@ use crate::sink::{NoopSink, StatsSink};
 use crate::views::{Membership, Role};
 
 pub use crate::views::{Branch, Membership as GroupMembership, Role as GroupRole};
+
+/// Hard cap on the recent-publication re-flush buffer (the `repub_window` age
+/// limit is the primary bound; this caps pathological publish rates).
+pub(crate) const RECENT_PUBS_CAP: usize = 32;
 
 /// Whether owner claim `a` beats claim `b`: higher epoch wins; on equal epochs
 /// the smaller node id wins (deterministic, symmetric tiebreak).
@@ -82,6 +86,18 @@ pub(crate) struct PendingWalk {
     pub deadline: Step,
 }
 
+/// A publication this node is actively gossiping within one group (epidemic
+/// mode): one fan-out round per step with probability `p0 / (1 + rounds)`,
+/// retired after `gossip_rounds` rounds (§4.2.2's decaying forward).
+#[derive(Debug, Clone)]
+pub(crate) struct ActiveGossip {
+    pub label: GroupLabel,
+    pub id: PubId,
+    pub event: Event,
+    /// Rounds already run (round 0 fires on receipt).
+    pub rounds: u32,
+}
+
 /// Heartbeat state for one monitored neighbor (§4.3: "nodes in the predview and
 /// succview structure are periodically monitored for failures").
 #[derive(Debug, Clone)]
@@ -92,6 +108,9 @@ pub(crate) struct Probe {
     pub next_at: Step,
     /// Outstanding ping: (nonce, sent_at).
     pub outstanding: Option<(u64, Step)>,
+    /// Consecutive unanswered pings (a pong resets it); the neighbor is
+    /// declared dead only past `probe_retries`.
+    pub misses: u32,
 }
 
 /// Cached contact information for an attribute tree.
@@ -125,6 +144,11 @@ pub struct DpsNode {
     // Publication bookkeeping.
     pub(crate) seen_route: SeenCache<(PubId, GroupLabel)>,
     pub(crate) seen_node: SeenCache<PubId>,
+    pub(crate) active_gossip: Vec<ActiveGossip>,
+    /// Recently handled matching publications `(id, event, heard_at)`, kept
+    /// for [`repub_window`](crate::DpsConfig::repub_window) steps to re-flush
+    /// into branches repaired after a failure (see `flush_recent_to_branch`).
+    pub(crate) recent_pubs: VecDeque<(PubId, Event, Step)>,
     pub(crate) pubs_received: u64,
     pub(crate) pubs_notified: u64,
 
@@ -173,6 +197,8 @@ impl DpsNode {
             walks: Vec::new(),
             seen_route: SeenCache::new(seen_cap * 4),
             seen_node: SeenCache::new(seen_cap),
+            active_gossip: Vec::new(),
+            recent_pubs: VecDeque::new(),
             pubs_received: 0,
             pubs_notified: 0,
             probes: BTreeMap::new(),
@@ -231,6 +257,22 @@ impl DpsNode {
         self.pending_subs.len()
     }
 
+    /// Debug view of the pending subscriptions: `(phase, retries, deadline)`.
+    #[doc(hidden)]
+    pub fn pending_subscription_states(&self) -> Vec<(&'static str, u32, Step)> {
+        self.pending_subs
+            .iter()
+            .map(|p| {
+                let phase = match p.phase {
+                    SubPhase::FindingTree => "finding-tree",
+                    SubPhase::Traversing => "traversing",
+                    SubPhase::Joining(_) => "joining",
+                };
+                (phase, p.retries, p.deadline)
+            })
+            .collect()
+    }
+
     /// Publications received (any group, counted once per publication).
     pub fn publications_received(&self) -> u64 {
         self.pubs_received
@@ -263,33 +305,69 @@ impl DpsNode {
     }
 
     /// The descriptor advertising a group we belong to.
+    ///
+    /// Epidemic groups have no maintained leadership: the `leader` field of a
+    /// membership is only the contact that was current when we joined, and
+    /// nothing ever updates it when that node dies (there is no takeover
+    /// protocol in epidemic mode). Advertising it would hand joiners and
+    /// publishers a possibly-dead contact forever — the failure that left
+    /// subscribers permanently unplaced under churn. Since *any* epidemic
+    /// member can serve joins and entries, we advertise ourselves, with a few
+    /// live-believed members as backup contacts.
     pub(crate) fn descriptor(&self, m: &Membership) -> GroupDescriptor {
+        let epidemic = self.cfg.comm == crate::config::CommKind::Epidemic;
+        let leader = if m.is_leader() || epidemic {
+            self.id
+        } else {
+            m.leader
+        };
+        let co_leaders = if epidemic {
+            m.members
+                .iter()
+                .copied()
+                .filter(|n| *n != self.id && !self.suspected.contains(n))
+                .take(2)
+                .collect()
+        } else {
+            m.co_leaders.clone()
+        };
         GroupDescriptor {
             label: m.label.clone(),
-            leader: if m.is_leader() { self.id } else { m.leader },
-            co_leaders: m.co_leaders.clone(),
+            leader,
+            co_leaders,
             owner: m.owner,
             owner_epoch: m.owner_epoch,
         }
     }
 
     /// Group refs advertising this node (and co-leaders) as contacts of group `m`.
+    /// Epidemic mode leads with ourselves — the `leader` field is an unmaintained
+    /// hint there (see [`descriptor`](Self::descriptor)) and must not become the
+    /// primary contact neighbors route through.
     pub(crate) fn own_refs(&self, m: &Membership) -> Vec<GroupRef> {
-        let mut v = vec![GroupRef {
+        let gref = |node: NodeId| GroupRef {
             label: m.label.clone(),
-            node: if m.is_leader() { self.id } else { m.leader },
-        }];
+            node,
+        };
+        let mut v = if self.cfg.comm == crate::config::CommKind::Epidemic {
+            let mut v = vec![gref(self.id)];
+            v.extend(
+                m.members
+                    .iter()
+                    .copied()
+                    .filter(|n| *n != self.id && !self.suspected.contains(n))
+                    .take(2)
+                    .map(gref),
+            );
+            v
+        } else {
+            vec![gref(if m.is_leader() { self.id } else { m.leader })]
+        };
         for c in &m.co_leaders {
-            v.push(GroupRef {
-                label: m.label.clone(),
-                node: *c,
-            });
+            v.push(gref(*c));
         }
         if !v.iter().any(|r| r.node == self.id) {
-            v.push(GroupRef {
-                label: m.label.clone(),
-                node: self.id,
-            });
+            v.push(gref(self.id));
         }
         v
     }
@@ -361,6 +439,34 @@ impl DpsNode {
         self.nonce_counter
     }
 
+    /// Digest of the recently processed publications (for the anti-entropy
+    /// exchange riding `ViewPush`: receivers answer only with events missing
+    /// from the sender's digest).
+    pub(crate) fn recent_digest(&self) -> Vec<PubId> {
+        self.recent_pubs.iter().map(|(id, _, _)| *id).collect()
+    }
+
+    /// Remembers a publication this node processed, for post-repair
+    /// re-flushes. Bounded: entries older than `repub_window` retire, and the
+    /// buffer never exceeds [`RECENT_PUBS_CAP`].
+    pub(crate) fn remember_pub(&mut self, id: PubId, event: &Event, now: Step) {
+        let window = self.cfg.repub_window;
+        while let Some((_, _, at)) = self.recent_pubs.front() {
+            if now.saturating_sub(*at) > window {
+                self.recent_pubs.pop_front();
+            } else {
+                break;
+            }
+        }
+        if self.recent_pubs.iter().any(|(i, _, _)| *i == id) {
+            return;
+        }
+        if self.recent_pubs.len() >= RECENT_PUBS_CAP {
+            self.recent_pubs.pop_front();
+        }
+        self.recent_pubs.push_back((id, event.clone(), now));
+    }
+
     /// Creates a brand-new group membership led by us.
     pub(crate) fn new_led_membership(
         &mut self,
@@ -386,8 +492,15 @@ impl Process for DpsNode {
 
     fn on_message(&mut self, from: NodeId, msg: DpsMsg, ctx: &mut Context<'_, DpsMsg>) {
         // Hearing from a node proves it alive: retract any suspicion (suspicions
-        // also arise heuristically, e.g. contacts that never acked a publication).
+        // also arise heuristically, e.g. contacts that never acked a publication)
+        // and settle any outstanding probe — crashed nodes cannot send, so this
+        // never masks a real failure, and under link loss it stops chatty
+        // neighbors from being condemned over one missing pong.
         self.suspected.remove(&from);
+        if let Some(p) = self.probes.get_mut(&from) {
+            p.outstanding = None;
+            p.misses = 0;
+        }
         match msg {
             // Bootstrap.
             DpsMsg::Shuffle { peers } => self.handle_shuffle(from, peers, ctx),
@@ -450,12 +563,9 @@ impl Process for DpsNode {
             // Publication.
             DpsMsg::Publish(t) => self.handle_publish(t, ctx),
             DpsMsg::PubAck { id, attr } => self.handle_pub_ack(id, attr),
-            DpsMsg::PublishGroup {
-                id,
-                event,
-                label,
-                hops,
-            } => self.handle_publish_group(from, id, event, label, hops, ctx),
+            DpsMsg::PublishGroup { id, event, label } => {
+                self.handle_publish_group(from, id, event, label, ctx)
+            }
 
             // Management & healing.
             DpsMsg::Ping { nonce } => ctx.send(from, DpsMsg::Pong { nonce }),
@@ -496,13 +606,15 @@ impl Process for DpsNode {
                 members,
                 predview,
                 branches,
-            } => self.handle_view_push(from, label, members, predview, branches),
+                recent,
+            } => self.handle_view_push(from, label, members, predview, branches, recent, ctx),
         }
     }
 
     fn on_tick(&mut self, ctx: &mut Context<'_, DpsMsg>) {
         self.tick_probes(ctx);
         self.tick_pending(ctx);
+        self.tick_gossip(ctx);
         self.tick_periodic(ctx);
     }
 }

@@ -10,7 +10,7 @@ use rand::Rng;
 use crate::config::{CommKind, TraversalKind};
 use crate::label::GroupLabel;
 use crate::msg::{BranchInfo, DpsMsg, PubId, PubTicket};
-use crate::node::{DpsNode, PendingPub};
+use crate::node::{ActiveGossip, DpsNode, PendingPub};
 
 impl DpsNode {
     /// Publishes an event: it is routed into the tree of **every** attribute it
@@ -78,8 +78,20 @@ impl DpsNode {
             ttl: 100_000,
         };
         let entry: Option<NodeId> = match mode {
+            // Root-based entry goes to the owner — unless the owner is
+            // suspected (dead or cut off), in which case a tree membership of
+            // our own is a far better entry than a black hole: the event at
+            // least reaches our reachable part of the tree.
             TraversalKind::Root => self
                 .known_owner(&attr)
+                .filter(|o| !self.suspected.contains(o))
+                .or_else(|| {
+                    if self.memberships_in(&attr).is_empty() {
+                        None
+                    } else {
+                        Some(self.id)
+                    }
+                })
                 .or_else(|| self.tree_cache.get(&attr).map(|c| c.contact)),
             TraversalKind::Generic => {
                 if !self.memberships_in(&attr).is_empty() {
@@ -173,10 +185,11 @@ impl DpsNode {
             }
             return;
         }
-        // Root-based dissemination must enter at the root.
+        // Root-based dissemination must enter at the root (unless the owner is
+        // suspected dead — then inject here rather than lose the event).
         if t.target.is_none() && t.mode == TraversalKind::Root && !self.owns_tree(&attr) {
             if let Some(owner) = self.known_owner(&attr) {
-                if owner != self.id {
+                if owner != self.id && !self.suspected.contains(&owner) {
                     ctx.send(owner, DpsMsg::Publish(t));
                     return;
                 }
@@ -248,59 +261,101 @@ impl DpsNode {
         let matches = label.matches_event(&t.event);
         if matches {
             self.deliver_local(t.id, &t.event);
+            self.remember_pub(t.id, &t.event, ctx.now());
             self.spread_in_group(i, t.id, &t.event, ctx);
-
             // Downstream: forward into every matching child branch (the pruning
             // rule: a non-matching child's whole subtree cannot match).
-            let branch_infos: Vec<(BranchInfo, bool)> = self.memberships[i]
-                .branches
-                .iter()
-                .filter(|b| Some(&b.label) != t.from_child.as_ref())
-                .filter(|b| b.label.matches_event(&t.event))
-                .map(|b| (b.info(), b.blocked))
-                .collect();
-            for (b, blocked) in branch_infos {
-                let child_ticket = PubTicket {
-                    id: t.id,
-                    event: t.event.clone(),
-                    attr: t.attr.clone(),
-                    mode: t.mode,
-                    target: Some(b.label.clone()),
-                    from_child: None,
-                    downstream: true,
-                    ack_to: None,
-                    ttl: t.ttl,
-                };
-                if blocked {
-                    // §4.1: propagation toward a group under construction is
-                    // withheld and flushed on CreateDone.
-                    if let Some(bm) = self.memberships[i].branch_mut(&b.label) {
-                        bm.buffered.push(child_ticket);
-                    }
-                } else {
-                    self.send_to_branch(&b, child_ticket, ctx);
-                }
-            }
+            self.forward_downstream(i, t.id, &t.event, t.from_child.as_ref(), t.ttl, ctx);
         }
 
         // Upstream (generic traversal only): anything not yet traveling
         // downstream keeps climbing toward the root, whether it matched here or
         // not (§4.1: "if the event does not match the group predicate, it still
-        // has to be forwarded upstream").
+        // has to be forwarded upstream"). Suspected parent entries are skipped
+        // — an unfiltered `predview.first()` was a single path into a possibly
+        // dead node, losing the whole upper tree — and epidemic mode climbs
+        // through two entries for redundancy (dedup absorbs the overlap).
         if t.mode == TraversalKind::Generic && !t.downstream && !label.is_root() {
-            if let Some(up) = self.memberships[i].predview.first().cloned() {
+            let fanout = if self.cfg.comm == CommKind::Epidemic {
+                2
+            } else {
+                1
+            };
+            let ups: Vec<crate::msg::GroupRef> = {
+                let pv = &self.memberships[i].predview;
+                let mut v: Vec<_> = pv
+                    .iter()
+                    .filter(|r| r.node != self.id && !self.suspected.contains(&r.node))
+                    .take(fanout)
+                    .cloned()
+                    .collect();
+                if v.is_empty() {
+                    // Every known parent is suspect: try the first anyway
+                    // rather than dropping the climb on the floor.
+                    v.extend(pv.iter().find(|r| r.node != self.id).cloned());
+                }
+                v
+            };
+            for up in ups {
                 let up_ticket = PubTicket {
                     id: t.id,
-                    event: t.event,
-                    attr: t.attr,
+                    event: t.event.clone(),
+                    attr: t.attr.clone(),
                     mode: t.mode,
                     target: Some(up.label),
-                    from_child: Some(label),
+                    from_child: Some(label.clone()),
                     downstream: false,
                     ack_to: None,
                     ttl: t.ttl,
                 };
                 ctx.send(up.node, DpsMsg::Publish(up_ticket));
+            }
+        }
+    }
+
+    /// Forwards a publication into every matching child branch of membership
+    /// `i` (downstream pruning: a non-matching child's whole subtree cannot
+    /// match). Tickets toward blocked branches (group under construction,
+    /// §4.1) are withheld and flushed on `CreateDone`.
+    pub(crate) fn forward_downstream(
+        &mut self,
+        i: usize,
+        id: PubId,
+        event: &Event,
+        from_child: Option<&GroupLabel>,
+        ttl: u32,
+        ctx: &mut Context<'_, DpsMsg>,
+    ) {
+        let branch_infos: Vec<(BranchInfo, bool)> = self.memberships[i]
+            .branches
+            .iter()
+            .filter(|b| Some(&b.label) != from_child)
+            .filter(|b| b.label.matches_event(event))
+            .map(|b| (b.info(), b.blocked))
+            .collect();
+        let attr = self.memberships[i].label.attr().clone();
+        let mode = self.cfg.traversal;
+        for (b, blocked) in branch_infos {
+            let child_ticket = PubTicket {
+                id,
+                event: event.clone(),
+                attr: attr.clone(),
+                mode,
+                target: Some(b.label.clone()),
+                from_child: None,
+                downstream: true,
+                ack_to: None,
+                ttl,
+            };
+            if blocked {
+                if let Some(bm) = self.memberships[i].branch_mut(&b.label) {
+                    // Several members may buffer the same withheld event.
+                    if !bm.buffered.iter().any(|x| x.id == id) {
+                        bm.buffered.push(child_ticket);
+                    }
+                }
+            } else {
+                self.send_to_branch(&b, child_ticket, ctx);
             }
         }
     }
@@ -329,19 +384,49 @@ impl DpsNode {
                 }
             }
             CommKind::Epidemic => {
+                // `k'` random live-believed entries of the child group (random,
+                // not first-k: under churn the head of the ref list is exactly
+                // the stalest part), deeper refs as a fallback bridge.
                 let k = self.cfg.inter_group_fanout.max(1);
+                let suspected = &self.suspected;
                 let in_group: Vec<NodeId> = b
                     .refs
                     .iter()
                     .filter(|r| r.label == b.label)
                     .map(|r| r.node)
-                    .take(k)
-                    .collect();
+                    .filter(|n| !suspected.contains(n))
+                    .choose_multiple(ctx.rng(), k);
                 let targets = if in_group.is_empty() {
-                    b.refs.first().map(|r| r.node).into_iter().collect()
+                    b.refs
+                        .iter()
+                        .map(|r| r.node)
+                        .find(|n| !suspected.contains(n))
+                        .or_else(|| b.refs.first().map(|r| r.node))
+                        .into_iter()
+                        .collect()
                 } else {
                     in_group
                 };
+                // Express hops: also infect the deeper levels the succview
+                // already points at (§4: views hold successors "at upper/lower
+                // levels"). Skipping levels halves the dissemination latency
+                // of deep predicate chains — under churn, latency is delivery
+                // probability, because expected subscribers keep crashing
+                // while the event is still descending. The per-group dedup
+                // absorbs the overlap with the level-by-level flow.
+                let deeper: Vec<(NodeId, GroupLabel)> = b
+                    .refs
+                    .iter()
+                    .filter(|r| r.label != b.label && !suspected.contains(&r.node))
+                    .filter(|r| r.label.matches_event(&t.event))
+                    .map(|r| (r.node, r.label.clone()))
+                    .take(k)
+                    .collect();
+                for (n, label) in deeper {
+                    let mut express = t.clone();
+                    express.target = Some(label);
+                    ctx.send(n, DpsMsg::Publish(express));
+                }
                 for n in targets {
                     ctx.send(n, DpsMsg::Publish(t.clone()));
                 }
@@ -357,9 +442,9 @@ impl DpsNode {
         event: &Event,
         ctx: &mut Context<'_, DpsMsg>,
     ) {
-        let label = self.memberships[i].label.clone();
         match self.cfg.comm {
             CommKind::Leader => {
+                let label = self.memberships[i].label.clone();
                 let me = self.id;
                 let members: Vec<NodeId> = self.memberships[i]
                     .members
@@ -374,39 +459,53 @@ impl DpsNode {
                             id,
                             event: event.clone(),
                             label: label.clone(),
-                            hops: 0,
                         },
                     );
                 }
             }
-            CommKind::Epidemic => self.gossip_publication(i, id, event, 0, ctx),
+            CommKind::Epidemic => self.start_gossip(i, id, event, ctx),
         }
     }
 
-    /// One gossip round: forward to `k` random group members; the forwarding
-    /// probability decays as `p0 / (1 + hops)` (§4.2.2).
-    fn gossip_publication(
+    /// Starts gossiping a freshly received publication within group `i`: one
+    /// fan-out round now (§4.2.2's infection step), then one round per step
+    /// with probability `p0 / (1 + r)` until `gossip_rounds` rounds elapsed
+    /// (see [`tick_gossip`](Self::tick_gossip)). The decay counts *this
+    /// node's* forwards — a receiver at the infection frontier always starts
+    /// at full probability, which keeps the epidemic supercritical in large
+    /// groups (a single decaying shot per receiver dies out after reaching
+    /// `e − 1 ≈ 1.7` members per seed, the root cause of the fig 3(a)
+    /// epidemic under-delivery).
+    pub(crate) fn start_gossip(
         &mut self,
         i: usize,
         id: PubId,
         event: &Event,
-        hops: u32,
         ctx: &mut Context<'_, DpsMsg>,
     ) {
-        if hops > 0 {
-            let p = self.cfg.gossip_p0 / (1 + hops) as f64;
-            if ctx.rng().random::<f64>() >= p {
-                return;
-            }
+        self.gossip_round(i, id, event, ctx);
+        if self.cfg.gossip_rounds > 1 {
+            self.active_gossip.push(ActiveGossip {
+                label: self.memberships[i].label.clone(),
+                id,
+                event: event.clone(),
+                rounds: 1,
+            });
         }
+    }
+
+    /// One gossip round: forward to `k` random live-believed group members.
+    fn gossip_round(&mut self, i: usize, id: PubId, event: &Event, ctx: &mut Context<'_, DpsMsg>) {
         let k = self.cfg.gossip_fanout.max(1);
         let me = self.id;
         let label = self.memberships[i].label.clone();
-        let targets: Vec<NodeId> = self.memberships[i]
+        let m = &self.memberships[i];
+        let suspected = &self.suspected;
+        let targets: Vec<NodeId> = m
             .members
             .iter()
             .copied()
-            .filter(|n| *n != me)
+            .filter(|n| *n != me && !suspected.contains(n))
             .choose_multiple(ctx.rng(), k);
         for n in targets {
             ctx.send(
@@ -415,10 +514,37 @@ impl DpsNode {
                     id,
                     event: event.clone(),
                     label: label.clone(),
-                    hops: hops + 1,
                 },
             );
         }
+    }
+
+    /// Drives the per-step gossip rounds of every active publication (from
+    /// `on_tick`). Round `r` fires with probability `p0 / (1 + r)`; a
+    /// publication retires after `gossip_rounds` rounds or when we leave the
+    /// group. Each round resamples its `k` targets, so members that crashed
+    /// since the last round cost one wasted send, not the whole infection.
+    pub(crate) fn tick_gossip(&mut self, ctx: &mut Context<'_, DpsMsg>) {
+        if self.active_gossip.is_empty() {
+            return;
+        }
+        let p0 = self.cfg.gossip_p0;
+        let max_rounds = self.cfg.gossip_rounds;
+        let mut items = std::mem::take(&mut self.active_gossip);
+        items.retain_mut(|g| {
+            let Some(i) = self.membership_index(&g.label) else {
+                return false;
+            };
+            if ctx.rng().random::<f64>() < p0 / (1 + g.rounds) as f64 {
+                self.gossip_round(i, g.id, &g.event, ctx);
+            }
+            g.rounds += 1;
+            g.rounds < max_rounds
+        });
+        // `items` was detached while rounds ran; anything pushed meanwhile
+        // (there is nothing today) would sit in `active_gossip` — keep both.
+        let fresh = std::mem::replace(&mut self.active_gossip, items);
+        self.active_gossip.extend(fresh);
     }
 
     /// Receipt of an intra-group publication.
@@ -428,7 +554,6 @@ impl DpsNode {
         id: PubId,
         event: Event,
         label: GroupLabel,
-        hops: u32,
         ctx: &mut Context<'_, DpsMsg>,
     ) {
         let Some(i) = self.membership_index(&label) else {
@@ -440,8 +565,61 @@ impl DpsNode {
             return;
         }
         self.deliver_local(id, &event);
+        self.remember_pub(id, &event, ctx.now());
         if self.cfg.comm == CommKind::Epidemic {
-            self.gossip_publication(i, id, &event, hops, ctx);
+            self.start_gossip(i, id, &event, ctx);
+            // §4.2.2: infected members also contact the next level. A sampled
+            // subset (expected ~3 forwarders per group, plus the entry node)
+            // hands the event to their own succview branches — so one stale
+            // entry-node ref no longer costs the whole subtree, without every
+            // member multiplying inter-group traffic by the group size.
+            if !self.memberships[i].branches.is_empty() {
+                let view = self.memberships[i].members.len().max(3);
+                if ctx.rng().random::<f64>() < 3.0 / view as f64 {
+                    self.forward_downstream(i, id, &event, None, 100_000, ctx);
+                }
+            }
+        }
+    }
+
+    /// Re-flushes the recent matching publications into branch `b` of
+    /// membership `i` — called right after the branch was repaired (adopted
+    /// through deeper refs, re-attached, or reported back by a child after a
+    /// silent window). Any publication that crossed this edge while it was
+    /// dead is otherwise lost for the whole subtree; re-flushing is safe
+    /// because every group processes a publication id once.
+    pub(crate) fn flush_recent_to_branch(
+        &mut self,
+        i: usize,
+        b: &BranchInfo,
+        ctx: &mut Context<'_, DpsMsg>,
+    ) {
+        if self.recent_pubs.is_empty() {
+            return;
+        }
+        let now = ctx.now();
+        let window = self.cfg.repub_window;
+        let mode = self.cfg.traversal;
+        let resend: Vec<(PubId, Event)> = self
+            .recent_pubs
+            .iter()
+            .filter(|(_, ev, at)| now.saturating_sub(*at) <= window && b.label.matches_event(ev))
+            .map(|(id, ev, _)| (*id, ev.clone()))
+            .collect();
+        let attr = self.memberships[i].label.attr().clone();
+        for (id, event) in resend {
+            let ticket = PubTicket {
+                id,
+                event,
+                attr: attr.clone(),
+                mode,
+                target: Some(b.label.clone()),
+                from_child: None,
+                downstream: true,
+                ack_to: None,
+                ttl: 100_000,
+            };
+            self.send_to_branch(b, ticket, ctx);
         }
     }
 }

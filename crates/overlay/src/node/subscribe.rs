@@ -112,6 +112,7 @@ impl DpsNode {
                         members: m.members.clone(),
                         predview: m.predview.clone(),
                         branches: m.branches.iter().map(Branch::info).collect(),
+                        recent: self.recent_digest(),
                     },
                 );
                 ctx.send(
@@ -228,7 +229,7 @@ impl DpsNode {
                     }
                 }
                 SubPhase::Traversing | SubPhase::Joining(_) => {
-                    if retries >= 3 {
+                    if retries >= 2 {
                         // The contact or owner we keep talking to never answers:
                         // suspect it so walks stop returning it (a live node
                         // clears the suspicion by sending us anything).
@@ -282,15 +283,16 @@ impl DpsNode {
         }
         // Root-based traversal starts at the root: route to the owner first —
         // but only before the visit has passed through the root, or descents
-        // would bounce straight back up.
+        // would bounce straight back up. A suspected owner is as good as an
+        // unknown one: forwarding to it would kill the visit.
         if t.mode == TraversalKind::Root && !t.descending && !self.owns_tree(&attr) {
             if let Some(owner) = self.known_owner(&attr) {
-                if owner != self.id {
+                if owner != self.id && !self.suspected.contains(&owner) {
                     ctx.send(owner, DpsMsg::FindGroup(t));
                     return;
                 }
             }
-            // Owner unknown: fall through and behave like a generic visit.
+            // Owner unknown (or suspected): behave like a generic visit.
         }
         if self.owns_tree(&attr) {
             t.descending = true;
@@ -888,10 +890,7 @@ impl DpsNode {
                     newly.push(*n);
                 }
             }
-            if m.members.len() > cap {
-                let overflow = m.members.len() - cap;
-                m.members.drain(0..overflow);
-            }
+            m.evict_members_to_cap(cap, me, ctx.rng());
             for b in branches {
                 m.upsert_branch(b, depth);
             }

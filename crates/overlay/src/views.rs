@@ -184,6 +184,25 @@ impl Membership {
         }
     }
 
+    /// Evicts random members until the view fits `cap`, never evicting
+    /// `keep` (the holder itself). Random — not FIFO — eviction matters for
+    /// epidemic partial views: a FIFO drain converges every member's view
+    /// onto the same most recently gossiped entries, so large groups go
+    /// stale in lockstep; random eviction keeps each view an independent
+    /// random sample of the group.
+    pub fn evict_members_to_cap(&mut self, cap: usize, keep: NodeId, rng: &mut impl rand::Rng) {
+        while self.members.len() > cap {
+            if self.members.len() == 1 && self.members[0] == keep {
+                break; // only the holder left: nothing evictable
+            }
+            let idx = rng.random_range(0..self.members.len());
+            if self.members[idx] == keep {
+                continue;
+            }
+            self.members.swap_remove(idx);
+        }
+    }
+
     /// Removes `node` from every view of this membership.
     pub fn forget_node(&mut self, node: NodeId) {
         self.members.retain(|m| *m != node);

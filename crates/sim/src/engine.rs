@@ -6,9 +6,10 @@
 //! goes through one reusable scratch buffer instead of a fresh `Vec` per call.
 
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
-use crate::metrics::Metrics;
+use crate::fault::FaultPlan;
+use crate::metrics::{DropReason, Metrics};
 use crate::process::{Context, Message, NodeId, Process, Step};
 
 struct Slot<P> {
@@ -40,10 +41,15 @@ pub struct Sim<P: Process> {
     /// Last step's buckets, drained and kept to be swapped back in next step
     /// (the other half of the double buffer; retains per-bucket capacity).
     spare_inboxes: Vec<Vec<Inflight<P::Msg>>>,
-    /// Messages currently queued in `next_inboxes`.
+    /// Messages currently queued in `next_inboxes`. Counts deliverable
+    /// messages only: sends to already-crashed nodes are dropped at enqueue
+    /// time and a crash purges the victim's queued bucket, so drain loops can
+    /// poll `in_flight == 0` without overrunning.
     in_flight: usize,
     /// Reusable buffer behind [`Context::send`]; drained after every handler.
     scratch_out: Vec<(NodeId, P::Msg)>,
+    /// Link-fault schedule (partitions, lossy links), enforced at delivery.
+    fault: FaultPlan,
     rng: StdRng,
     metrics: Metrics,
 }
@@ -57,7 +63,8 @@ pub struct SimSnapshot {
     pub total_nodes: usize,
     /// Nodes currently alive.
     pub alive_nodes: usize,
-    /// Messages waiting for the next step.
+    /// Deliverable messages waiting for the next step (messages queued to
+    /// nodes that have since crashed are purged and not counted).
     pub in_flight: usize,
 }
 
@@ -73,9 +80,26 @@ impl<P: Process> Sim<P> {
             spare_inboxes: Vec::new(),
             in_flight: 0,
             scratch_out: Vec::new(),
+            fault: FaultPlan::none(),
             rng: StdRng::seed_from_u64(seed),
             metrics: Metrics::new(100),
         }
+    }
+
+    /// The link-fault schedule in force (default: no faults).
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.fault
+    }
+
+    /// Mutable access to the fault schedule: scenario drivers start
+    /// partitions, heal them and set loss rates through this.
+    pub fn fault_plan_mut(&mut self) -> &mut FaultPlan {
+        &mut self.fault
+    }
+
+    /// Replaces the fault schedule wholesale.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault = plan;
     }
 
     /// Sets the metrics window length in steps (default 100, the sampling period
@@ -111,11 +135,21 @@ impl<P: Process> Sim<P> {
     /// Crashes a node: it stops processing and all messages addressed to it are
     /// dropped. Idempotent. Crashing is silent — neighbors only find out through
     /// their own failure-detection traffic, as in the paper.
+    ///
+    /// Messages already queued to the victim are purged immediately (accounted
+    /// as [`DropReason::Crashed`]), so [`SimSnapshot::in_flight`] keeps
+    /// counting deliverable messages only.
     pub fn crash(&mut self, id: NodeId) {
         if let Some(slot) = self.nodes.get_mut(id.index()) {
             if slot.alive {
                 slot.alive = false;
                 self.alive_count -= 1;
+                if let Some(bucket) = self.next_inboxes.get_mut(id.index()) {
+                    for env in bucket.drain(..) {
+                        self.metrics.on_drop(DropReason::Crashed, env.msg.class());
+                        self.in_flight -= 1;
+                    }
+                }
             }
         }
     }
@@ -241,18 +275,38 @@ impl<P: Process> Sim<P> {
         }
         self.in_flight = 0;
 
+        // Fault fast path: both checks hoisted out of the per-message loop so
+        // fault-free runs replay byte-identically (no stray RNG draws).
+        let partition_active = self.fault.active_partitions(self.now).next().is_some();
+        let loss_active = self.fault.has_loss();
+
         // Deliver.
         for (idx, slot) in cur.iter_mut().enumerate() {
             if slot.is_empty() {
                 continue;
             }
-            if !self.nodes.get(idx).is_some_and(|s| s.alive) {
-                slot.clear(); // dropped: crashed nodes receive nothing
-                continue;
-            }
+            let alive = self.nodes.get(idx).is_some_and(|s| s.alive);
             let to = NodeId::from_index(idx);
             let mut bucket = std::mem::take(slot);
             for Inflight { from, msg } in bucket.drain(..) {
+                if !alive {
+                    // Crashed nodes receive nothing (the enqueue guard makes
+                    // this rare: only a crash() between deliveries within the
+                    // same step can still race a queued message here).
+                    self.metrics.on_drop(DropReason::Crashed, msg.class());
+                    continue;
+                }
+                if partition_active && self.fault.severed(from, to, self.now) {
+                    self.metrics.on_drop(DropReason::Partitioned, msg.class());
+                    continue;
+                }
+                if loss_active {
+                    let rate = self.fault.loss_rate(from, to);
+                    if rate > 0.0 && self.rng.random::<f64>() < rate {
+                        self.metrics.on_drop(DropReason::Loss, msg.class());
+                        continue;
+                    }
+                }
                 self.metrics.on_recv(to, msg.class());
                 let mut ctx = Context {
                     me: to,
@@ -292,6 +346,9 @@ impl<P: Process> Sim<P> {
     }
 
     /// Drains the scratch outbox into the next-step buckets, accounting sends.
+    /// Sends to already-crashed nodes are dropped here instead of queued, so
+    /// `in_flight` counts deliverable messages only (a send to a node id not
+    /// yet added is kept: the node may join before the next step).
     fn flush_outgoing(&mut self, from: NodeId) {
         // Split borrows: the scratch buffer, metrics and buckets are disjoint.
         let Sim {
@@ -299,11 +356,16 @@ impl<P: Process> Sim<P> {
             metrics,
             next_inboxes,
             in_flight,
+            nodes,
             ..
         } = self;
         for (to, msg) in scratch_out.drain(..) {
             metrics.on_send(from, msg.class());
             let idx = to.index();
+            if nodes.get(idx).is_some_and(|s| !s.alive) {
+                metrics.on_drop(DropReason::Crashed, msg.class());
+                continue;
+            }
             if idx >= next_inboxes.len() {
                 next_inboxes.resize_with(idx + 1, Vec::new);
             }
@@ -314,6 +376,10 @@ impl<P: Process> Sim<P> {
 
     fn push_inflight(&mut self, to: NodeId, env: Inflight<P::Msg>) {
         let idx = to.index();
+        if self.nodes.get(idx).is_some_and(|s| !s.alive) {
+            self.metrics.on_drop(DropReason::Crashed, env.msg.class());
+            return;
+        }
         if idx >= self.next_inboxes.len() {
             self.next_inboxes.resize_with(idx + 1, Vec::new);
         }
@@ -478,6 +544,107 @@ mod tests {
             .collect();
         assert_eq!(traffic.len(), 1);
         assert_eq!(traffic[0].0, 20); // the window [20, 30) contains now = 25
+    }
+
+    #[test]
+    fn crash_purges_queued_messages_and_in_flight() {
+        // The satellite fix: `in_flight` must count deliverable messages only,
+        // so drain loops that poll `in_flight == 0` terminate.
+        let mut sim: Sim<Forwarder> = Sim::new(0);
+        let a = sim.add_node(Forwarder { n: 2, seen: vec![] });
+        let b = sim.add_node(Forwarder { n: 2, seen: vec![] });
+        sim.post(b, TestMsg::Token(0));
+        sim.post(b, TestMsg::Token(0));
+        assert_eq!(sim.snapshot().in_flight, 2);
+        sim.crash(b);
+        assert_eq!(sim.snapshot().in_flight, 0);
+        assert_eq!(
+            sim.metrics()
+                .dropped(DropReason::Crashed, MsgClass::Publication),
+            2
+        );
+        // Sends addressed to an already-crashed node never enter the queue.
+        sim.invoke(a, |_proc, ctx| ctx.send(b, TestMsg::Token(0)));
+        assert_eq!(sim.snapshot().in_flight, 0);
+        assert_eq!(
+            sim.metrics()
+                .dropped(DropReason::Crashed, MsgClass::Publication),
+            3
+        );
+        sim.run(3);
+        assert!(sim.node(b).unwrap().seen.is_empty());
+    }
+
+    #[test]
+    fn partition_severs_cross_side_links_until_heal() {
+        let mut sim: Sim<Forwarder> = Sim::new(0);
+        let a = sim.add_node(Forwarder { n: 2, seen: vec![] });
+        let b = sim.add_node(Forwarder { n: 2, seen: vec![] });
+        sim.fault_plan_mut().add_split(0, u64::MAX, 1); // a | b
+        sim.invoke(a, |_proc, ctx| ctx.send(b, TestMsg::Token(0)));
+        sim.invoke(b, |_proc, ctx| ctx.send(a, TestMsg::Token(0)));
+        sim.invoke(a, |_proc, ctx| {
+            let me = ctx.me();
+            ctx.send(me, TestMsg::Token(0)); // same side: delivered
+        });
+        sim.run(2);
+        assert!(sim.node(b).unwrap().seen.is_empty());
+        assert_eq!(sim.node(a).unwrap().seen.len(), 1);
+        assert_eq!(sim.metrics().dropped_for(DropReason::Partitioned), 2);
+        // Heal: cross-side traffic flows again.
+        let now = sim.now();
+        sim.fault_plan_mut().heal_at(now);
+        sim.invoke(a, |_proc, ctx| ctx.send(b, TestMsg::Token(0)));
+        sim.run(2);
+        assert_eq!(sim.node(b).unwrap().seen.len(), 1);
+        assert_eq!(sim.metrics().dropped_for(DropReason::Partitioned), 2);
+    }
+
+    #[test]
+    fn total_loss_drops_everything_deterministically() {
+        let run = |rate: f64| {
+            let mut sim: Sim<Forwarder> = Sim::new(5);
+            let a = sim.add_node(Forwarder { n: 2, seen: vec![] });
+            let b = sim.add_node(Forwarder { n: 2, seen: vec![] });
+            sim.fault_plan_mut().set_default_loss(rate);
+            for _ in 0..20 {
+                sim.invoke(a, |_proc, ctx| ctx.send(b, TestMsg::Token(0)));
+                sim.step();
+            }
+            (
+                sim.node(b).unwrap().seen.len(),
+                sim.metrics().dropped_for(DropReason::Loss),
+            )
+        };
+        assert_eq!(run(1.0), (0, 20));
+        assert_eq!(run(0.0), (20, 0));
+        let (got, lost) = run(0.5);
+        assert_eq!(got as u64 + lost, 20);
+        assert!(lost > 0 && got > 0, "0.5 loss should drop some, not all");
+        // Same seed, same faults: byte-identical outcome.
+        assert_eq!(run(0.5), run(0.5));
+    }
+
+    #[test]
+    fn fault_free_replay_is_untouched_by_trivial_plans() {
+        // A plan with only zero-rate loss rules must not perturb the RNG
+        // stream: the trace equals the plain run's.
+        let with_plan = |trivial: bool| {
+            let mut sim = Sim::new(7);
+            for _ in 0..5 {
+                sim.add_node(Forwarder { n: 5, seen: vec![] });
+            }
+            if trivial {
+                sim.fault_plan_mut().set_default_loss(0.0);
+            }
+            sim.post(NodeId::from_index(0), TestMsg::Token(20));
+            sim.run(30);
+            sim.node_ids()
+                .into_iter()
+                .map(|id| sim.node(id).unwrap().seen.clone())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(with_plan(true), with_plan(false));
     }
 
     #[test]

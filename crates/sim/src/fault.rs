@@ -1,0 +1,377 @@
+//! Fault plans: link-level failure schedules — network partitions and lossy
+//! links — the companion of [`ChurnPlan`](crate::ChurnPlan) for the fault
+//! classes that kill *messages* instead of *nodes*.
+//!
+//! A [`FaultPlan`] is consulted by the engine once per message at delivery
+//! time ([`Sim::step`](crate::Sim::step)):
+//!
+//! * **Partitions** split the id space into named *sides* for a step
+//!   interval; a message whose endpoints sit on different sides is dropped.
+//!   Nodes assigned to no side are unaffected (they can talk across the cut
+//!   — useful for modeling a partial partition).
+//! * **Loss rules** attach a drop probability to links: a wildcard default,
+//!   per-endpoint rules, or a single directed link. The most specific
+//!   matching rule wins; sampling uses the simulation RNG, so runs stay a
+//!   pure function of the seed.
+//!
+//! Dropped messages are accounted per [`DropReason`](crate::DropReason) in
+//! [`Metrics`](crate::Metrics), making faults first-class, observable events
+//! rather than silent message loss.
+
+use serde::{Deserialize, Serialize};
+
+use crate::process::{NodeId, Step};
+
+/// Sentinel for "not assigned to any partition side".
+const NO_SIDE: u8 = u8::MAX;
+
+/// How a partition window assigns nodes to sides.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+enum SideAssign {
+    /// Nodes with index `< boundary` are side 0, all others (including nodes
+    /// that join later) side 1.
+    Split {
+        /// First node index of the high side.
+        boundary: usize,
+    },
+    /// Explicit per-node side indices ([`NO_SIDE`] = unaffected); nodes past
+    /// the end of the map are unaffected.
+    Explicit {
+        /// Side index by node index.
+        map: Vec<u8>,
+    },
+}
+
+/// One scheduled partition: for steps in `[from, until)` the listed sides
+/// cannot exchange messages.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PartitionWindow {
+    from: Step,
+    until: Step,
+    /// Human-readable side names (for reports); index = side id.
+    names: Vec<String>,
+    assign: SideAssign,
+}
+
+impl PartitionWindow {
+    /// Whether this window is in force at `now`.
+    pub fn active_at(&self, now: Step) -> bool {
+        self.from <= now && now < self.until
+    }
+
+    /// The side `node` belongs to at any step of this window, if any.
+    pub fn side_of(&self, node: NodeId) -> Option<&str> {
+        let s = self.side_index(node)?;
+        self.names.get(s as usize).map(String::as_str)
+    }
+
+    fn side_index(&self, node: NodeId) -> Option<u8> {
+        match &self.assign {
+            SideAssign::Split { boundary } => Some(u8::from(node.index() >= *boundary)),
+            SideAssign::Explicit { map } => match map.get(node.index()) {
+                Some(&s) if s != NO_SIDE => Some(s),
+                _ => None,
+            },
+        }
+    }
+
+    /// Whether a `from -> to` message crosses the cut.
+    pub fn severs(&self, from: NodeId, to: NodeId) -> bool {
+        match (self.side_index(from), self.side_index(to)) {
+            (Some(a), Some(b)) => a != b,
+            _ => false,
+        }
+    }
+}
+
+/// A loss rule: drop probability for links matching the endpoint patterns
+/// (`None` = any node). More specific rules beat less specific ones; among
+/// equally specific rules the **last added** wins, so `set_loss` calls layer
+/// naturally.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct LossRule {
+    from: Option<NodeId>,
+    to: Option<NodeId>,
+    rate: f64,
+}
+
+impl LossRule {
+    fn matches(&self, from: NodeId, to: NodeId) -> bool {
+        self.from.is_none_or(|f| f == from) && self.to.is_none_or(|t| t == to)
+    }
+
+    /// 0 = wildcard both ends, 1 = one end fixed, 2 = exact link.
+    fn specificity(&self) -> u8 {
+        u8::from(self.from.is_some()) + u8::from(self.to.is_some())
+    }
+}
+
+/// A deterministic link-fault schedule: partitions plus lossy links. See the
+/// [module docs](self).
+///
+/// ```
+/// use dps_sim::{FaultPlan, NodeId};
+///
+/// // Nodes 0..5 vs 5.. cannot talk during steps [100, 200).
+/// let mut plan = FaultPlan::none();
+/// plan.add_split(100, 200, 5);
+/// let (a, b) = (NodeId::from_index(2), NodeId::from_index(7));
+/// assert!(plan.severed(a, b, 150));
+/// assert!(!plan.severed(a, b, 200)); // healed
+///
+/// // All links drop 10% of messages, one link is dead entirely.
+/// plan.set_default_loss(0.1);
+/// plan.set_link_loss(a, b, 1.0);
+/// assert_eq!(plan.loss_rate(b, a), 0.1);
+/// assert_eq!(plan.loss_rate(a, b), 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct FaultPlan {
+    partitions: Vec<PartitionWindow>,
+    loss: Vec<LossRule>,
+}
+
+impl FaultPlan {
+    /// A plan with no faults at all (the engine default).
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Whether the plan can never drop anything — lets the engine skip the
+    /// per-message fault check (and its RNG draws) entirely.
+    pub fn is_trivial(&self) -> bool {
+        self.partitions.is_empty() && self.loss.iter().all(|r| r.rate <= 0.0)
+    }
+
+    // ---- partitions ----
+
+    /// Schedules a two-sided partition for steps `[from, until)`: node
+    /// indices `< boundary` form side `"low"`, the rest (including nodes that
+    /// join during the window) side `"high"`.
+    pub fn add_split(&mut self, from: Step, until: Step, boundary: usize) -> &mut Self {
+        self.partitions.push(PartitionWindow {
+            from,
+            until,
+            names: vec!["low".into(), "high".into()],
+            assign: SideAssign::Split { boundary },
+        });
+        self
+    }
+
+    /// Schedules a partition with explicitly named sides for `[from, until)`.
+    /// Nodes listed in no side are unaffected. A node listed twice lands on
+    /// the first side that names it. At most 254 sides are supported.
+    pub fn add_partition<S: AsRef<str>>(
+        &mut self,
+        from: Step,
+        until: Step,
+        sides: &[(S, Vec<NodeId>)],
+    ) -> &mut Self {
+        assert!(sides.len() < NO_SIDE as usize, "too many partition sides");
+        let mut map = Vec::new();
+        for (s, (_, members)) in sides.iter().enumerate() {
+            for n in members {
+                let idx = n.index();
+                if idx >= map.len() {
+                    map.resize(idx + 1, NO_SIDE);
+                }
+                if map[idx] == NO_SIDE {
+                    map[idx] = s as u8;
+                }
+            }
+        }
+        self.partitions.push(PartitionWindow {
+            from,
+            until,
+            names: sides.iter().map(|(n, _)| n.as_ref().to_string()).collect(),
+            assign: SideAssign::Explicit { map },
+        });
+        self
+    }
+
+    /// Ends every partition window still open at `now`: windows whose
+    /// interval covers `now` are truncated to it, future windows are kept.
+    /// Returns how many windows were closed.
+    pub fn heal_at(&mut self, now: Step) -> usize {
+        let mut healed = 0;
+        for w in &mut self.partitions {
+            if w.from <= now && now < w.until {
+                w.until = now;
+                healed += 1;
+            }
+        }
+        healed
+    }
+
+    /// The partition windows in force at `now`.
+    pub fn active_partitions(&self, now: Step) -> impl Iterator<Item = &PartitionWindow> {
+        self.partitions.iter().filter(move |w| w.active_at(now))
+    }
+
+    /// Whether any active partition severs the `from -> to` link at `now`.
+    pub fn severed(&self, from: NodeId, to: NodeId, now: Step) -> bool {
+        self.active_partitions(now).any(|w| w.severs(from, to))
+    }
+
+    /// The side `node` sits on at `now` (name of the first active window that
+    /// assigns it), if any.
+    pub fn side_of(&self, node: NodeId, now: Step) -> Option<&str> {
+        self.active_partitions(now).find_map(|w| w.side_of(node))
+    }
+
+    // ---- loss ----
+
+    /// Sets the default (wildcard) loss rate for every link.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not within `[0, 1]`.
+    pub fn set_default_loss(&mut self, rate: f64) -> &mut Self {
+        self.push_loss(None, None, rate)
+    }
+
+    /// Sets the loss rate of every link *out of* `from`.
+    pub fn set_egress_loss(&mut self, from: NodeId, rate: f64) -> &mut Self {
+        self.push_loss(Some(from), None, rate)
+    }
+
+    /// Sets the loss rate of every link *into* `to`.
+    pub fn set_ingress_loss(&mut self, to: NodeId, rate: f64) -> &mut Self {
+        self.push_loss(None, Some(to), rate)
+    }
+
+    /// Sets the loss rate of the directed link `from -> to`.
+    pub fn set_link_loss(&mut self, from: NodeId, to: NodeId, rate: f64) -> &mut Self {
+        self.push_loss(Some(from), Some(to), rate)
+    }
+
+    fn push_loss(&mut self, from: Option<NodeId>, to: Option<NodeId>, rate: f64) -> &mut Self {
+        assert!(
+            rate.is_finite() && (0.0..=1.0).contains(&rate),
+            "loss rate must be within [0, 1]"
+        );
+        // A rule fully shadowing an identical pattern replaces it in place.
+        if let Some(r) = self.loss.iter_mut().find(|r| r.from == from && r.to == to) {
+            r.rate = rate;
+        } else {
+            self.loss.push(LossRule { from, to, rate });
+        }
+        self
+    }
+
+    /// Removes every loss rule.
+    pub fn clear_loss(&mut self) -> &mut Self {
+        self.loss.clear();
+        self
+    }
+
+    /// The effective drop probability of the `from -> to` link: the most
+    /// specific matching rule (ties: last added), or `0.0`.
+    pub fn loss_rate(&self, from: NodeId, to: NodeId) -> f64 {
+        self.loss
+            .iter()
+            .rev()
+            .filter(|r| r.matches(from, to))
+            .max_by_key(|r| r.specificity())
+            .map_or(0.0, |r| r.rate)
+    }
+
+    /// Whether any loss rule is configured (engine fast path: skip RNG draws
+    /// on loss-free plans so fault-free runs replay byte-identically).
+    pub fn has_loss(&self) -> bool {
+        self.loss.iter().any(|r| r.rate > 0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: usize) -> NodeId {
+        NodeId::from_index(i)
+    }
+
+    #[test]
+    fn split_partitions_by_boundary_and_interval() {
+        let mut plan = FaultPlan::none();
+        plan.add_split(10, 20, 3);
+        assert!(!plan.is_trivial());
+        // Inside the window, cross-boundary links are severed both ways.
+        assert!(plan.severed(n(0), n(3), 10));
+        assert!(plan.severed(n(5), n(2), 15));
+        assert!(!plan.severed(n(0), n(2), 15)); // same side
+        assert!(!plan.severed(n(3), n(9), 15)); // same side
+                                                // Outside the window nothing is severed ([from, until) semantics).
+        assert!(!plan.severed(n(0), n(3), 9));
+        assert!(!plan.severed(n(0), n(3), 20));
+        // Nodes joining later land on the high side.
+        assert!(plan.severed(n(1), n(1000), 12));
+        assert_eq!(plan.side_of(n(1), 12), Some("low"));
+        assert_eq!(plan.side_of(n(1000), 12), Some("high"));
+        assert_eq!(plan.side_of(n(1), 9), None);
+    }
+
+    #[test]
+    fn named_partition_leaves_unlisted_nodes_connected() {
+        let mut plan = FaultPlan::none();
+        plan.add_partition(0, 100, &[("east", vec![n(0), n(1)]), ("west", vec![n(2)])]);
+        assert!(plan.severed(n(0), n(2), 50));
+        assert!(!plan.severed(n(0), n(1), 50));
+        // n(7) is in no side: it talks to everyone.
+        assert!(!plan.severed(n(7), n(0), 50));
+        assert!(!plan.severed(n(2), n(7), 50));
+        assert_eq!(plan.side_of(n(2), 50), Some("west"));
+        assert_eq!(plan.side_of(n(7), 50), None);
+    }
+
+    #[test]
+    fn heal_truncates_open_windows_only() {
+        let mut plan = FaultPlan::none();
+        plan.add_split(10, Step::MAX, 4); // open-ended
+        plan.add_split(500, 600, 4); // future window survives healing
+        assert!(plan.severed(n(0), n(5), 100));
+        assert_eq!(plan.heal_at(100), 1);
+        assert!(!plan.severed(n(0), n(5), 100));
+        assert!(!plan.severed(n(0), n(5), 300));
+        assert!(plan.severed(n(0), n(5), 550)); // the future window still fires
+        assert_eq!(plan.heal_at(100), 0); // nothing open any more at 100
+    }
+
+    #[test]
+    fn loss_specificity_and_layering() {
+        let mut plan = FaultPlan::none();
+        assert_eq!(plan.loss_rate(n(0), n(1)), 0.0);
+        plan.set_default_loss(0.1);
+        plan.set_egress_loss(n(0), 0.5);
+        plan.set_link_loss(n(0), n(1), 0.9);
+        assert_eq!(plan.loss_rate(n(2), n(3)), 0.1);
+        assert_eq!(plan.loss_rate(n(0), n(2)), 0.5);
+        assert_eq!(plan.loss_rate(n(0), n(1)), 0.9);
+        // Ingress beats wildcard, loses to exact link.
+        plan.set_ingress_loss(n(1), 0.2);
+        assert_eq!(plan.loss_rate(n(3), n(1)), 0.2);
+        assert_eq!(plan.loss_rate(n(0), n(1)), 0.9);
+        // Re-setting an identical pattern replaces it.
+        plan.set_default_loss(0.0);
+        assert_eq!(plan.loss_rate(n(2), n(3)), 0.0);
+        plan.clear_loss();
+        assert!(!plan.has_loss());
+        assert!(plan.is_trivial()); // no partitions in this plan either
+    }
+
+    #[test]
+    #[should_panic(expected = "loss rate")]
+    fn out_of_range_loss_panics() {
+        FaultPlan::none().set_default_loss(1.5);
+    }
+
+    #[test]
+    fn trivial_plan_is_free_of_faults() {
+        let mut plan = FaultPlan::none();
+        assert!(plan.is_trivial());
+        plan.set_default_loss(0.0);
+        assert!(plan.is_trivial()); // zero-rate rules don't count
+        plan.add_split(0, 10, 1);
+        assert!(!plan.is_trivial());
+    }
+}

@@ -15,6 +15,9 @@
 //!   machine reacting to `on_start`, `on_message` and `on_tick`.
 //! * [`ChurnPlan`] reproduces the paper's failure scenarios (a crash every `1/p`
 //!   steps; the three-phase "storm" of Fig. 3(b); steady growth of Fig. 3(c)).
+//! * [`FaultPlan`] adds the link-level fault classes — network partitions
+//!   (named sides over a step interval) and lossy links — enforced in the
+//!   delivery loop and accounted per [`DropReason`] in the metrics.
 //! * [`Metrics`] counts sent/received messages per node per class
 //!   ([`MsgClass::Publication`], [`Subscription`](MsgClass::Subscription),
 //!   [`Management`](MsgClass::Management)) in fixed-size step windows, and computes
@@ -58,10 +61,12 @@
 
 mod churn;
 mod engine;
+mod fault;
 mod metrics;
 mod process;
 
 pub use churn::{ChurnEvent, ChurnPlan};
 pub use engine::{Sim, SimSnapshot};
-pub use metrics::{ClassCounts, Dir, Metrics, Stat, WindowStat};
+pub use fault::{FaultPlan, PartitionWindow};
+pub use metrics::{ClassCounts, Dir, DropReason, Metrics, Stat, WindowStat};
 pub use process::{Context, Message, MsgClass, NodeId, Process, Step};

@@ -40,6 +40,38 @@ impl ClassCounts {
     }
 }
 
+/// Why the engine dropped a message instead of delivering it. Drops are a
+/// counter class of their own in [`Metrics`]: faults are first-class,
+/// observable events, not silent message loss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize)]
+pub enum DropReason {
+    /// The destination node was crashed.
+    Crashed,
+    /// An active partition severed the link (see
+    /// [`FaultPlan`](crate::FaultPlan)).
+    Partitioned,
+    /// The link's loss rate sampled a drop.
+    Loss,
+}
+
+impl DropReason {
+    /// All reasons, in a fixed order (used for array indexing).
+    pub const ALL: [DropReason; 3] = [
+        DropReason::Crashed,
+        DropReason::Partitioned,
+        DropReason::Loss,
+    ];
+
+    /// Dense index of the reason.
+    pub fn index(self) -> usize {
+        match self {
+            DropReason::Crashed => 0,
+            DropReason::Partitioned => 1,
+            DropReason::Loss => 2,
+        }
+    }
+}
+
 /// Median / max / mean summary of a per-node quantity within one window.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Serialize)]
 pub struct Stat {
@@ -72,6 +104,8 @@ pub struct Metrics {
     cur: Vec<ClassCounts>,
     history: Vec<(Step, Vec<ClassCounts>)>,
     totals: ClassCounts,
+    /// Messages dropped by the engine, indexed `[DropReason][MsgClass]`.
+    drops: [[u64; 3]; 3],
 }
 
 /// Direction selector for summaries.
@@ -92,6 +126,7 @@ impl Metrics {
             cur: Vec::new(),
             history: Vec::new(),
             totals: ClassCounts::default(),
+            drops: [[0; 3]; 3],
         }
     }
 
@@ -122,6 +157,26 @@ impl Metrics {
             self.history.push((self.cur_start, done));
             self.cur_start += self.window;
         }
+    }
+
+    /// Counts one dropped message.
+    pub(crate) fn on_drop(&mut self, reason: DropReason, class: MsgClass) {
+        self.drops[reason.index()][class.index()] += 1;
+    }
+
+    /// Messages dropped for `reason` in `class`.
+    pub fn dropped(&self, reason: DropReason, class: MsgClass) -> u64 {
+        self.drops[reason.index()][class.index()]
+    }
+
+    /// Messages dropped for `reason`, over all classes.
+    pub fn dropped_for(&self, reason: DropReason) -> u64 {
+        self.drops[reason.index()].iter().sum()
+    }
+
+    /// All messages ever dropped by the engine.
+    pub fn total_dropped(&self) -> u64 {
+        self.drops.iter().flatten().sum()
     }
 
     /// Total messages ever sent in `class`.
@@ -247,6 +302,23 @@ mod tests {
         assert_eq!(m.recv_series(&MsgClass::ALL)[0].stat.max, 1.0);
         assert_eq!(m.total_sent(MsgClass::Publication), 1);
         assert_eq!(m.total_received(MsgClass::Subscription), 1);
+    }
+
+    #[test]
+    fn drop_counters_index_by_reason_and_class() {
+        let mut m = Metrics::new(10);
+        m.on_drop(DropReason::Partitioned, MsgClass::Publication);
+        m.on_drop(DropReason::Partitioned, MsgClass::Management);
+        m.on_drop(DropReason::Loss, MsgClass::Publication);
+        assert_eq!(m.dropped(DropReason::Partitioned, MsgClass::Publication), 1);
+        assert_eq!(m.dropped(DropReason::Crashed, MsgClass::Publication), 0);
+        assert_eq!(m.dropped_for(DropReason::Partitioned), 2);
+        assert_eq!(m.total_dropped(), 3);
+        // Drops are not receives: totals stay untouched.
+        assert_eq!(m.total_received(MsgClass::Publication), 0);
+        for (i, r) in DropReason::ALL.iter().enumerate() {
+            assert_eq!(r.index(), i);
+        }
     }
 
     #[test]

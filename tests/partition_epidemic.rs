@@ -1,0 +1,218 @@
+//! Partition fault-model scenario: the epidemic variant's group views diverge
+//! while a partition holds (joiners on one side stay invisible to the other)
+//! and re-converge through the merge process (view-exchange pushes, owner
+//! merge walks) after `heal()` — deterministically under a fixed seed.
+//!
+//! Determinism note: the whole scenario runs inside one `Sim`, whose trace is a
+//! pure function of the seed. `DPS_THREADS` only fans out *independent* cells
+//! in the experiment runners and is never consulted here, so the digest this
+//! test compares is byte-identical whatever that variable is set to; running
+//! the scenario twice in-process proves the replay property the acceptance
+//! criterion asks for.
+
+use std::collections::BTreeMap;
+
+use dps::{CommKind, DpsConfig, DpsNetwork, DropReason, JoinRule, NodeId, TraversalKind};
+
+const N: usize = 24;
+const SPLIT: usize = 12;
+const FILTER: &str = "load > 10";
+
+/// Runs the scenario once, asserting the divergence/re-convergence shape, and
+/// returns a digest of everything observable (view maps and delivery ratios).
+fn run_scenario(seed: u64) -> String {
+    let mut cfg = DpsConfig::named(TraversalKind::Root, CommKind::Epidemic).with_fanout(2);
+    cfg.join_rule = JoinRule::First;
+    let mut net = DpsNetwork::new(cfg, seed);
+    let nodes = net.add_nodes(N);
+    net.run(30);
+    for n in &nodes {
+        net.subscribe(*n, FILTER.parse().unwrap());
+        net.run(2);
+    }
+    assert!(
+        net.quiesce(1500),
+        "overlay failed to converge before the cut"
+    );
+    net.run(150);
+
+    // ---- partition: low = indices < SPLIT, high = the rest (and joiners) ----
+    net.partition_split(SPLIT);
+    net.run(60); // let cross-side suspicion set in
+
+    // Two nodes join and subscribe on the high side while the cut holds.
+    let joiners = net.add_nodes(2);
+    for j in &joiners {
+        net.subscribe(*j, FILTER.parse().unwrap());
+    }
+    assert!(
+        net.quiesce(600),
+        "high-side joiners failed to place during the partition"
+    );
+
+    // Divergence: nobody on the low side has heard of the joiners.
+    let views = group_views(&net);
+    for (holder, view) in &views {
+        if holder.index() < SPLIT {
+            for j in &joiners {
+                assert!(
+                    !view.contains(j),
+                    "low-side {holder} learned about {j} across the cut"
+                );
+            }
+        }
+    }
+    assert!(
+        views
+            .iter()
+            .any(|(h, v)| h.index() >= SPLIT && joiners.iter().any(|j| v.contains(j))),
+        "no high-side view picked the joiners up"
+    );
+
+    // A low-side publication reaches every reachable subscriber and nothing
+    // across the cut.
+    let pub_at = net.sim().now();
+    net.publish(nodes[0], "load = 50".parse().unwrap()).unwrap();
+    // Generous drain: if the tree owner sits on the far side, the publisher
+    // only finds a same-side entry after its ack timeout (40 steps) fires a
+    // re-walk or two.
+    net.run(200);
+    let during = net.delivered_ratio_between(pub_at, u64::MAX);
+    let during_reachable = net.delivered_ratio_reachable_between(pub_at, u64::MAX);
+    let missed: Vec<NodeId> = {
+        let r = net.reports().pop().unwrap();
+        r.reachable
+            .iter()
+            .copied()
+            .filter(|s| !net.sink().was_notified(r.id, *s))
+            .collect()
+    };
+    assert!(
+        during_reachable >= 0.99,
+        "same-side delivery broke during the partition: {during_reachable} (missed {missed:?})"
+    );
+    assert!(
+        during < 0.7,
+        "raw ratio should be capped by the unreachable side, got {during}"
+    );
+    let report = net.reports().pop().unwrap();
+    for s in &report.expected {
+        if !report.reachable.contains(s) {
+            assert!(
+                !net.sink().was_notified(report.id, *s),
+                "{s} was notified across an absolute cut"
+            );
+        }
+    }
+    assert!(
+        net.metrics().dropped_for(DropReason::Partitioned) > 0,
+        "no cross-side message was ever dropped?"
+    );
+
+    // ---- heal: the merge must reconnect the halves ----
+    assert_eq!(net.heal(), 1);
+    net.run(500); // view exchanges every 20 steps, owner merge walks every 100
+
+    let heal_at = net.sim().now();
+    net.publish(nodes[0], "load = 77".parse().unwrap()).unwrap();
+    net.run(120);
+    let after = net.delivered_ratio_between(heal_at, u64::MAX);
+    assert!(
+        (after - 1.0).abs() < 1e-9,
+        "post-heal publication must reach every subscriber incl. the joiners, got {after}"
+    );
+
+    // Re-convergence: the joiners are now inside low-side views too (the
+    // view-exchange merge crossed the healed cut), and every oracle member of
+    // the group is known by someone else.
+    let views = group_views(&net);
+    assert!(
+        views
+            .iter()
+            .any(|(h, v)| h.index() < SPLIT && joiners.iter().any(|j| v.contains(j))),
+        "low-side views never merged the high-side joiners back in"
+    );
+    for member in nodes.iter().chain(joiners.iter()) {
+        assert!(
+            views.iter().any(|(h, v)| h != member && v.contains(member)),
+            "{member} is known by nobody after the merge"
+        );
+    }
+
+    // Digest for the determinism check.
+    let mut out = String::new();
+    for (h, v) in &views {
+        out.push_str(&format!("{h}:{v:?};"));
+    }
+    out.push_str(&format!(
+        "during={during:.6};reach={during_reachable:.6};after={after:.6}"
+    ));
+    out
+}
+
+/// Every alive node's member view of the subscription group, sorted.
+fn group_views(net: &DpsNetwork) -> BTreeMap<NodeId, Vec<NodeId>> {
+    let mut out = BTreeMap::new();
+    for id in net.sim().alive() {
+        let Some(node) = net.sim().node(id) else {
+            continue;
+        };
+        for m in node.memberships() {
+            if m.label.to_string().contains("load > 10") {
+                let mut v = m.members.clone();
+                v.sort_unstable();
+                v.dedup();
+                out.insert(id, v);
+            }
+        }
+    }
+    out
+}
+
+#[test]
+fn epidemic_views_diverge_and_remerge_across_partition() {
+    let a = run_scenario(71);
+    let b = run_scenario(71);
+    assert_eq!(a, b, "same seed must replay byte-identically");
+}
+
+/// The named-sides facade and the loss knobs: cross-side (and only cross-side
+/// pairs) drop and are accounted; unlisted nodes bridge; loss drops sample
+/// deterministically from the seed.
+#[test]
+fn named_partition_and_loss_facade() {
+    let mut net = DpsNetwork::new(DpsConfig::named(TraversalKind::Root, CommKind::Epidemic), 3);
+    let nodes = net.add_nodes(6);
+    net.partition(&[
+        ("east", vec![nodes[0], nodes[1]]),
+        ("west", vec![nodes[2], nodes[3]]),
+    ]);
+    // Peer shuffles flow constantly; cross-side ones must drop.
+    net.run(120);
+    let cut = net.metrics().dropped_for(DropReason::Partitioned);
+    assert!(cut > 0, "no cross-side message was dropped");
+    assert!(net
+        .fault_plan()
+        .severed(nodes[0], nodes[2], net.sim().now()));
+    // nodes[4] and nodes[5] sit in no side: they talk to everyone.
+    assert!(!net
+        .fault_plan()
+        .severed(nodes[4], nodes[0], net.sim().now()));
+    assert_eq!(net.heal(), 1);
+    net.run(40);
+    let after_heal = net.metrics().dropped_for(DropReason::Partitioned);
+
+    // Uniform loss drops traffic and is accounted separately.
+    net.set_loss(0.5);
+    net.run(120);
+    assert!(net.metrics().dropped_for(DropReason::Loss) > 0);
+    assert_eq!(
+        net.metrics().dropped_for(DropReason::Partitioned),
+        after_heal,
+        "healed partition must not keep dropping"
+    );
+    net.set_loss(0.0);
+    let settled = net.metrics().dropped_for(DropReason::Loss);
+    net.run(60);
+    assert_eq!(net.metrics().dropped_for(DropReason::Loss), settled);
+}
