@@ -46,7 +46,8 @@ pub use dps_overlay::{
     StatsSink, SubId, TraversalKind,
 };
 pub use dps_sim::{
-    ChurnEvent, ChurnPlan, DropReason, FaultPlan, Metrics, MsgClass, NodeId, Sim, Step,
+    ChurnEvent, ChurnPlan, CutDir, DropReason, FaultPlan, Metrics, MsgClass, NodeId, Sim, SimRng,
+    Step,
 };
 
 pub use network::{DeliveryReport, DpsNetwork, GroupSnapshot};

@@ -74,8 +74,18 @@ impl DpsNetwork {
     /// Creates an empty network; all nodes will run `cfg`. Runs are a pure
     /// function of `seed` and the sequence of driver calls.
     pub fn new(cfg: DpsConfig, seed: u64) -> Self {
+        DpsNetwork::new_sharded(cfg, seed, 1)
+    }
+
+    /// Creates an empty network whose simulation executes on `shards`
+    /// parallel shards (the `DPS_SHARDS` knob of the experiment runners).
+    /// Every observable outcome — delivery reports, metrics, group snapshots
+    /// — is **byte-identical** to [`DpsNetwork::new`] with the same seed;
+    /// sharding only spreads one run's work across cores. The facade itself
+    /// stays synchronous: driver calls run between steps, exactly as before.
+    pub fn new_sharded(cfg: DpsConfig, seed: u64, shards: usize) -> Self {
         DpsNetwork {
-            sim: Sim::new(seed),
+            sim: Sim::new_sharded(seed, shards),
             cfg,
             sink: Arc::new(CountingSink::new()),
             oracle: ForestModel::new(),
@@ -231,7 +241,8 @@ impl DpsNetwork {
         self.sim.crash(node);
     }
 
-    /// Crashes a uniformly random alive node; returns it.
+    /// Crashes a uniformly random alive node; returns it. Shard-aware with
+    /// the same global-id-order guarantee as [`random_alive`](Self::random_alive).
     pub fn crash_random(&mut self) -> Option<NodeId> {
         let n = self.sim.alive_count();
         if n == 0 {
@@ -243,8 +254,10 @@ impl DpsNetwork {
     }
 
     /// A uniformly random alive node (e.g. the next publisher), drawn from the
-    /// simulation RNG. Allocation-free; replaces the `alive_ids()` rebuild the
-    /// figure runners used to do every step.
+    /// simulation's driver RNG. Allocation-free; shard-aware: the pick walks
+    /// the alive set in **global id order** (never shard-major order), so the
+    /// chosen node — and therefore the whole scenario — is identical whatever
+    /// [`shards`](Self::shards) is.
     pub fn random_alive(&mut self) -> Option<NodeId> {
         let n = self.sim.alive_count();
         if n == 0 {
@@ -252,6 +265,11 @@ impl DpsNetwork {
         }
         let k = rand::Rng::random_range(self.sim.rng(), 0..n);
         self.sim.nth_alive(k)
+    }
+
+    /// Number of execution shards the underlying simulation runs on.
+    pub fn shards(&self) -> usize {
+        self.sim.shard_count()
     }
 
     // ---- link faults: partitions and lossy links ----
@@ -288,6 +306,18 @@ impl DpsNetwork {
         self.sim
             .fault_plan_mut()
             .add_partition(now, Step::MAX, sides);
+    }
+
+    /// Starts an **asymmetric** split **now**: only one direction of
+    /// cross-boundary traffic is cut — `"low"` (indices `< boundary`) toward
+    /// `"high"` when `low_to_high` is true, the reverse otherwise. The open
+    /// direction keeps delivering (a half-broken uplink). Holds until
+    /// [`heal`](Self::heal).
+    pub fn partition_split_oneway(&mut self, boundary: usize, low_to_high: bool) {
+        let now = self.sim.now();
+        self.sim
+            .fault_plan_mut()
+            .add_split_oneway(now, Step::MAX, boundary, low_to_high);
     }
 
     /// Ends every partition currently in force; returns how many were open.
@@ -401,8 +431,8 @@ impl DpsNetwork {
         &self.oracle
     }
 
-    /// Message-traffic metrics from the simulator.
-    pub fn metrics(&self) -> &Metrics {
+    /// Message-traffic metrics from the simulator (merged across shards).
+    pub fn metrics(&self) -> Metrics {
         self.sim.metrics()
     }
 

@@ -1,0 +1,48 @@
+//! Criterion target for the sharded engine: one step of a 1,000-node overlay
+//! simulation at `DPS_SHARDS`-style shard counts 1 / 2 / 4, plus the staging
+//! merge overhead at a smaller size. The absolute per-step time is the number
+//! that bounds a `DPS_SCALE=paper` figure cell (3,000+ steps per cell); the
+//! S = 1 vs S > 1 spread shows what sharding buys (or costs — on a 1-CPU box
+//! the parallel path is pure overhead, which this target measures honestly).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dps::{DpsConfig, DpsNetwork};
+use dps_workload::Workload;
+use rand::SeedableRng;
+
+/// A subscribed, warmed-up overlay of `n` nodes on `shards` shards. Kept
+/// lighter than the figure runners' full convergence build: the bench measures
+/// steady-state stepping, not bootstrap.
+fn build(n: usize, shards: usize) -> DpsNetwork {
+    let mut net = DpsNetwork::new_sharded(DpsConfig::default(), 3, shards);
+    let nodes = net.add_nodes(n);
+    net.run(30);
+    let w = Workload::multiplayer_game();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+    for node in &nodes {
+        net.subscribe(*node, w.subscription(&mut rng));
+    }
+    net.run(200); // settle most traversals; leftovers are steady-state traffic
+    net
+}
+
+fn bench_shard_scaling(c: &mut Criterion) {
+    for shards in [1usize, 2, 4] {
+        c.bench_function(&format!("overlay_1000_nodes_one_step_s{shards}"), |b| {
+            let mut net = build(1000, shards);
+            b.iter(|| net.run(1))
+        });
+    }
+    // Smaller population: the fixed per-step cost of the parallel path
+    // (thread spawn + barrier merge) is proportionally larger here, which is
+    // the honest way to see the overhead floor.
+    for shards in [1usize, 4] {
+        c.bench_function(&format!("overlay_250_nodes_one_step_s{shards}"), |b| {
+            let mut net = build(250, shards);
+            b.iter(|| net.run(1))
+        });
+    }
+}
+
+criterion_group!(benches, bench_shard_scaling);
+criterion_main!(benches);

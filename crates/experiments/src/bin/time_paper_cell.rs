@@ -1,0 +1,41 @@
+//! Times single `DPS_SCALE=paper` fig 3(a) cells (n = 1000, 3000 steps), the
+//! unit from which the full-figure wall clock extrapolates: 36 cells / the
+//! `DPS_THREADS × DPS_SHARDS` parallelism actually available. Run with
+//! `cargo run --release -p dps-experiments --bin time_paper_cell`.
+
+use dps::{CommKind, DpsConfig, JoinRule, TraversalKind};
+use dps_experiments::figures::fig3a_cell;
+
+fn main() {
+    let n = 1000;
+    let steps = 3000;
+    for (label, traversal, comm, k, p, pi) in [
+        (
+            "leader root, p=0",
+            TraversalKind::Root,
+            CommKind::Leader,
+            1,
+            0.0,
+            0,
+        ),
+        (
+            "epidemic root k=2, p=0.25",
+            TraversalKind::Root,
+            CommKind::Epidemic,
+            2,
+            0.25,
+            5,
+        ),
+    ] {
+        let mut cfg = DpsConfig::named(traversal, comm).with_fanout(k);
+        cfg.join_rule = JoinRule::Explicit;
+        let t0 = std::time::Instant::now();
+        let point = fig3a_cell(cfg, p, pi, n, steps);
+        println!(
+            "{label}: delivered_ratio={:.3} in {:.1}s (shards={})",
+            point.delivered_ratio,
+            t0.elapsed().as_secs_f64(),
+            dps_experiments::shard_count(),
+        );
+    }
+}

@@ -19,6 +19,13 @@
 //! [`run_cells`]; `DPS_THREADS` caps the worker count (default: available
 //! parallelism). Results are collected in cell order, so the output rows — and
 //! the JSON written by the bench targets — are byte-identical to a serial run.
+//!
+//! Orthogonally, `DPS_SHARDS` (default 1) sets how many execution shards each
+//! simulation runs on ([`shard_count`]): shards parallelize *within* one run
+//! where threads parallelize *across* runs. Shard layout never changes any
+//! result (per-node RNG streams + canonical merge order in `dps-sim`), so the
+//! JSON stays byte-identical across both knobs and the effective parallelism
+//! is their product.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -81,6 +88,22 @@ pub fn thread_count() -> usize {
         _ => std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1),
+    }
+}
+
+/// Execution-shard count for each simulation: `DPS_SHARDS` if set (≥ 1),
+/// default 1 (classic serial stepping). Orthogonal to `DPS_THREADS`: threads
+/// parallelize *across* independent scenario cells, shards parallelize
+/// *within* one run. Results are byte-identical whatever either is set to —
+/// sharding only spreads a step's work across cores — so the effective
+/// parallelism is `DPS_SHARDS × DPS_THREADS` when enough cells are in flight.
+pub fn shard_count() -> usize {
+    match std::env::var("DPS_SHARDS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+    {
+        Some(n) if n >= 1 => n,
+        _ => 1,
     }
 }
 

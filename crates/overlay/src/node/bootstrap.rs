@@ -8,7 +8,6 @@
 use dps_content::AttrName;
 use dps_sim::{Context, NodeId};
 use rand::seq::IteratorRandom;
-use rand::Rng;
 
 use crate::config::{CommKind, TraversalKind};
 use crate::label::GroupLabel;
@@ -183,7 +182,16 @@ impl DpsNode {
         ctx: &mut Context<'_, DpsMsg>,
     ) {
         if self.suspected.contains(&contact) {
-            return; // stale answer naming a contact we know is dead; keep walking
+            // Stale answer naming a contact we believe dead — but the belief
+            // itself may be stale (a healed partition looks exactly like a
+            // crash while it holds): verify instead of refusing forever. For
+            // owner-walk answers (no pending-walk entry) the re-walk fires
+            // immediately; for subscription-driven walks the entry is still
+            // registered, so the re-check rides the existing deadline-retry
+            // machinery instead of stacking extra walks.
+            self.verify_suspect(contact, ctx);
+            self.rewalk_once(&attr, ctx);
+            return;
         }
         self.walks.retain(|w| w.attr != attr);
         // Duplicate-tree detection: we own this attribute but the walk came back
@@ -270,12 +278,21 @@ impl DpsNode {
             ctx.send(
                 l,
                 DpsMsg::TreeFound {
-                    attr,
+                    attr: attr.clone(),
                     contact: winner.0,
                     owner: Some(winner.0),
                     epoch: winner.1,
                 },
             );
+        }
+        // We may ourselves hold memberships the winning claim beats — a stale
+        // root (we are the losing owner) or mid-tree groups a dissolve wave
+        // never reached. The loser tip-off above only fires on an
+        // *improvement*, so once our cache already names the winner nothing
+        // would ever convert them: run the per-membership dissolve directly
+        // (it no-ops when every claim already matches or beats the winner's).
+        if winner.0 != self.id {
+            self.handle_dissolve(attr, winner.0, winner.0, winner.1, ctx);
         }
     }
 
@@ -344,22 +361,46 @@ impl DpsNode {
     }
 
     /// Periodic duplicate-tree detection: owners walk the network; discovering a
-    /// tree for the same attribute under a smaller-id owner, they dissolve their
-    /// own (§4.1). The comparison must be deterministic and agreed by both sides —
-    /// node id order serves as the tiebreak.
+    /// tree for the same attribute under a weaker claim holder, they dissolve
+    /// their own (§4.1). The comparison must be deterministic and agreed by both
+    /// sides — epoch, then node id order, serves as the tiebreak. Every owned
+    /// attribute walks through two peers: owners are few and walks are cheap,
+    /// and a sparse single walk left healed partitions fragmented for hundreds
+    /// of steps.
     pub(crate) fn owner_merge_walk(&mut self, ctx: &mut Context<'_, DpsMsg>) {
-        let owned = self.owned_attrs();
-        if owned.is_empty() {
-            return;
-        }
-        let attr = {
-            let i = ctx.rng().random_range(0..owned.len());
-            owned[i].clone()
-        };
         let ttl = self.cfg.walk_ttl;
         let origin = self.id;
-        if let Some(peer) = self.peer_sample(ctx, 1).first().copied() {
-            ctx.send(peer, DpsMsg::FindTree { attr, origin, ttl });
+        for attr in self.owned_attrs() {
+            for peer in self.peer_sample(ctx, 2) {
+                ctx.send(
+                    peer,
+                    DpsMsg::FindTree {
+                        attr: attr.clone(),
+                        origin,
+                        ttl,
+                    },
+                );
+            }
+            // Re-announce the claim alongside the walk. Announces flood only
+            // while they improve someone's knowledge (the claim lattice), so
+            // a steady-state re-flood is a few messages — but after a healed
+            // partition it is what carries the winning claim across the old
+            // cut and tips the losing owner off directly, where walks alone
+            // can keep landing inside the owner's own cohort for hundreds of
+            // steps.
+            let claim = self
+                .membership(&GroupLabel::Root(attr.clone()))
+                .map(|m| (m.owner, m.owner_epoch));
+            if let Some((owner, epoch)) = claim {
+                let announce = DpsMsg::OwnerAnnounce {
+                    attr: attr.clone(),
+                    owner,
+                    epoch,
+                };
+                for p in self.peer_sample(ctx, 3) {
+                    ctx.send(p, announce.clone());
+                }
+            }
         }
     }
 
@@ -375,12 +416,68 @@ impl DpsNode {
         contact: NodeId,
         ctx: &mut Context<'_, DpsMsg>,
     ) {
-        if other_owner == self.id || self.suspected.contains(&other_owner) {
+        if other_owner == self.id {
             return;
         }
-        let mine = self.membership_owner_claim(attr).unwrap_or((self.id, 0));
+        if self.suspected.contains(&other_owner) {
+            // A claim naming a node we believe dead never wins — but when the
+            // suspicion came from a partition (unreachability and crash are
+            // indistinguishable while the cut holds), refusing forever
+            // deadlocks the merge: both healed cohorts keep their own tree.
+            // Verify the suspicion and immediately restart the walk: the pong
+            // (if any) lands before the fresh answer does, so the re-check
+            // dissolves within a handful of steps instead of a whole
+            // owner-walk period.
+            self.verify_suspect(other_owner, ctx);
+            self.rewalk_once(attr, ctx);
+            return;
+        }
+        // Compare against the claim of the root we actually maintain — not
+        // the best claim across all memberships: a node whose mid-tree groups
+        // already merged toward the winner would otherwise see its own stale
+        // root as "already converted" and keep a phantom duplicate tree alive.
+        let mine = self
+            .membership(&GroupLabel::Root(attr.clone()))
+            .map(|m| (m.owner, m.owner_epoch))
+            .unwrap_or((self.id, 0));
         if claim_beats((other_owner, other_epoch), mine) {
             self.handle_dissolve(attr.clone(), contact, other_owner, other_epoch, ctx);
+        }
+    }
+
+    /// Challenges a suspicion: pings the suspect directly. Crashed nodes stay
+    /// silent (nothing changes); a falsely-suspected node — typically the far
+    /// side of a healed partition — answers, and any incoming message
+    /// retracts the suspicion on receipt. Throttled per suspect: stale caches
+    /// can keep naming a genuinely-dead node every walk/announce period for
+    /// the rest of a run, and each of those must not cost a fresh ping.
+    pub(crate) fn verify_suspect(&mut self, suspect: NodeId, ctx: &mut Context<'_, DpsMsg>) {
+        let now = ctx.now();
+        let window = 2 * self.cfg.probe_timeout.max(1);
+        if let Some(&at) = self.verify_at.get(&suspect) {
+            if now.saturating_sub(at) < window {
+                return;
+            }
+        }
+        self.verify_at.insert(suspect, now);
+        if self.verify_at.len() > 64 {
+            self.verify_at
+                .retain(|_, at| now.saturating_sub(*at) < window);
+        }
+        let nonce = self.fresh_nonce();
+        ctx.send(suspect, DpsMsg::Ping { nonce });
+    }
+
+    /// Restarts the walk for `attr` so a suspicion-blocked answer is promptly
+    /// re-checked — but only when no walk for it is already pending: walk
+    /// answers can themselves land in a suspicion guard, and an unguarded
+    /// restart per answer snowballs walks exponentially while the suspect is
+    /// genuinely dead (stale third-party caches keep naming it). The pending
+    /// entry expires after `request_timeout`, bounding re-walks to one burst
+    /// per timeout period.
+    pub(crate) fn rewalk_once(&mut self, attr: &AttrName, ctx: &mut Context<'_, DpsMsg>) {
+        if !self.walks.iter().any(|w| &w.attr == attr) {
+            self.start_walk(attr.clone(), ctx);
         }
     }
 
@@ -396,23 +493,32 @@ impl DpsNode {
         ctx: &mut Context<'_, DpsMsg>,
     ) {
         if self.suspected.contains(&new_owner) {
-            return; // never dissolve toward a dead owner
+            // Never dissolve toward a dead owner — but do challenge the
+            // suspicion (see `maybe_dissolve_own_tree`) and re-walk so the
+            // re-check happens promptly: if the owner is alive across a
+            // healed cut, its answer unblocks the next wave.
+            self.verify_suspect(new_owner, ctx);
+            self.rewalk_once(&attr, ctx);
+            return;
         }
-        let idxs = self.memberships_in(&attr);
+        // The dissolve decision is **per membership**: a node can sit in both
+        // trees at once (one group already merged toward the winner, another
+        // still carrying the loser's claim), and an aggregate best-claim
+        // check would see the converted group and skip the stale ones
+        // forever. Each membership compares its own claim; ones already on
+        // the winning tree (or holding a claim the wave does not beat) are
+        // left alone and propagate nothing — which is also what terminates
+        // the wave.
+        let idxs: Vec<usize> = self
+            .memberships_in(&attr)
+            .into_iter()
+            .filter(|&i| {
+                let m = &self.memberships[i];
+                m.owner != new_owner && claim_beats((new_owner, epoch), (m.owner, m.owner_epoch))
+            })
+            .collect();
         if idxs.is_empty() {
             return;
-        }
-        // If the dissolution came from the surviving tree's owner-walk answer, our
-        // own memberships may actually belong to the *surviving* tree. Only
-        // dissolve when the tree we are IN differs and holds the weaker claim.
-        let mine = self.membership_owner_claim(&attr);
-        if mine.map(|(o, _)| o) == Some(new_owner) {
-            return;
-        }
-        if let Some(m) = mine {
-            if !claim_beats((new_owner, epoch), m) {
-                return;
-            }
         }
         // Update the cache toward the surviving tree.
         self.tree_cache.insert(
@@ -434,24 +540,42 @@ impl DpsNode {
         let mut orphaned: Vec<GroupLabel> = Vec::new();
         // Walk in reverse so removal by index stays valid.
         for i in idxs.into_iter().rev() {
-            if epidemic && !self.memberships[i].label.is_root() {
-                // Epidemic merge-in-place (make-before-break): the group keeps
-                // its label, members and subscriptions, adopts the surviving
-                // owner's claim, and re-attaches into the surviving tree as a
-                // unit via the orphan machinery — instead of every member
-                // individually tearing down and re-traversing, which left
-                // subscribers silently unplaced for hundreds of steps under
-                // churn. The propagation below tells the rest of the cohort;
-                // receivers that already switched claims return early, so the
-                // wave terminates.
+            if !self.memberships[i].label.is_root() {
+                // Merge-in-place (make-before-break), both communication
+                // modes: the group keeps its label, members and
+                // subscriptions, adopts the surviving owner's claim, and
+                // re-attaches into the surviving tree as a unit via the
+                // orphan machinery — instead of every member individually
+                // tearing down and re-traversing, which left subscribers
+                // silently unplaced for hundreds of steps (epidemic mode
+                // under churn in PR 3; leader mode after a healed partition,
+                // the ≈ 0.56 healed-phase ratio). In leader mode the group's
+                // leadership survives intact — only the predecessor chain is
+                // rebuilt, and the leader alone drives the reattach
+                // (`reattach_or_promote` is a no-op for plain members). The
+                // propagation below tells the rest of the cohort; receivers
+                // that already switched claims return early, so the wave
+                // terminates.
                 let m = &mut self.memberships[i];
                 m.owner = new_owner;
                 m.owner_epoch = epoch;
                 m.set_predview(Vec::new(), 0);
+                // Leader mode also chains through the leadership (a plain
+                // member may hear of the dissolution first — the leader must
+                // learn it to drive the reattach); epidemic mode has no
+                // maintained leadership to chain through.
+                let leadership: Vec<NodeId> = if epidemic {
+                    Vec::new()
+                } else {
+                    std::iter::once(m.leader)
+                        .chain(m.co_leaders.iter().copied())
+                        .collect()
+                };
                 let targets: Vec<NodeId> = m
                     .members
                     .iter()
                     .copied()
+                    .chain(leadership)
                     .chain(m.branches.iter().filter_map(|b| b.primary()))
                     .filter(|n| *n != self.id)
                     .collect();
@@ -461,6 +585,9 @@ impl DpsNode {
                 orphaned.push(self.memberships[i].label.clone());
                 continue;
             }
+            // The duplicate tree's root group dissolves outright: the
+            // surviving tree already has a root, so there is nothing to merge
+            // this one into — its subscriptions re-traverse from scratch.
             let m = self.memberships.remove(i);
             if m.is_leader() {
                 for b in &m.branches {

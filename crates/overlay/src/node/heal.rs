@@ -653,6 +653,36 @@ impl DpsNode {
                         m.owner = owner;
                         m.owner_epoch = owner_epoch;
                     }
+                    // Our cohort is merging under the winner (same-label
+                    // groups meeting after a duplicate-tree dissolve, or a
+                    // promotion race): hand it our members/branches so the
+                    // two member views actually unify, and point our members
+                    // at the winning leader — without this the winner never
+                    // learns our side existed and its forwards skip them.
+                    let push = DpsMsg::ViewPush {
+                        label: m.label.clone(),
+                        members: m.members.clone(),
+                        predview: m.predview.clone(),
+                        branches: m.branches.iter().map(Branch::info).collect(),
+                        recent: Vec::new(),
+                    };
+                    ctx.send(leader, push);
+                    let info = DpsMsg::GroupInfo {
+                        label: m.label.clone(),
+                        leader,
+                        co_leaders: m.co_leaders.clone(),
+                        owner: m.owner,
+                        owner_epoch: m.owner_epoch,
+                    };
+                    let cohort: Vec<NodeId> = m
+                        .members
+                        .iter()
+                        .copied()
+                        .filter(|n| *n != me && *n != leader)
+                        .collect();
+                    for n in cohort {
+                        ctx.send(n, info.clone());
+                    }
                 } else {
                     // Reassert our leadership to the pretender.
                     let info = DpsMsg::GroupInfo {
@@ -1079,6 +1109,34 @@ impl DpsNode {
         for b in branches {
             if b.label != label {
                 m.upsert_branch(b, depth);
+            }
+        }
+        // A leader absorbing members it did not know (a demoted same-label
+        // cohort handing itself over) tops its co-leadership back up from the
+        // enlarged membership and announces, so the merged group can survive
+        // the leader leaving or crashing — and so the newcomers learn they
+        // are ours.
+        if !epidemic {
+            if let Some(i) = self.membership_index(&label) {
+                if self.memberships[i].is_leader() {
+                    let before = self.memberships[i].co_leaders.clone();
+                    self.recruit_co_leaders(i);
+                    let m = &self.memberships[i];
+                    if m.co_leaders != before {
+                        let info = DpsMsg::GroupInfo {
+                            label: m.label.clone(),
+                            leader: me,
+                            co_leaders: m.co_leaders.clone(),
+                            owner: m.owner,
+                            owner_epoch: m.owner_epoch,
+                        };
+                        let members: Vec<NodeId> =
+                            m.members.iter().copied().filter(|n| *n != me).collect();
+                        for n in members {
+                            ctx.send(n, info.clone());
+                        }
+                    }
+                }
             }
         }
         // Publication anti-entropy (the merge process applied to events, in

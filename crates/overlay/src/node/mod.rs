@@ -160,6 +160,9 @@ pub struct DpsNode {
     /// Recently declared-dead nodes (bounded memory), used to rank co-leaders
     /// during takeover and to avoid re-adding dead nodes from stale gossip.
     pub(crate) suspected: SeenCache<NodeId>,
+    /// Step of the last suspicion-verification ping per suspect (throttle for
+    /// `verify_suspect`; pruned by age, bounded).
+    pub(crate) verify_at: HashMap<NodeId, Step>,
 }
 
 impl std::fmt::Debug for DpsNode {
@@ -204,6 +207,7 @@ impl DpsNode {
             probes: BTreeMap::new(),
             nonce_counter: 0,
             suspected: SeenCache::new(128),
+            verify_at: HashMap::new(),
         }
     }
 
@@ -378,23 +382,6 @@ impl DpsNode {
         self.known_owner_claim(attr).map(|(o, _)| o)
     }
 
-    /// The `(owner, epoch)` claim of the tree this node is **actually in** (from
-    /// its memberships only, not hearsay): what dissolution decisions compare
-    /// against — the cache may already know the winner, which says nothing about
-    /// which tree our groups belong to.
-    pub(crate) fn membership_owner_claim(&self, attr: &AttrName) -> Option<(NodeId, u64)> {
-        let mut best: Option<(NodeId, u64)> = None;
-        for i in self.memberships_in(attr) {
-            let m = &self.memberships[i];
-            let claim = (m.owner, m.owner_epoch);
-            best = Some(match best {
-                Some(b) if !claim_beats(claim, b) => b,
-                _ => claim,
-            });
-        }
-        best
-    }
-
     /// The best `(owner, epoch)` claim this node holds for the tree of `attr`.
     pub(crate) fn known_owner_claim(&self, attr: &AttrName) -> Option<(NodeId, u64)> {
         let mut best: Option<(NodeId, u64)> = None;
@@ -496,10 +483,23 @@ impl Process for DpsNode {
         // and settle any outstanding probe — crashed nodes cannot send, so this
         // never masks a real failure, and under link loss it stops chatty
         // neighbors from being condemned over one missing pong.
-        self.suspected.remove(&from);
+        let revived = self.suspected.remove(&from);
         if let Some(p) = self.probes.get_mut(&from) {
             p.outstanding = None;
             p.misses = 0;
+        }
+        // A suspect proving alive usually means a partition healed (crashed
+        // nodes never speak again): owners immediately re-walk their trees
+        // for duplicates instead of waiting out the owner-walk period — this
+        // is what lets two healed sides start merging within a shuffle
+        // period of the cut lifting. Throttled through `rewalk_once`: after
+        // a big heal, dozens of suspects revive within a few steps, and each
+        // must not stack another walk (nor keep resetting the pending walk's
+        // deadline).
+        if revived {
+            for attr in self.owned_attrs() {
+                self.rewalk_once(&attr, ctx);
+            }
         }
         match msg {
             // Bootstrap.

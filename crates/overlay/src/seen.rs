@@ -46,9 +46,13 @@ impl<T: Eq + Hash + Clone> SeenCache<T> {
     }
 
     /// Forgets `key` (e.g. a suspicion contradicted by a live message).
-    pub fn remove(&mut self, key: &T) {
+    /// Returns whether the key was present.
+    pub fn remove(&mut self, key: &T) -> bool {
         if self.set.remove(key) {
             self.order.retain(|k| k != key);
+            true
+        } else {
+            false
         }
     }
 

@@ -4,24 +4,39 @@
 //! allocation-free in steady state: messages live in per-destination buckets
 //! that are double-buffered across steps (no global sort), and handler output
 //! goes through one reusable scratch buffer instead of a fresh `Vec` per call.
+//!
+//! # Sharded execution
+//!
+//! The engine partitions nodes across `S` [`Shard`]s (round-robin by id;
+//! `S = 1` by default, reproducing the classic single-threaded behavior).
+//! Each [`step`](Sim::step), shards advance their nodes **in parallel** under
+//! `std::thread::scope`: deliveries, handler invocations, ticks and loss
+//! sampling all happen shard-locally (every node owns a private RNG stream,
+//! so no draw ever crosses a shard). Sends land in per-destination-shard
+//! staging outboxes that the engine exchanges at the step barrier, merging
+//! them into the destination buckets in a canonical order — deliver-phase
+//! sends before tick-phase sends, each sorted by sender id, which is exactly
+//! the order a single shard produces naturally. Every handler therefore sees
+//! the same messages in the same order with the same RNG state whatever `S`
+//! is: **a run is byte-identical for `S = 1` and `S = N`.**
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::SeedableRng;
 
 use crate::fault::FaultPlan;
-use crate::metrics::{DropReason, Metrics};
-use crate::process::{Context, Message, NodeId, Process, Step};
+use crate::metrics::Metrics;
+use crate::process::{Context, Message, NodeId, Process, SimRng, Step};
+use crate::shard::{Phase, Shard, Slot, Staged};
 
-struct Slot<P> {
-    proc: P,
-    alive: bool,
-}
-
-/// A queued message: the sender and the payload. The destination is implicit in
-/// the bucket the message sits in.
-struct Inflight<M> {
-    from: NodeId,
-    msg: M,
+/// Derives node `index`'s private RNG stream from the simulation seed by
+/// mixing the index into the seed (golden-ratio multiply, then the
+/// `seed_from_u64` SplitMix64 expansion). What matters for the engine is
+/// that the stream is a pure function of `(seed, index)` — independent of
+/// every other node and of the shard layout. Note: the vendored
+/// `rand_chacha` stand-in has no `set_stream`, so this is a seed-mix
+/// derivation, not the ChaCha stream-counter construction; switch to
+/// `set_stream(index)` if the real crate ever lands.
+fn node_rng(seed: u64, index: usize) -> SimRng {
+    SimRng::seed_from_u64(seed ^ (index as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15))
 }
 
 /// A deterministic cycle-based simulator over a protocol `P`.
@@ -30,28 +45,21 @@ struct Inflight<M> {
 /// DPS overlay, the broadcast baseline and the test protocols all run on it
 /// unchanged.
 pub struct Sim<P: Process> {
-    nodes: Vec<Slot<P>>,
-    alive_count: usize,
+    /// The execution shards; node with global index `i` lives in
+    /// `shards[i % S]` at local slot `i / S`. Always at least one.
+    shards: Vec<Shard<P>>,
+    /// Nodes ever added (dense global ids `0..total_nodes`).
+    total_nodes: usize,
     now: Step,
-    /// Messages to deliver at step `now + 1`, bucketed by destination index.
-    /// Delivering bucket-by-bucket in index order reproduces exactly the order
-    /// of the former global `sort_by_key(|e| e.to)` (stable: send order within
-    /// a destination is preserved), without sorting.
-    next_inboxes: Vec<Vec<Inflight<P::Msg>>>,
-    /// Last step's buckets, drained and kept to be swapped back in next step
-    /// (the other half of the double buffer; retains per-bucket capacity).
-    spare_inboxes: Vec<Vec<Inflight<P::Msg>>>,
-    /// Messages currently queued in `next_inboxes`. Counts deliverable
-    /// messages only: sends to already-crashed nodes are dropped at enqueue
-    /// time and a crash purges the victim's queued bucket, so drain loops can
-    /// poll `in_flight == 0` without overrunning.
-    in_flight: usize,
-    /// Reusable buffer behind [`Context::send`]; drained after every handler.
-    scratch_out: Vec<(NodeId, P::Msg)>,
     /// Link-fault schedule (partitions, lossy links), enforced at delivery.
     fault: FaultPlan,
-    rng: StdRng,
-    metrics: Metrics,
+    /// Driver-level RNG: scenario choices made *between* steps (picking a
+    /// crash victim, a publisher). Protocol handlers use per-node streams.
+    rng: SimRng,
+    /// Seed the per-node streams are derived from.
+    seed: u64,
+    /// Metrics window length, applied to every shard partial.
+    metrics_window: Step,
 }
 
 /// A cheap copyable summary of the state of a simulation run.
@@ -69,21 +77,44 @@ pub struct SimSnapshot {
 }
 
 impl<P: Process> Sim<P> {
-    /// Creates an empty simulation with the given RNG seed. Two runs with the same
-    /// seed and the same sequence of calls produce identical traces.
+    /// Creates an empty simulation with the given RNG seed and a single shard
+    /// (classic serial execution). Two runs with the same seed and the same
+    /// sequence of calls produce identical traces.
     pub fn new(seed: u64) -> Self {
+        Sim::new_sharded(seed, 1)
+    }
+
+    /// Creates an empty simulation executing on `shards` parallel shards
+    /// (clamped to at least 1). The trace, metrics and every observable
+    /// outcome are **byte-identical** to `Sim::new(seed)` — sharding only
+    /// changes how many cores a step uses. Nodes are assigned round-robin:
+    /// global id `i` lives in shard `i % shards`.
+    pub fn new_sharded(seed: u64, shards: usize) -> Self {
+        let n = shards.max(1);
+        let metrics_window = 100;
         Sim {
-            nodes: Vec::new(),
-            alive_count: 0,
+            shards: (0..n).map(|i| Shard::new(i, n, metrics_window)).collect(),
+            total_nodes: 0,
             now: 0,
-            next_inboxes: Vec::new(),
-            spare_inboxes: Vec::new(),
-            in_flight: 0,
-            scratch_out: Vec::new(),
             fault: FaultPlan::none(),
-            rng: StdRng::seed_from_u64(seed),
-            metrics: Metrics::new(100),
+            rng: SimRng::seed_from_u64(seed),
+            seed,
+            metrics_window,
         }
+    }
+
+    /// Number of execution shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Shard index and local slot of global node index `i`.
+    fn locate(&self, i: usize) -> (usize, usize) {
+        (i % self.n_shards(), i / self.n_shards())
     }
 
     /// The link-fault schedule in force (default: no faults).
@@ -105,29 +136,42 @@ impl<P: Process> Sim<P> {
     /// Sets the metrics window length in steps (default 100, the sampling period
     /// used throughout the paper's §5.2.1). Resets collected metrics.
     pub fn set_metrics_window(&mut self, steps: Step) {
-        self.metrics = Metrics::new(steps);
-        // Align the fresh collector with the current step: rolling is otherwise
-        // only done once per step(), so traffic recorded before the next step
-        // would be stamped into the window starting at 0.
-        self.metrics.roll_to(self.now);
+        self.metrics_window = steps;
+        for sh in &mut self.shards {
+            sh.metrics = Metrics::new(steps);
+            // Align the fresh collector with the current step: rolling is
+            // otherwise only done once per step(), so traffic recorded before
+            // the next step would be stamped into the window starting at 0.
+            sh.metrics.roll_to(self.now);
+        }
     }
 
     /// Adds a node running `proc`; `on_start` fires immediately (its sends are
     /// delivered at the next step). Returns the new node's id.
     pub fn add_node(&mut self, proc: P) -> NodeId {
-        let id = NodeId::from_index(self.nodes.len());
-        self.nodes.push(Slot { proc, alive: true });
-        self.alive_count += 1;
-        if self.next_inboxes.len() < self.nodes.len() {
-            self.next_inboxes.resize_with(self.nodes.len(), Vec::new);
+        let idx = self.total_nodes;
+        let id = NodeId::from_index(idx);
+        let (s, l) = self.locate(idx);
+        self.total_nodes += 1;
+        let shard = &mut self.shards[s];
+        debug_assert_eq!(shard.slots.len(), l, "round-robin assignment broken");
+        shard.slots.push(Slot {
+            proc,
+            alive: true,
+            rng: node_rng(self.seed, idx),
+        });
+        shard.alive_count += 1;
+        if shard.next_inboxes.len() < shard.slots.len() {
+            shard.next_inboxes.resize_with(shard.slots.len(), Vec::new);
         }
+        let Slot { proc, rng, .. } = &mut shard.slots[l];
         let mut ctx = Context {
             me: id,
             now: self.now,
-            rng: &mut self.rng,
-            out: &mut self.scratch_out,
+            rng,
+            out: &mut shard.scratch_out,
         };
-        self.nodes[id.index()].proc.on_start(&mut ctx);
+        proc.on_start(&mut ctx);
         self.flush_outgoing(id);
         id
     }
@@ -137,64 +181,79 @@ impl<P: Process> Sim<P> {
     /// their own failure-detection traffic, as in the paper.
     ///
     /// Messages already queued to the victim are purged immediately (accounted
-    /// as [`DropReason::Crashed`]), so [`SimSnapshot::in_flight`] keeps
-    /// counting deliverable messages only.
+    /// as [`DropReason`](crate::DropReason)`::Crashed`), so
+    /// [`SimSnapshot::in_flight`] keeps counting deliverable messages only.
     pub fn crash(&mut self, id: NodeId) {
-        if let Some(slot) = self.nodes.get_mut(id.index()) {
+        if id.index() >= self.total_nodes {
+            return;
+        }
+        let (s, l) = self.locate(id.index());
+        let shard = &mut self.shards[s];
+        if let Some(slot) = shard.slots.get_mut(l) {
             if slot.alive {
                 slot.alive = false;
-                self.alive_count -= 1;
-                if let Some(bucket) = self.next_inboxes.get_mut(id.index()) {
-                    for env in bucket.drain(..) {
-                        self.metrics.on_drop(DropReason::Crashed, env.msg.class());
-                        self.in_flight -= 1;
-                    }
-                }
+                shard.alive_count -= 1;
+                shard.purge_queued(l);
             }
         }
     }
 
     /// Whether `id` is currently alive.
     pub fn is_alive(&self, id: NodeId) -> bool {
-        self.nodes.get(id.index()).is_some_and(|s| s.alive)
+        if id.index() >= self.total_nodes {
+            return false;
+        }
+        let (s, l) = self.locate(id.index());
+        self.shards[s].slots.get(l).is_some_and(|s| s.alive)
     }
 
     /// Immutable access to a node's protocol state (alive or crashed).
     pub fn node(&self, id: NodeId) -> Option<&P> {
-        self.nodes.get(id.index()).map(|s| &s.proc)
+        if id.index() >= self.total_nodes {
+            return None;
+        }
+        let (s, l) = self.locate(id.index());
+        self.shards[s].slots.get(l).map(|s| &s.proc)
     }
 
     /// Mutable access to a node's protocol state. Intended for scenario drivers
     /// (e.g. installing a new subscription before the next step), not for
     /// bypassing the message-passing discipline mid-step.
     pub fn node_mut(&mut self, id: NodeId) -> Option<&mut P> {
-        self.nodes.get_mut(id.index()).map(|s| &mut s.proc)
+        if id.index() >= self.total_nodes {
+            return None;
+        }
+        let (s, l) = self.locate(id.index());
+        self.shards[s].slots.get_mut(l).map(|s| &mut s.proc)
     }
 
     /// Ids of all nodes ever added, in join order.
     pub fn node_ids(&self) -> Vec<NodeId> {
-        (0..self.nodes.len()).map(NodeId::from_index).collect()
+        (0..self.total_nodes).map(NodeId::from_index).collect()
     }
 
-    /// Iterates over the currently alive node ids, ascending. Allocation-free;
-    /// prefer this (or [`alive_count`](Sim::alive_count)/[`nth_alive`](Sim::nth_alive))
+    /// Iterates over the currently alive node ids, ascending — global id
+    /// order, independent of the shard layout. Allocation-free; prefer this
+    /// (or [`alive_count`](Sim::alive_count)/[`nth_alive`](Sim::nth_alive))
     /// over [`alive_ids`](Sim::alive_ids) in per-step loops.
     pub fn alive(&self) -> impl DoubleEndedIterator<Item = NodeId> + '_ {
-        self.nodes
-            .iter()
-            .enumerate()
-            .filter(|(_, s)| s.alive)
-            .map(|(i, _)| NodeId::from_index(i))
+        let n = self.n_shards();
+        (0..self.total_nodes)
+            .filter(move |i| self.shards[i % n].slots[i / n].alive)
+            .map(NodeId::from_index)
     }
 
-    /// Number of currently alive nodes. O(1): maintained incrementally.
+    /// Number of currently alive nodes. O(shards): summed over the per-shard
+    /// incremental counts.
     pub fn alive_count(&self) -> usize {
-        self.alive_count
+        self.shards.iter().map(|s| s.alive_count).sum()
     }
 
-    /// The `k`-th alive node in ascending id order, if `k < alive_count()`.
-    /// Combined with a random `k` this picks a uniform alive node without
-    /// materializing the population.
+    /// The `k`-th alive node in ascending **global id** order, if
+    /// `k < alive_count()`. Combined with a random `k` this picks a uniform
+    /// alive node without materializing the population; the global ordering
+    /// makes the pick independent of the shard count, which keeps sharded
+    /// scenario runs byte-identical.
     pub fn nth_alive(&self, k: usize) -> Option<NodeId> {
         self.alive().nth(k)
     }
@@ -207,8 +266,9 @@ impl<P: Process> Sim<P> {
     /// Injects an external message to `to`, delivered at the next step, attributed
     /// to the recipient itself (external stimuli such as a user's Publish call).
     pub fn post(&mut self, to: NodeId, msg: P::Msg) {
-        self.metrics.on_send(to, msg.class());
-        self.push_inflight(to, Inflight { from: to, msg });
+        let d = to.index() % self.n_shards();
+        self.shards[d].metrics.on_send(to, msg.class());
+        self.shards[d].enqueue(to, to, msg);
     }
 
     /// Runs the protocol handler `f` on node `id` as if it were executing within
@@ -221,13 +281,16 @@ impl<P: Process> Sim<P> {
         if !self.is_alive(id) {
             return;
         }
+        let (s, l) = self.locate(id.index());
+        let shard = &mut self.shards[s];
+        let Slot { proc, rng, .. } = &mut shard.slots[l];
         let mut ctx = Context {
             me: id,
             now: self.now,
-            rng: &mut self.rng,
-            out: &mut self.scratch_out,
+            rng,
+            out: &mut shard.scratch_out,
         };
-        f(&mut self.nodes[id.index()].proc, &mut ctx);
+        f(proc, &mut ctx);
         self.flush_outgoing(id);
     }
 
@@ -236,106 +299,68 @@ impl<P: Process> Sim<P> {
         self.now
     }
 
-    /// Collected traffic metrics.
-    pub fn metrics(&self) -> &Metrics {
-        &self.metrics
+    /// Collected traffic metrics, merged across the shard partials. With a
+    /// single shard this is a plain clone; the merge is identical whatever
+    /// the shard count (counters are sums, windows roll in lockstep).
+    pub fn metrics(&self) -> Metrics {
+        let mut merged = self.shards[0].metrics.clone();
+        for sh in &self.shards[1..] {
+            merged.absorb(&sh.metrics);
+        }
+        merged
     }
 
     /// A summary snapshot of the run.
     pub fn snapshot(&self) -> SimSnapshot {
         SimSnapshot {
             now: self.now,
-            total_nodes: self.nodes.len(),
-            alive_nodes: self.alive_count,
-            in_flight: self.in_flight,
+            total_nodes: self.total_nodes,
+            alive_nodes: self.alive_count(),
+            in_flight: self.shards.iter().map(|s| s.in_flight).sum(),
         }
     }
 
-    /// The simulation-wide RNG (for scenario drivers needing reproducible random
-    /// choices, e.g. picking a victim node to crash).
-    pub fn rng(&mut self) -> &mut StdRng {
+    /// The driver-level deterministic RNG, for scenario choices made between
+    /// steps (e.g. picking a victim node to crash). Distinct from the
+    /// per-node streams protocol handlers draw from, so driver draws are
+    /// unaffected by anything that happens inside a step.
+    pub fn rng(&mut self) -> &mut SimRng {
         &mut self.rng
     }
 
     /// Advances one step: delivers all in-flight messages (in destination-id order,
-    /// then send order), then ticks every alive node (in id order).
+    /// then deliver-phase/tick-phase send order), then ticks every alive node (in
+    /// id order). With more than one shard the per-shard work runs on scoped
+    /// threads; the staging outboxes are merged at the barrier (see the
+    /// [module docs](self)).
     pub fn step(&mut self) {
         self.now += 1;
         // The only metrics roll of the step: every send/receive below happens
-        // at this `now`, so per-message rolling would be a no-op.
-        self.metrics.roll_to(self.now);
-
-        // Swap in the spare buckets to collect this step's sends; deliver from
-        // the buckets filled last step. Both buffers keep their per-bucket
-        // capacity, so steady-state stepping does not allocate.
-        let mut cur = std::mem::take(&mut self.next_inboxes);
-        std::mem::swap(&mut self.next_inboxes, &mut self.spare_inboxes);
-        if self.next_inboxes.len() < self.nodes.len() {
-            self.next_inboxes.resize_with(self.nodes.len(), Vec::new);
+        // at this `now`, so per-message rolling would be a no-op. Rolling all
+        // partials together keeps them mergeable.
+        for sh in &mut self.shards {
+            sh.metrics.roll_to(self.now);
         }
-        self.in_flight = 0;
 
-        // Fault fast path: both checks hoisted out of the per-message loop so
+        // Fault fast path: both checks hoisted out of the per-message loops so
         // fault-free runs replay byte-identically (no stray RNG draws).
         let partition_active = self.fault.active_partitions(self.now).next().is_some();
         let loss_active = self.fault.has_loss();
+        let now = self.now;
+        let fault = &self.fault;
 
-        // Deliver.
-        for (idx, slot) in cur.iter_mut().enumerate() {
-            if slot.is_empty() {
-                continue;
-            }
-            let alive = self.nodes.get(idx).is_some_and(|s| s.alive);
-            let to = NodeId::from_index(idx);
-            let mut bucket = std::mem::take(slot);
-            for Inflight { from, msg } in bucket.drain(..) {
-                if !alive {
-                    // Crashed nodes receive nothing (the enqueue guard makes
-                    // this rare: only a crash() between deliveries within the
-                    // same step can still race a queued message here).
-                    self.metrics.on_drop(DropReason::Crashed, msg.class());
-                    continue;
+        if self.shards.len() == 1 {
+            // Serial fast path: no thread is spawned for the classic layout.
+            self.shards[0].step_local(now, fault, partition_active, loss_active);
+        } else {
+            std::thread::scope(|scope| {
+                for sh in self.shards.iter_mut() {
+                    scope.spawn(move || sh.step_local(now, fault, partition_active, loss_active));
                 }
-                if partition_active && self.fault.severed(from, to, self.now) {
-                    self.metrics.on_drop(DropReason::Partitioned, msg.class());
-                    continue;
-                }
-                if loss_active {
-                    let rate = self.fault.loss_rate(from, to);
-                    if rate > 0.0 && self.rng.random::<f64>() < rate {
-                        self.metrics.on_drop(DropReason::Loss, msg.class());
-                        continue;
-                    }
-                }
-                self.metrics.on_recv(to, msg.class());
-                let mut ctx = Context {
-                    me: to,
-                    now: self.now,
-                    rng: &mut self.rng,
-                    out: &mut self.scratch_out,
-                };
-                self.nodes[idx].proc.on_message(from, msg, &mut ctx);
-                self.flush_outgoing(to);
-            }
-            *slot = bucket;
+            });
         }
-        self.spare_inboxes = cur;
 
-        // Tick.
-        for i in 0..self.nodes.len() {
-            if !self.nodes[i].alive {
-                continue;
-            }
-            let id = NodeId::from_index(i);
-            let mut ctx = Context {
-                me: id,
-                now: self.now,
-                rng: &mut self.rng,
-                out: &mut self.scratch_out,
-            };
-            self.nodes[i].proc.on_tick(&mut ctx);
-            self.flush_outgoing(id);
-        }
+        self.merge_staging();
     }
 
     /// Runs `n` steps.
@@ -345,52 +370,91 @@ impl<P: Process> Sim<P> {
         }
     }
 
-    /// Drains the scratch outbox into the next-step buckets, accounting sends.
-    /// Sends to already-crashed nodes are dropped here instead of queued, so
-    /// `in_flight` counts deliverable messages only (a send to a node id not
-    /// yet added is kept: the node may join before the next step).
-    fn flush_outgoing(&mut self, from: NodeId) {
-        // Split borrows: the scratch buffer, metrics and buckets are disjoint.
-        let Sim {
-            scratch_out,
-            metrics,
-            next_inboxes,
-            in_flight,
-            nodes,
-            ..
-        } = self;
-        for (to, msg) in scratch_out.drain(..) {
-            metrics.on_send(from, msg.class());
-            let idx = to.index();
-            if nodes.get(idx).is_some_and(|s| !s.alive) {
-                metrics.on_drop(DropReason::Crashed, msg.class());
-                continue;
+    /// The step barrier: drains every shard's staging outboxes into the
+    /// destination shards' next-step buckets in the canonical order —
+    /// deliver-phase sends first, then tick-phase sends, each k-way-merged by
+    /// ascending sender id (each source is already sorted: shards process
+    /// their nodes in ascending order). Dead-destination drops are applied
+    /// here, which is equivalent to dropping at send time because liveness
+    /// cannot change during the parallel phase.
+    fn merge_staging(&mut self) {
+        let n = self.shards.len();
+        if n == 1 {
+            // Single shard: sends were enqueued directly (the production
+            // order is the canonical order), nothing was staged.
+            debug_assert!(
+                self.shards[0].staging[0].deliver.is_empty()
+                    && self.shards[0].staging[0].tick.is_empty()
+            );
+            return;
+        }
+        for d in 0..n {
+            for phase in [Phase::Deliver, Phase::Tick] {
+                // Move the S source buffers out (Vec headers only) so the
+                // destination shard can be borrowed mutably alongside them.
+                let mut sources: Vec<Vec<Staged<P::Msg>>> = (0..n)
+                    .map(|s| {
+                        let outbox = &mut self.shards[s].staging[d];
+                        match phase {
+                            Phase::Deliver => std::mem::take(&mut outbox.deliver),
+                            Phase::Tick => std::mem::take(&mut outbox.tick),
+                        }
+                    })
+                    .collect();
+                {
+                    let dest = &mut self.shards[d];
+                    let mut its: Vec<_> =
+                        sources.iter_mut().map(|v| v.drain(..).peekable()).collect();
+                    loop {
+                        let mut best: Option<usize> = None;
+                        let mut best_from = usize::MAX;
+                        for (s, it) in its.iter_mut().enumerate() {
+                            if let Some(st) = it.peek() {
+                                if best.is_none() || st.from.index() < best_from {
+                                    best_from = st.from.index();
+                                    best = Some(s);
+                                }
+                            }
+                        }
+                        let Some(s) = best else { break };
+                        let Staged { from, to, msg } = its[s].next().expect("peeked");
+                        dest.enqueue(from, to, msg);
+                    }
+                }
+                // Hand the (drained, capacity-retaining) buffers back.
+                for (s, v) in sources.into_iter().enumerate() {
+                    let outbox = &mut self.shards[s].staging[d];
+                    match phase {
+                        Phase::Deliver => outbox.deliver = v,
+                        Phase::Tick => outbox.tick = v,
+                    }
+                }
             }
-            if idx >= next_inboxes.len() {
-                next_inboxes.resize_with(idx + 1, Vec::new);
-            }
-            next_inboxes[idx].push(Inflight { from, msg });
-            *in_flight += 1;
         }
     }
 
-    fn push_inflight(&mut self, to: NodeId, env: Inflight<P::Msg>) {
-        let idx = to.index();
-        if self.nodes.get(idx).is_some_and(|s| !s.alive) {
-            self.metrics.on_drop(DropReason::Crashed, env.msg.class());
-            return;
+    /// Drains the scratch outbox of `from`'s shard into the next-step buckets
+    /// (driver-side path: `add_node`/`invoke` run between steps, so their
+    /// sends bypass staging and enqueue directly, in call order — exactly the
+    /// classic behavior). Sends to already-crashed nodes are dropped at
+    /// enqueue (a send to a node id not yet added is kept: the node may join
+    /// before the next step).
+    fn flush_outgoing(&mut self, from: NodeId) {
+        let s = from.index() % self.n_shards();
+        let mut out = std::mem::take(&mut self.shards[s].scratch_out);
+        for (to, msg) in out.drain(..) {
+            self.shards[s].metrics.on_send(from, msg.class());
+            let d = to.index() % self.n_shards();
+            self.shards[d].enqueue(from, to, msg);
         }
-        if idx >= self.next_inboxes.len() {
-            self.next_inboxes.resize_with(idx + 1, Vec::new);
-        }
-        self.next_inboxes[idx].push(env);
-        self.in_flight += 1;
+        self.shards[s].scratch_out = out;
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::metrics::DropReason;
     use crate::process::MsgClass;
     use crate::Message;
     use rand::Rng;
@@ -425,8 +489,8 @@ mod tests {
         }
     }
 
-    fn run_trace(seed: u64) -> Vec<Vec<(Step, u64)>> {
-        let mut sim = Sim::new(seed);
+    fn run_trace_sharded(seed: u64, shards: usize) -> Vec<Vec<(Step, u64)>> {
+        let mut sim = Sim::new_sharded(seed, shards);
         for _ in 0..5 {
             sim.add_node(Forwarder { n: 5, seen: vec![] });
         }
@@ -438,11 +502,65 @@ mod tests {
             .collect()
     }
 
+    fn run_trace(seed: u64) -> Vec<Vec<(Step, u64)>> {
+        run_trace_sharded(seed, 1)
+    }
+
     #[test]
     fn deterministic_replay() {
         assert_eq!(run_trace(7), run_trace(7));
         // Different seeds virtually always give different traces.
         assert_ne!(run_trace(7), run_trace(8));
+    }
+
+    #[test]
+    fn sharded_replay_is_byte_identical() {
+        // The tentpole property: the same run on 1, 2, 3 and 4 shards yields
+        // the same trace, snapshot and metrics — delivery order included.
+        let serial = run_trace_sharded(7, 1);
+        for s in 2..=4 {
+            assert_eq!(serial, run_trace_sharded(7, s), "diverged at {s} shards");
+        }
+    }
+
+    #[test]
+    fn sharded_replay_matches_under_faults_and_churn() {
+        // Same property with loss sampling, a partition window and crashes in
+        // the mix: loss draws come from destination-node streams and crash
+        // purges are per-shard, so nothing may depend on the layout.
+        let run = |shards: usize| {
+            let mut sim: Sim<Forwarder> = Sim::new_sharded(11, shards);
+            for _ in 0..7 {
+                sim.add_node(Forwarder { n: 7, seen: vec![] });
+            }
+            sim.fault_plan_mut().set_default_loss(0.3);
+            sim.fault_plan_mut().add_split(10, 14, 3);
+            for i in 0..4 {
+                sim.post(NodeId::from_index(i), TestMsg::Token(30));
+            }
+            sim.run(8);
+            sim.crash(NodeId::from_index(2));
+            sim.run(22);
+            let traces: Vec<_> = sim
+                .node_ids()
+                .into_iter()
+                .map(|id| sim.node(id).unwrap().seen.clone())
+                .collect();
+            let m = sim.metrics();
+            (
+                traces,
+                sim.snapshot(),
+                m.total_sent(MsgClass::Publication),
+                m.total_received(MsgClass::Publication),
+                m.dropped_for(DropReason::Loss),
+                m.dropped_for(DropReason::Partitioned),
+                m.dropped_for(DropReason::Crashed),
+            )
+        };
+        let serial = run(1);
+        for s in [2, 3, 5] {
+            assert_eq!(serial, run(s), "diverged at {s} shards");
+        }
     }
 
     #[test]
@@ -511,7 +629,7 @@ mod tests {
 
     #[test]
     fn alive_accessors_track_crashes() {
-        let mut sim: Sim<Forwarder> = Sim::new(0);
+        let mut sim: Sim<Forwarder> = Sim::new_sharded(0, 2);
         let ids: Vec<NodeId> = (0..5)
             .map(|_| sim.add_node(Forwarder { n: 5, seen: vec![] }))
             .collect();
@@ -537,7 +655,8 @@ mod tests {
         // the window containing `now`, not in a window stamped 0.
         sim.post(a, TestMsg::Token(0));
         sim.run(10);
-        let windows = sim.metrics().windows();
+        let metrics = sim.metrics();
+        let windows = metrics.windows();
         let traffic: Vec<_> = windows
             .iter()
             .filter(|(_, per_node)| per_node.iter().any(|c| c.sent != [0; 3]))
@@ -548,8 +667,8 @@ mod tests {
 
     #[test]
     fn crash_purges_queued_messages_and_in_flight() {
-        // The satellite fix: `in_flight` must count deliverable messages only,
-        // so drain loops that poll `in_flight == 0` terminate.
+        // `in_flight` must count deliverable messages only, so drain loops
+        // that poll `in_flight == 0` terminate.
         let mut sim: Sim<Forwarder> = Sim::new(0);
         let a = sim.add_node(Forwarder { n: 2, seen: vec![] });
         let b = sim.add_node(Forwarder { n: 2, seen: vec![] });
@@ -601,6 +720,38 @@ mod tests {
     }
 
     #[test]
+    fn oneway_split_severs_one_direction_only() {
+        // The asymmetric cut: low -> high drops, high -> low still delivers.
+        let mut sim: Sim<Forwarder> = Sim::new(0);
+        let a = sim.add_node(Forwarder { n: 2, seen: vec![] });
+        let b = sim.add_node(Forwarder { n: 2, seen: vec![] });
+        sim.fault_plan_mut().add_split_oneway(0, u64::MAX, 1, true);
+        sim.invoke(a, |_proc, ctx| ctx.send(b, TestMsg::Token(0))); // low -> high: cut
+        sim.invoke(b, |_proc, ctx| ctx.send(a, TestMsg::Token(0))); // high -> low: open
+        sim.run(2);
+        assert!(
+            sim.node(b).unwrap().seen.is_empty(),
+            "low->high crossed a one-way cut"
+        );
+        assert_eq!(
+            sim.node(a).unwrap().seen.len(),
+            1,
+            "high->low must stay open"
+        );
+        assert_eq!(sim.metrics().dropped_for(DropReason::Partitioned), 1);
+        // Heal, then cut the other direction.
+        let now = sim.now();
+        sim.fault_plan_mut().heal_at(now);
+        sim.fault_plan_mut()
+            .add_split_oneway(now, u64::MAX, 1, false);
+        sim.invoke(a, |_proc, ctx| ctx.send(b, TestMsg::Token(0)));
+        sim.invoke(b, |_proc, ctx| ctx.send(a, TestMsg::Token(0)));
+        sim.run(2);
+        assert_eq!(sim.node(b).unwrap().seen.len(), 1);
+        assert_eq!(sim.node(a).unwrap().seen.len(), 1);
+    }
+
+    #[test]
     fn total_loss_drops_everything_deterministically() {
         let run = |rate: f64| {
             let mut sim: Sim<Forwarder> = Sim::new(5);
@@ -627,7 +778,7 @@ mod tests {
 
     #[test]
     fn fault_free_replay_is_untouched_by_trivial_plans() {
-        // A plan with only zero-rate loss rules must not perturb the RNG
+        // A plan with only zero-rate loss rules must not perturb any RNG
         // stream: the trace equals the plain run's.
         let with_plan = |trivial: bool| {
             let mut sim = Sim::new(7);
@@ -649,16 +800,19 @@ mod tests {
 
     #[test]
     fn messages_to_future_nodes_reach_them_once_added() {
-        // A message can be addressed to a node that joins before the next step;
-        // the bucket queue must deliver it exactly like the old global queue.
-        let mut sim: Sim<Forwarder> = Sim::new(0);
-        let a = sim.add_node(Forwarder { n: 1, seen: vec![] });
-        let _ = a;
-        let future = NodeId::from_index(1);
-        sim.post(future, TestMsg::Token(0));
-        let b = sim.add_node(Forwarder { n: 2, seen: vec![] });
-        assert_eq!(b, future);
-        sim.step();
-        assert_eq!(sim.node(b).unwrap().seen, vec![(1, 0)]);
+        // A message can be addressed to a node that joins before the next
+        // step; the bucket queue must deliver it whatever shard the joiner
+        // lands on.
+        for shards in [1, 2] {
+            let mut sim: Sim<Forwarder> = Sim::new_sharded(0, shards);
+            let a = sim.add_node(Forwarder { n: 1, seen: vec![] });
+            let _ = a;
+            let future = NodeId::from_index(1);
+            sim.post(future, TestMsg::Token(0));
+            let b = sim.add_node(Forwarder { n: 2, seen: vec![] });
+            assert_eq!(b, future);
+            sim.step();
+            assert_eq!(sim.node(b).unwrap().seen, vec![(1, 0)]);
+        }
     }
 }

@@ -8,7 +8,9 @@
 //! * **Partitions** split the id space into named *sides* for a step
 //!   interval; a message whose endpoints sit on different sides is dropped.
 //!   Nodes assigned to no side are unaffected (they can talk across the cut
-//!   — useful for modeling a partial partition).
+//!   — useful for modeling a partial partition). A window may be
+//!   **asymmetric** ([`CutDir::OneWay`]): only one cross-side direction is
+//!   cut, the reverse keeps delivering — a half-broken link.
 //! * **Loss rules** attach a drop probability to links: a wildcard default,
 //!   per-endpoint rules, or a single directed link. The most specific
 //!   matching rule wins; sampling uses the simulation RNG, so runs stay a
@@ -42,8 +44,24 @@ enum SideAssign {
     },
 }
 
+/// Which cross-side directions a partition window severs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CutDir {
+    /// Messages drop in both directions (a classic partition).
+    Both,
+    /// Only messages from `from_side` toward `to_side` drop; every other
+    /// cross-side direction still delivers (an asymmetric link cut — e.g. a
+    /// half-broken uplink that receives but cannot send).
+    OneWay {
+        /// Side index messages must originate from to be cut.
+        from_side: u8,
+        /// Side index messages must be addressed into to be cut.
+        to_side: u8,
+    },
+}
+
 /// One scheduled partition: for steps in `[from, until)` the listed sides
-/// cannot exchange messages.
+/// cannot exchange messages (in the direction(s) selected by `dir`).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PartitionWindow {
     from: Step,
@@ -51,6 +69,8 @@ pub struct PartitionWindow {
     /// Human-readable side names (for reports); index = side id.
     names: Vec<String>,
     assign: SideAssign,
+    /// Which direction(s) of cross-side traffic this window cuts.
+    dir: CutDir,
 }
 
 impl PartitionWindow {
@@ -75,10 +95,13 @@ impl PartitionWindow {
         }
     }
 
-    /// Whether a `from -> to` message crosses the cut.
+    /// Whether a `from -> to` message crosses the cut (in a severed direction).
     pub fn severs(&self, from: NodeId, to: NodeId) -> bool {
         match (self.side_index(from), self.side_index(to)) {
-            (Some(a), Some(b)) => a != b,
+            (Some(a), Some(b)) => match self.dir {
+                CutDir::Both => a != b,
+                CutDir::OneWay { from_side, to_side } => a == from_side && b == to_side,
+            },
             _ => false,
         }
     }
@@ -154,6 +177,29 @@ impl FaultPlan {
             until,
             names: vec!["low".into(), "high".into()],
             assign: SideAssign::Split { boundary },
+            dir: CutDir::Both,
+        });
+        self
+    }
+
+    /// Schedules an **asymmetric** split for steps `[from, until)`: only one
+    /// direction of cross-boundary traffic is cut — `"low"` → `"high"` when
+    /// `low_to_high` is true, the reverse otherwise. The open direction keeps
+    /// delivering, modeling a half-broken link.
+    pub fn add_split_oneway(
+        &mut self,
+        from: Step,
+        until: Step,
+        boundary: usize,
+        low_to_high: bool,
+    ) -> &mut Self {
+        let (from_side, to_side) = if low_to_high { (0, 1) } else { (1, 0) };
+        self.partitions.push(PartitionWindow {
+            from,
+            until,
+            names: vec!["low".into(), "high".into()],
+            assign: SideAssign::Split { boundary },
+            dir: CutDir::OneWay { from_side, to_side },
         });
         self
     }
@@ -166,6 +212,46 @@ impl FaultPlan {
         from: Step,
         until: Step,
         sides: &[(S, Vec<NodeId>)],
+    ) -> &mut Self {
+        self.push_partition(from, until, sides, CutDir::Both)
+    }
+
+    /// Schedules an **asymmetric** named partition for `[from, until)`: only
+    /// messages from the side named `from_side` toward the side named
+    /// `to_side` are cut; everything else (including the reverse direction)
+    /// delivers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either name is not among `sides`, or if both name the same
+    /// side (which would cut that side's *internal* traffic, never the
+    /// intended cross-side direction).
+    pub fn add_partition_oneway<S: AsRef<str>>(
+        &mut self,
+        from: Step,
+        until: Step,
+        sides: &[(S, Vec<NodeId>)],
+        from_side: &str,
+        to_side: &str,
+    ) -> &mut Self {
+        let pos = |name: &str| {
+            sides
+                .iter()
+                .position(|(n, _)| n.as_ref() == name)
+                .unwrap_or_else(|| panic!("unknown partition side {name:?}")) as u8
+        };
+        let (from_side, to_side) = (pos(from_side), pos(to_side));
+        assert_ne!(from_side, to_side, "a one-way cut needs two distinct sides");
+        let dir = CutDir::OneWay { from_side, to_side };
+        self.push_partition(from, until, sides, dir)
+    }
+
+    fn push_partition<S: AsRef<str>>(
+        &mut self,
+        from: Step,
+        until: Step,
+        sides: &[(S, Vec<NodeId>)],
+        dir: CutDir,
     ) -> &mut Self {
         assert!(sides.len() < NO_SIDE as usize, "too many partition sides");
         let mut map = Vec::new();
@@ -185,6 +271,7 @@ impl FaultPlan {
             until,
             names: sides.iter().map(|(n, _)| n.as_ref().to_string()).collect(),
             assign: SideAssign::Explicit { map },
+            dir,
         });
         self
     }
@@ -309,6 +396,61 @@ mod tests {
         assert_eq!(plan.side_of(n(1), 12), Some("low"));
         assert_eq!(plan.side_of(n(1000), 12), Some("high"));
         assert_eq!(plan.side_of(n(1), 9), None);
+    }
+
+    #[test]
+    fn oneway_split_cuts_a_single_direction() {
+        let mut plan = FaultPlan::none();
+        plan.add_split_oneway(0, 100, 3, true); // low -> high cut
+        assert!(plan.severed(n(0), n(5), 50));
+        assert!(!plan.severed(n(5), n(0), 50), "high -> low must stay open");
+        assert!(!plan.severed(n(0), n(2), 50)); // same side
+        assert!(!plan.severed(n(0), n(5), 100)); // window over
+        let mut rev = FaultPlan::none();
+        rev.add_split_oneway(0, 100, 3, false); // high -> low cut
+        assert!(rev.severed(n(5), n(0), 50));
+        assert!(!rev.severed(n(0), n(5), 50));
+    }
+
+    #[test]
+    fn oneway_named_partition_respects_direction_and_bridges() {
+        let mut plan = FaultPlan::none();
+        plan.add_partition_oneway(
+            0,
+            100,
+            &[("east", vec![n(0), n(1)]), ("west", vec![n(2)])],
+            "east",
+            "west",
+        );
+        assert!(plan.severed(n(0), n(2), 50));
+        assert!(!plan.severed(n(2), n(0), 50), "west -> east must stay open");
+        assert!(!plan.severed(n(0), n(1), 50)); // same side
+        assert!(!plan.severed(n(7), n(2), 50)); // unlisted bridges still talk
+        assert!(!plan.is_trivial());
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown partition side")]
+    fn oneway_named_partition_rejects_unknown_side() {
+        FaultPlan::none().add_partition_oneway(
+            0,
+            100,
+            &[("east", vec![n(0)]), ("west", vec![n(1)])],
+            "east",
+            "north",
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "two distinct sides")]
+    fn oneway_named_partition_rejects_same_side_twice() {
+        FaultPlan::none().add_partition_oneway(
+            0,
+            100,
+            &[("east", vec![n(0)]), ("west", vec![n(1)])],
+            "east",
+            "east",
+        );
     }
 
     #[test]

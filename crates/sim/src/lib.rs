@@ -11,6 +11,11 @@
 //!   step *t + 1*; within a step, deliveries and ticks happen in deterministic
 //!   order (by destination node id, then send order), so a run is a pure function
 //!   of its RNG seed.
+//! * One run can use **several cores**: [`Sim::new_sharded`] partitions the
+//!   nodes across `S` shards that advance in parallel each step, exchanging
+//!   cross-shard sends at the step barrier. Every node draws from a private
+//!   counter-seeded RNG stream ([`SimRng`]), so the trace is *byte-identical*
+//!   whatever `S` is — sharding is purely a wall-clock knob.
 //! * Protocol logic is supplied via the [`Process`] trait: a node is a state
 //!   machine reacting to `on_start`, `on_message` and `on_tick`.
 //! * [`ChurnPlan`] reproduces the paper's failure scenarios (a crash every `1/p`
@@ -64,9 +69,10 @@ mod engine;
 mod fault;
 mod metrics;
 mod process;
+mod shard;
 
 pub use churn::{ChurnEvent, ChurnPlan};
 pub use engine::{Sim, SimSnapshot};
-pub use fault::{FaultPlan, PartitionWindow};
+pub use fault::{CutDir, FaultPlan, PartitionWindow};
 pub use metrics::{ClassCounts, Dir, DropReason, Metrics, Stat, WindowStat};
-pub use process::{Context, Message, MsgClass, NodeId, Process, Step};
+pub use process::{Context, Message, MsgClass, NodeId, Process, SimRng, Step};

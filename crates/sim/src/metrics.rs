@@ -94,7 +94,13 @@ pub struct WindowStat {
 }
 
 /// Traffic metrics collector. See the module docs.
-#[derive(Debug)]
+///
+/// Under the sharded engine each shard keeps a `Metrics` partial covering its
+/// own nodes; [`Sim::metrics`](crate::Sim::metrics) merges the partials with
+/// [`absorb`](Metrics::absorb) at snapshot time. Since every counter is a sum
+/// and all partials roll their windows in lockstep, the merged view is
+/// identical whatever the shard count.
+#[derive(Debug, Clone)]
 pub struct Metrics {
     window: Step,
     /// Start step of the current window.
@@ -162,6 +168,34 @@ impl Metrics {
     /// Counts one dropped message.
     pub(crate) fn on_drop(&mut self, reason: DropReason, class: MsgClass) {
         self.drops[reason.index()][class.index()] += 1;
+    }
+
+    /// Adds every counter of `other` into `self` (shard-partial merge). Both
+    /// collectors must share the window length and have been rolled to the
+    /// same step — which the engine guarantees by rolling all shard partials
+    /// together at the top of every step.
+    pub(crate) fn absorb(&mut self, other: &Metrics) {
+        debug_assert_eq!(self.window, other.window, "mismatched metrics windows");
+        debug_assert_eq!(self.cur_start, other.cur_start, "partials out of step");
+        add_counts(&mut self.cur, &other.cur);
+        for (i, (start, per_node)) in other.history.iter().enumerate() {
+            match self.history.get_mut(i) {
+                Some((s, mine)) => {
+                    debug_assert_eq!(s, start, "window history out of step");
+                    add_counts(mine, per_node);
+                }
+                None => self.history.push((*start, per_node.clone())),
+            }
+        }
+        for c in 0..3 {
+            self.totals.sent[c] += other.totals.sent[c];
+            self.totals.recv[c] += other.totals.recv[c];
+        }
+        for (mine, theirs) in self.drops.iter_mut().zip(other.drops.iter()) {
+            for (m, t) in mine.iter_mut().zip(theirs.iter()) {
+                *m += *t;
+            }
+        }
     }
 
     /// Messages dropped for `reason` in `class`.
@@ -244,6 +278,19 @@ impl Metrics {
                 }
             })
             .collect()
+    }
+}
+
+/// Element-wise add of per-node counter vectors, extending `into` as needed.
+fn add_counts(into: &mut Vec<ClassCounts>, from: &[ClassCounts]) {
+    if into.len() < from.len() {
+        into.resize(from.len(), ClassCounts::default());
+    }
+    for (mine, theirs) in into.iter_mut().zip(from.iter()) {
+        for c in 0..3 {
+            mine.sent[c] += theirs.sent[c];
+            mine.recv[c] += theirs.recv[c];
+        }
     }
 }
 

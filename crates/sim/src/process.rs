@@ -3,11 +3,21 @@
 
 use std::fmt;
 
-use rand::rngs::StdRng;
 use serde::{Deserialize, Serialize};
 
 /// Discrete simulation time, in steps (the paper's "cycles").
 pub type Step = u64;
+
+/// The deterministic RNG behind every per-node stream (and the driver RNG).
+///
+/// Each node owns a private `SimRng` whose seed is derived from `(sim seed,
+/// node index)` at [`Sim::add_node`](crate::Sim::add_node) time. Because a
+/// node's draws depend only on its own seed and its own event sequence —
+/// never on a stream shared with other nodes — a run replays byte-identically
+/// however the nodes are partitioned across shards. (With the vendored RNG
+/// stand-ins the per-node derivation is a seed mix, not ChaCha's
+/// stream-counter facility; see `node_rng` in the engine.)
+pub type SimRng = rand_chacha::ChaCha8Rng;
 
 /// Identity of a simulated node.
 ///
@@ -66,18 +76,21 @@ impl MsgClass {
     }
 }
 
-/// A simulatable message. The only requirement beyond `Clone + Debug` is a traffic
-/// [`class`](Message::class) so the engine can account it.
-pub trait Message: Clone + fmt::Debug {
+/// A simulatable message. The only requirements beyond `Clone + Debug` are a
+/// traffic [`class`](Message::class) so the engine can account it, and `Send`
+/// so messages can cross shard boundaries when the engine runs sharded.
+pub trait Message: Clone + fmt::Debug + Send {
     /// The traffic class of this message.
     fn class(&self) -> MsgClass;
 }
 
 /// A protocol state machine: one instance per simulated node.
 ///
-/// Handlers receive a [`Context`] to send messages and access the shared RNG; all
-/// effects are deferred to the next step, making each step atomic.
-pub trait Process {
+/// Handlers receive a [`Context`] to send messages and access the node's
+/// private RNG stream; all effects are deferred to the next step, making each
+/// step atomic. Processes must be `Send` (with no hidden shared mutable
+/// state): the sharded engine advances disjoint node sets on worker threads.
+pub trait Process: Send {
     /// Message type exchanged by this protocol.
     type Msg: Message;
 
@@ -101,11 +114,13 @@ pub trait Process {
 ///
 /// The outbox is a scratch buffer owned by the engine and reused across handler
 /// invocations, so sending allocates only when a step's fan-out exceeds any
-/// previous one.
+/// previous one. The RNG is the node's own counter-seeded stream, not a
+/// simulation-wide generator: two nodes' draws never interleave, which is what
+/// lets shards advance nodes in parallel without changing any outcome.
 pub struct Context<'a, M> {
     pub(crate) me: NodeId,
     pub(crate) now: Step,
-    pub(crate) rng: &'a mut StdRng,
+    pub(crate) rng: &'a mut SimRng,
     pub(crate) out: &'a mut Vec<(NodeId, M)>,
 }
 
@@ -126,8 +141,8 @@ impl<'a, M: Message> Context<'a, M> {
         self.out.push((to, msg));
     }
 
-    /// The simulation-wide deterministic RNG.
-    pub fn rng(&mut self) -> &mut StdRng {
+    /// This node's private deterministic RNG stream.
+    pub fn rng(&mut self) -> &mut SimRng {
         self.rng
     }
 }

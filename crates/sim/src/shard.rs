@@ -1,0 +1,273 @@
+//! The per-shard execution unit of the sharded engine.
+//!
+//! [`Sim`](crate::Sim) partitions nodes across `S` shards round-robin by id
+//! (global index `i` lives in shard `i % S`, local slot `i / S`); each step
+//! the shards advance their nodes in parallel and everything they send is
+//! written into per-destination-shard **staging outboxes**. Nothing crosses a
+//! shard boundary mid-step: the engine exchanges the staging outboxes at the
+//! step barrier and merges them into the destination shards' inbox buckets in
+//! a canonical order (deliver-phase sends before tick-phase sends, each sorted
+//! by sender id — exactly the order a single shard produces naturally), so the
+//! bucket contents, every handler invocation, and every metric are
+//! byte-identical whatever `S` is.
+//!
+//! Each shard also owns the [`Metrics`] partial for its nodes and the alive
+//! bookkeeping for its slots; the engine merges partials at snapshot time.
+
+use rand::Rng;
+
+use crate::fault::FaultPlan;
+use crate::metrics::{DropReason, Metrics};
+use crate::process::{Context, Message, NodeId, Process, SimRng, Step};
+
+/// One node's slot: protocol state, liveness, and its private RNG stream.
+pub(crate) struct Slot<P> {
+    pub(crate) proc: P,
+    pub(crate) alive: bool,
+    pub(crate) rng: SimRng,
+}
+
+/// A queued message: the sender and the payload. The destination is implicit
+/// in the bucket the message sits in.
+pub(crate) struct Inflight<M> {
+    pub(crate) from: NodeId,
+    pub(crate) msg: M,
+}
+
+/// A send staged during the parallel phase. The destination is explicit
+/// because one staging outbox covers every destination of one target shard.
+pub(crate) struct Staged<M> {
+    pub(crate) from: NodeId,
+    pub(crate) to: NodeId,
+    pub(crate) msg: M,
+}
+
+/// Which phase of the step produced a staged send. The canonical delivery
+/// order within a bucket is all deliver-phase sends, then all tick-phase
+/// sends — mirroring the serial engine, where the whole deliver loop runs
+/// before the first tick.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Phase {
+    Deliver,
+    Tick,
+}
+
+/// Staging outbox toward one destination shard, split by producing phase.
+/// Both halves are sorted by sender id by construction: a shard processes its
+/// local nodes in ascending global-id order within each phase.
+pub(crate) struct StagingOutbox<M> {
+    pub(crate) deliver: Vec<Staged<M>>,
+    pub(crate) tick: Vec<Staged<M>>,
+}
+
+impl<M> StagingOutbox<M> {
+    pub(crate) fn new() -> Self {
+        StagingOutbox {
+            deliver: Vec::new(),
+            tick: Vec::new(),
+        }
+    }
+}
+
+/// One shard: a disjoint slice of the node population plus everything needed
+/// to advance it for one step without touching any other shard.
+pub(crate) struct Shard<P: Process> {
+    /// This shard's index within the engine (`0 <= index < staging.len()`).
+    pub(crate) index: usize,
+    /// Local nodes; local slot `l` holds global id `l * S + index`.
+    pub(crate) slots: Vec<Slot<P>>,
+    /// Alive nodes among `slots` (maintained incrementally).
+    pub(crate) alive_count: usize,
+    /// Messages to deliver at the next step, bucketed by local destination.
+    pub(crate) next_inboxes: Vec<Vec<Inflight<P::Msg>>>,
+    /// Last step's buckets, kept to be swapped back in (double buffer).
+    pub(crate) spare_inboxes: Vec<Vec<Inflight<P::Msg>>>,
+    /// Reusable buffer behind [`Context::send`]; drained after every handler.
+    pub(crate) scratch_out: Vec<(NodeId, P::Msg)>,
+    /// Per-destination-shard staging outboxes (length = shard count), filled
+    /// during the parallel phase, drained by the engine at the barrier.
+    pub(crate) staging: Vec<StagingOutbox<P::Msg>>,
+    /// Traffic partial for this shard's nodes (indexed by global node id;
+    /// remote nodes' slots stay zero). Merged at snapshot time.
+    pub(crate) metrics: Metrics,
+    /// Deliverable messages queued in `next_inboxes`.
+    pub(crate) in_flight: usize,
+}
+
+impl<P: Process> Shard<P> {
+    pub(crate) fn new(index: usize, n_shards: usize, metrics_window: Step) -> Self {
+        Shard {
+            index,
+            slots: Vec::new(),
+            alive_count: 0,
+            next_inboxes: Vec::new(),
+            spare_inboxes: Vec::new(),
+            scratch_out: Vec::new(),
+            staging: (0..n_shards).map(|_| StagingOutbox::new()).collect(),
+            metrics: Metrics::new(metrics_window),
+            in_flight: 0,
+        }
+    }
+
+    /// Number of shards in the engine this shard belongs to.
+    fn n_shards(&self) -> usize {
+        self.staging.len()
+    }
+
+    /// Global id of local slot `l`.
+    fn global_id(&self, l: usize) -> NodeId {
+        NodeId::from_index(l * self.n_shards() + self.index)
+    }
+
+    /// Enqueues a message into this shard's next-step buckets, applying the
+    /// engine's drop-at-enqueue rule: sends to already-crashed nodes drop
+    /// (accounted), sends to not-yet-added nodes are kept (the node may join
+    /// before the next step). Used both by the barrier merge and by the
+    /// serial driver paths (`post`, `invoke`, `add_node` flushes).
+    pub(crate) fn enqueue(&mut self, from: NodeId, to: NodeId, msg: P::Msg) {
+        let l = to.index() / self.n_shards();
+        if self.slots.get(l).is_some_and(|s| !s.alive) {
+            self.metrics.on_drop(DropReason::Crashed, msg.class());
+            return;
+        }
+        if l >= self.next_inboxes.len() {
+            self.next_inboxes.resize_with(l + 1, Vec::new);
+        }
+        self.next_inboxes[l].push(Inflight { from, msg });
+        self.in_flight += 1;
+    }
+
+    /// Drops every message queued to local slot `l` (a crash purge), keeping
+    /// `in_flight` counting deliverable messages only.
+    pub(crate) fn purge_queued(&mut self, l: usize) {
+        if let Some(bucket) = self.next_inboxes.get_mut(l) {
+            for env in bucket.drain(..) {
+                self.metrics.on_drop(DropReason::Crashed, env.msg.class());
+                self.in_flight -= 1;
+            }
+        }
+    }
+
+    /// Advances this shard's nodes one step: delivers the local buckets filled
+    /// last step (in ascending destination id, then arrival order), then ticks
+    /// every alive local node (ascending id). All sends — even those to local
+    /// destinations — go to the staging outboxes; the engine merges them at
+    /// the barrier so bucket order is canonical whatever the shard count.
+    ///
+    /// Runs with no access to any other shard: loss sampling draws from the
+    /// *destination* node's RNG stream, and the fault plan is consulted
+    /// read-only (the shard-safe interface to `FaultPlan` — partitions and
+    /// loss rates are pure lookups; the only sampling is local).
+    pub(crate) fn step_local(
+        &mut self,
+        now: Step,
+        fault: &FaultPlan,
+        partition_active: bool,
+        loss_active: bool,
+    ) {
+        // Swap in the spare buckets to collect next step's merges; deliver
+        // from the buckets filled last step. Capacity is retained end to end.
+        let mut cur = std::mem::take(&mut self.next_inboxes);
+        std::mem::swap(&mut self.next_inboxes, &mut self.spare_inboxes);
+        if self.next_inboxes.len() < self.slots.len() {
+            self.next_inboxes.resize_with(self.slots.len(), Vec::new);
+        }
+        self.in_flight = 0;
+
+        // Deliver.
+        for (l, inbox) in cur.iter_mut().enumerate() {
+            if inbox.is_empty() {
+                continue;
+            }
+            let to = self.global_id(l);
+            let alive = self.slots.get(l).is_some_and(|s| s.alive);
+            let mut bucket = std::mem::take(inbox);
+            for Inflight { from, msg } in bucket.drain(..) {
+                if !alive {
+                    // Crashed nodes receive nothing (rare: the enqueue guard
+                    // and crash purge catch almost everything earlier).
+                    self.metrics.on_drop(DropReason::Crashed, msg.class());
+                    continue;
+                }
+                if partition_active && fault.severed(from, to, now) {
+                    self.metrics.on_drop(DropReason::Partitioned, msg.class());
+                    continue;
+                }
+                let slot = &mut self.slots[l];
+                if loss_active {
+                    let rate = fault.loss_rate(from, to);
+                    if rate > 0.0 && slot.rng.random::<f64>() < rate {
+                        self.metrics.on_drop(DropReason::Loss, msg.class());
+                        continue;
+                    }
+                }
+                self.metrics.on_recv(to, msg.class());
+                let Slot { proc, rng, .. } = &mut self.slots[l];
+                let mut ctx = Context {
+                    me: to,
+                    now,
+                    rng,
+                    out: &mut self.scratch_out,
+                };
+                proc.on_message(from, msg, &mut ctx);
+                self.stage_outgoing(to, Phase::Deliver);
+            }
+            *inbox = bucket;
+        }
+        self.spare_inboxes = cur;
+
+        // Tick.
+        for l in 0..self.slots.len() {
+            if !self.slots[l].alive {
+                continue;
+            }
+            let id = self.global_id(l);
+            let Slot { proc, rng, .. } = &mut self.slots[l];
+            let mut ctx = Context {
+                me: id,
+                now,
+                rng,
+                out: &mut self.scratch_out,
+            };
+            proc.on_tick(&mut ctx);
+            self.stage_outgoing(id, Phase::Tick);
+        }
+    }
+
+    /// Drains the scratch outbox into the staging outboxes, accounting sends.
+    /// The dead-destination check is deferred to the barrier merge (remote
+    /// liveness is not readable mid-step; liveness cannot change during the
+    /// parallel phase, so checking at the barrier is equivalent).
+    ///
+    /// With a single shard every destination is local and the production
+    /// order already *is* the canonical merged order, so sends enqueue
+    /// directly — the default `DPS_SHARDS=1` configuration must not pay a
+    /// staging round-trip per message for a merge with nothing to merge.
+    fn stage_outgoing(&mut self, from: NodeId, phase: Phase) {
+        if self.staging.len() == 1 {
+            let mut out = std::mem::take(&mut self.scratch_out);
+            for (to, msg) in out.drain(..) {
+                self.metrics.on_send(from, msg.class());
+                self.enqueue(from, to, msg);
+            }
+            self.scratch_out = out;
+            return;
+        }
+        let Shard {
+            scratch_out,
+            metrics,
+            staging,
+            ..
+        } = self;
+        let n_shards = staging.len();
+        for (to, msg) in scratch_out.drain(..) {
+            metrics.on_send(from, msg.class());
+            let outbox = &mut staging[to.index() % n_shards];
+            let buf = match phase {
+                Phase::Deliver => &mut outbox.deliver,
+                Phase::Tick => &mut outbox.tick,
+            };
+            buf.push(Staged { from, to, msg });
+        }
+    }
+}

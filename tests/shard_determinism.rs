@@ -1,0 +1,143 @@
+//! The tentpole guarantee of the sharded engine, checked end-to-end on the
+//! real protocol: a full `DpsNetwork` scenario — joins, subscriptions,
+//! publications, churn, a partition window and lossy links — produces
+//! **byte-identical** observables whatever `DPS_SHARDS`-style shard count the
+//! simulation executes on. Shards only change how many cores a step uses.
+//!
+//! This is the same cross-check discipline PR 2 used for the `DPS_THREADS`
+//! cell fan-out, applied one level deeper: *intra-run* parallelism. CI
+//! additionally `cmp`s whole figure-runner JSON artifacts at
+//! `DPS_SHARDS=1` vs `4`; this test keeps the property pinned locally at a
+//! scale that runs in seconds.
+
+use dps::{CommKind, DpsConfig, DpsNetwork, DropReason, JoinRule, MsgClass, TraversalKind};
+
+const N: usize = 30;
+
+/// Runs a busy mixed scenario on `shards` shards and digests everything
+/// observable: delivery ratios, per-publication reports, traffic totals,
+/// drop counters, group views and the final snapshot.
+fn run_digest(shards: usize) -> String {
+    let mut cfg = DpsConfig::named(TraversalKind::Root, CommKind::Epidemic).with_fanout(2);
+    cfg.join_rule = JoinRule::First;
+    let mut net = DpsNetwork::new_sharded(cfg, 2024, shards);
+    assert_eq!(net.shards(), shards.max(1));
+    let nodes = net.add_nodes(N);
+    net.run(30);
+    for (i, n) in nodes.iter().enumerate() {
+        let filter = if i % 2 == 0 { "load > 10" } else { "load < 40" };
+        net.subscribe(*n, filter.parse().unwrap());
+        net.run(2);
+    }
+    assert!(net.quiesce(1500), "overlay failed to converge");
+    net.run(100);
+
+    // Publications under churn, a partition window, then loss.
+    let mut published = 0u32;
+    for t in 0..120u64 {
+        if t == 20 {
+            net.partition_split(N / 2);
+        }
+        if t == 60 {
+            net.heal();
+        }
+        if t == 80 {
+            net.set_loss(0.15);
+        }
+        if t % 25 == 24 {
+            net.crash_random();
+        }
+        if t % 10 == 0 {
+            if let Some(p) = net.random_alive() {
+                net.publish(p, format!("load = {}", 15 + (t % 20)).parse().unwrap());
+                published += 1;
+            }
+        }
+        net.run(1);
+    }
+    net.set_loss(0.0);
+    net.run(2 * N as u64 + 100);
+
+    let m = net.metrics();
+    let mut out = String::new();
+    out.push_str(&format!(
+        "pubs={published};ratio={:.9};reach={:.9};",
+        net.delivered_ratio(),
+        net.delivered_ratio_reachable()
+    ));
+    for r in net.reports() {
+        let mut expected: Vec<_> = r.expected.iter().map(|n| n.index()).collect();
+        expected.sort_unstable();
+        let mut reachable: Vec<_> = r.reachable.iter().map(|n| n.index()).collect();
+        reachable.sort_unstable();
+        out.push_str(&format!(
+            "[{:?}@{} e{expected:?} r{reachable:?} d{} c{}]",
+            r.id, r.published_at, r.delivered, r.contacted
+        ));
+    }
+    for class in MsgClass::ALL {
+        out.push_str(&format!(
+            "{class:?}:s{}r{};",
+            m.total_sent(class),
+            m.total_received(class)
+        ));
+    }
+    for reason in DropReason::ALL {
+        out.push_str(&format!("{reason:?}:{};", m.dropped_for(reason)));
+    }
+    let snap = net.snapshot();
+    out.push_str(&format!(
+        "now={} total={} alive={} inflight={};",
+        snap.now, snap.total_nodes, snap.alive_nodes, snap.in_flight
+    ));
+    for g in net.distributed_groups() {
+        out.push_str(&format!("{}={:?};", g.label, g.members));
+    }
+    out
+}
+
+#[test]
+fn sharded_network_run_is_byte_identical() {
+    let serial = run_digest(1);
+    for shards in [2, 4] {
+        let sharded = run_digest(shards);
+        assert_eq!(
+            serial, sharded,
+            "a {shards}-shard run diverged from the serial run"
+        );
+    }
+}
+
+#[test]
+fn leader_mode_sharded_run_is_byte_identical() {
+    // Leader mode exercises different healing machinery (takeover,
+    // co-leader recruitment); pin its shard-invariance too, at smaller size.
+    let run = |shards: usize| {
+        let mut cfg = DpsConfig::named(TraversalKind::Generic, CommKind::Leader);
+        cfg.join_rule = JoinRule::First;
+        let mut net = DpsNetwork::new_sharded(cfg, 7, shards);
+        let nodes = net.add_nodes(16);
+        net.run(30);
+        for n in &nodes {
+            net.subscribe(*n, "temp > 5".parse().unwrap());
+            net.run(2);
+        }
+        assert!(net.quiesce(1000));
+        for k in 0..4 {
+            net.crash_random();
+            let publisher = net.random_alive().unwrap();
+            net.publish(publisher, format!("temp = {}", 10 + k).parse().unwrap());
+            net.run(40);
+        }
+        let m = net.metrics();
+        format!(
+            "{:.9}|{}|{}|{:?}",
+            net.delivered_ratio(),
+            m.total_sent(MsgClass::Management),
+            m.total_received(MsgClass::Publication),
+            net.snapshot()
+        )
+    };
+    let serial = run(1);
+    assert_eq!(serial, run(3));
+}
