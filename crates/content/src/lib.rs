@@ -53,4 +53,4 @@ pub use attr::{AttrName, AttrType, Value};
 pub use event::Event;
 pub use filter::Filter;
 pub use parse::ParseError;
-pub use predicate::{Op, Predicate};
+pub use predicate::{Op, Predicate, TypeMismatchError};

@@ -341,6 +341,15 @@ impl DpsNetwork {
         self.sim.fault_plan_mut().set_link_loss(from, to, rate);
     }
 
+    /// Installs a complete link-fault schedule, replacing the current one.
+    /// The scenario layer lowers spec files into a [`FaultPlan`] whose
+    /// partition and loss windows carry absolute steps and installs it here
+    /// in one shot; the interactive methods above remain for tests that
+    /// drive faults imperatively.
+    pub fn schedule_faults(&mut self, plan: FaultPlan) {
+        self.sim.set_fault_plan(plan);
+    }
+
     /// The link-fault schedule in force.
     pub fn fault_plan(&self) -> &FaultPlan {
         self.sim.fault_plan()

@@ -1,0 +1,121 @@
+//! Scenario-matrix runner: sweeps every declarative spec in a directory
+//! (default: `scenarios/` at the repository root), executes each through
+//! `dps_scenarios::run_scenario`, prints the per-phase rows and persists them
+//! as JSON under `target/experiments/scenario_<name>.json`.
+//!
+//! Independent scenarios fan out across `DPS_THREADS` workers; each run
+//! executes on `DPS_SHARDS` simulation shards. Rows are byte-identical
+//! whatever either knob is — the CI `scenario-matrix` job `cmp`s the output
+//! across both.
+//!
+//! Exits non-zero if any spec fails to parse, fails to compile, or misses a
+//! declared delivery floor.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use dps_scenarios::{run_scenario, ScenarioReport, ScenarioSpec, SpecError};
+
+/// The spec directory: the CLI argument if given, else `scenarios/` resolved
+/// against the working directory, else against the workspace root (so the
+/// bin also works when invoked from a crate directory).
+fn spec_dir() -> PathBuf {
+    if let Some(arg) = std::env::args().nth(1) {
+        return PathBuf::from(arg);
+    }
+    let cwd = PathBuf::from("scenarios");
+    if cwd.is_dir() {
+        return cwd;
+    }
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../scenarios")
+}
+
+fn main() -> ExitCode {
+    let dir = spec_dir();
+    let mut paths: Vec<PathBuf> = match std::fs::read_dir(&dir) {
+        Ok(entries) => entries
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|x| x == "json"))
+            .collect(),
+        Err(e) => {
+            eprintln!("cannot read spec directory {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    paths.sort();
+    if paths.is_empty() {
+        eprintln!("no *.json specs under {}", dir.display());
+        return ExitCode::FAILURE;
+    }
+
+    // Parse everything up front: a malformed spec fails the whole sweep
+    // before any simulation time is spent.
+    let mut specs = Vec::new();
+    let mut failed = false;
+    for path in &paths {
+        match ScenarioSpec::load(path) {
+            Ok(spec) => specs.push(spec),
+            Err(e) => {
+                eprintln!("SPEC ERROR: {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        return ExitCode::FAILURE;
+    }
+
+    println!(
+        "=== scenario matrix: {} specs from {} [DPS_SHARDS={}, DPS_THREADS={}] ===",
+        specs.len(),
+        dir.display(),
+        dps_scenarios::env::shards(),
+        dps_scenarios::env::threads(),
+    );
+    let cells: Vec<_> = specs
+        .into_iter()
+        .map(|spec| move || run_scenario(&spec))
+        .collect();
+    let results: Vec<Result<ScenarioReport, SpecError>> = dps_experiments::run_cells(cells);
+
+    println!(
+        "{:<34} {:<16} {:>6} {:>8} {:>8} {:>10} {:>6}",
+        "scenario", "phase", "pubs", "raw", "reach", "drops c/l", "pass"
+    );
+    for result in results {
+        let report = match result {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("SPEC ERROR: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        for row in &report.rows {
+            println!(
+                "{:<34} {:<16} {:>6} {:>8.3} {:>8.3} {:>6}/{:<3} {:>6}",
+                row.scenario,
+                row.phase,
+                row.published,
+                row.delivered_ratio,
+                row.delivered_ratio_reachable,
+                row.dropped_partitioned,
+                row.dropped_loss,
+                if row.pass { "ok" } else { "MISS" }
+            );
+        }
+        dps_experiments::output::write_json(&format!("scenario_{}", report.scenario), &report.rows);
+        if !report.passed {
+            eprintln!(
+                "FAILED: scenario {} missed a delivery floor",
+                report.scenario
+            );
+            failed = true;
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

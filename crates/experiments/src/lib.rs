@@ -52,12 +52,30 @@ pub enum Scale {
 }
 
 impl Scale {
+    /// Parses a `DPS_SCALE` value: unset means `quick`; anything that is not
+    /// a known scale is an error — a typo like `DPS_SCALE=papr` must abort
+    /// the run, not silently measure at the wrong scale.
+    pub fn parse(raw: Option<&str>) -> Result<Self, String> {
+        match raw {
+            None => Ok(Scale::Quick),
+            Some("paper" | "PAPER" | "full") => Ok(Scale::Paper),
+            Some("smoke" | "SMOKE") => Ok(Scale::Smoke),
+            Some("quick" | "QUICK") => Ok(Scale::Quick),
+            Some(other) => Err(format!(
+                "DPS_SCALE={other:?} is not a known scale (expected smoke, quick or paper)"
+            )),
+        }
+    }
+
     /// Reads `DPS_SCALE` (`quick` default, `smoke` for CI, `paper` for full runs).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown value — see [`parse`](Self::parse).
     pub fn from_env() -> Self {
-        match std::env::var("DPS_SCALE").as_deref() {
-            Ok("paper") | Ok("PAPER") | Ok("full") => Scale::Paper,
-            Ok("smoke") | Ok("SMOKE") => Scale::Smoke,
-            _ => Scale::Quick,
+        match Scale::parse(std::env::var("DPS_SCALE").ok().as_deref()) {
+            Ok(s) => s,
+            Err(e) => panic!("{e}"),
         }
     }
 
@@ -78,17 +96,10 @@ pub fn banner(title: &str, scale: Scale) {
 }
 
 /// Worker-thread count for [`run_cells`]: `DPS_THREADS` if set (≥ 1), otherwise
-/// the machine's available parallelism.
+/// the machine's available parallelism. Malformed values abort
+/// ([`dps_scenarios::env::threads`]), they do not silently fall back.
 pub fn thread_count() -> usize {
-    match std::env::var("DPS_THREADS")
-        .ok()
-        .and_then(|s| s.parse::<usize>().ok())
-    {
-        Some(n) if n >= 1 => n,
-        _ => std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1),
-    }
+    dps_scenarios::env::threads()
 }
 
 /// Execution-shard count for each simulation: `DPS_SHARDS` if set (≥ 1),
@@ -97,14 +108,9 @@ pub fn thread_count() -> usize {
 /// *within* one run. Results are byte-identical whatever either is set to —
 /// sharding only spreads a step's work across cores — so the effective
 /// parallelism is `DPS_SHARDS × DPS_THREADS` when enough cells are in flight.
+/// Malformed values abort ([`dps_scenarios::env::shards`]).
 pub fn shard_count() -> usize {
-    match std::env::var("DPS_SHARDS")
-        .ok()
-        .and_then(|s| s.parse::<usize>().ok())
-    {
-        Some(n) if n >= 1 => n,
-        _ => 1,
-    }
+    dps_scenarios::env::shards()
 }
 
 /// Runs independent scenario cells on a scoped thread pool and returns their
@@ -162,6 +168,19 @@ mod tests {
         let got = run_cells(cells);
         let want: Vec<_> = (0..32).map(|i| i * i).collect();
         assert_eq!(got, want);
+    }
+
+    #[test]
+    fn scale_parsing_is_strict() {
+        assert_eq!(Scale::parse(None), Ok(Scale::Quick));
+        assert_eq!(Scale::parse(Some("smoke")), Ok(Scale::Smoke));
+        assert_eq!(Scale::parse(Some("quick")), Ok(Scale::Quick));
+        assert_eq!(Scale::parse(Some("paper")), Ok(Scale::Paper));
+        assert_eq!(Scale::parse(Some("full")), Ok(Scale::Paper));
+        // The satellite bugfix: a typo must error, not quietly run quick.
+        let e = Scale::parse(Some("papr")).unwrap_err();
+        assert!(e.contains("DPS_SCALE") && e.contains("papr"), "{e}");
+        assert!(Scale::parse(Some("")).is_err());
     }
 
     #[test]

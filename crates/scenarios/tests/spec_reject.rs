@@ -1,0 +1,210 @@
+//! Malformed-spec rejection: the compiler and the deserializer must fail
+//! loudly with messages naming the problem — never silently run something
+//! other than what the file says.
+
+use dps_scenarios::{compile, ScenarioSpec, SpecError};
+
+/// A minimal valid spec the cases below perturb.
+fn valid() -> String {
+    r#"{
+        "name": "probe",
+        "seed": 1,
+        "topology": {"nodes": 10, "scheme": "epidemic"},
+        "phases": [{"name": "p", "steps": 50}]
+    }"#
+    .to_string()
+}
+
+fn compile_err(json: &str) -> SpecError {
+    let spec = ScenarioSpec::from_json_str(json).expect("fixture must parse as JSON");
+    compile(&spec).expect_err("fixture must be rejected")
+}
+
+#[test]
+fn valid_fixture_compiles() {
+    let spec = ScenarioSpec::from_json_str(&valid()).unwrap();
+    compile(&spec).unwrap();
+}
+
+#[test]
+fn rejects_unknown_scheme() {
+    let e = compile_err(&valid().replace("\"epidemic\"", "\"epidemci\""));
+    assert!(
+        e.0.contains("unknown scheme") && e.0.contains("epidemci"),
+        "{e}"
+    );
+}
+
+#[test]
+fn rejects_unknown_traversal_and_workload() {
+    let e = compile_err(
+        r#"{"name": "probe", "seed": 1,
+            "topology": {"nodes": 10, "scheme": "leader", "traversal": "rotated"},
+            "phases": [{"name": "p", "steps": 50}]}"#,
+    );
+    assert!(e.0.contains("unknown traversal"), "{e}");
+    let e = compile_err(
+        r#"{"name": "probe", "seed": 1,
+            "topology": {"nodes": 10, "scheme": "leader", "workload": "stonks"},
+            "phases": [{"name": "p", "steps": 50}]}"#,
+    );
+    assert!(
+        e.0.contains("unknown workload") && e.0.contains("stonks"),
+        "{e}"
+    );
+}
+
+#[test]
+fn rejects_overlapping_exclusive_partition_windows() {
+    let e = compile_err(
+        r#"{"name": "probe", "seed": 1,
+            "topology": {"nodes": 10, "scheme": "epidemic"},
+            "phases": [{"name": "p", "steps": 100, "partitions": [
+                {"from": 0, "until": 60, "cut": {"Split": {"boundary": 5}}},
+                {"from": 40, "until": 80, "cut": {"Split": {"boundary": 3}}}
+            ]}]}"#,
+    );
+    assert!(e.0.contains("overlapping partition windows"), "{e}");
+    // Adjacent windows are fine (heal-then-cut cycles).
+    let spec = ScenarioSpec::from_json_str(
+        r#"{"name": "probe", "seed": 1,
+            "topology": {"nodes": 10, "scheme": "epidemic"},
+            "phases": [{"name": "p", "steps": 100, "partitions": [
+                {"from": 0, "until": 40, "cut": {"Split": {"boundary": 5}}},
+                {"from": 40, "until": 80, "cut": {"Split": {"boundary": 3}}}
+            ]}]}"#,
+    )
+    .unwrap();
+    compile(&spec).unwrap();
+}
+
+#[test]
+fn rejects_overlapping_exclusive_loss_windows() {
+    let e = compile_err(
+        r#"{"name": "probe", "seed": 1,
+            "topology": {"nodes": 10, "scheme": "epidemic"},
+            "phases": [{"name": "p", "steps": 100, "loss": [
+                {"from": 0, "until": 60, "rate": 0.1},
+                {"from": 30, "until": 90, "rate": 0.2}
+            ]}]}"#,
+    );
+    assert!(e.0.contains("overlapping loss windows"), "{e}");
+}
+
+#[test]
+fn rejects_window_and_rate_abuse() {
+    let e = compile_err(
+        r#"{"name": "probe", "seed": 1,
+            "topology": {"nodes": 10, "scheme": "epidemic"},
+            "phases": [{"name": "p", "steps": 50, "loss": [{"rate": 1.5}]}]}"#,
+    );
+    assert!(e.0.contains("within [0, 1]"), "{e}");
+    let e = compile_err(
+        r#"{"name": "probe", "seed": 1,
+            "topology": {"nodes": 10, "scheme": "epidemic"},
+            "phases": [{"name": "p", "steps": 50,
+                        "partitions": [{"from": 20, "until": 10,
+                                        "cut": {"Split": {"boundary": 5}}}]}]}"#,
+    );
+    assert!(e.0.contains("empty window"), "{e}");
+    let e = compile_err(
+        r#"{"name": "probe", "seed": 1,
+            "topology": {"nodes": 10, "scheme": "epidemic"},
+            "phases": [{"name": "p", "steps": 50,
+                        "partitions": [{"until": 60,
+                                        "cut": {"Split": {"boundary": 5}}}]}]}"#,
+    );
+    assert!(e.0.contains("exceeds the phase length"), "{e}");
+    let e = compile_err(
+        r#"{"name": "probe", "seed": 1,
+            "topology": {"nodes": 10, "scheme": "epidemic"},
+            "phases": [{"name": "p", "steps": 50,
+                        "partitions": [{"cut": {"Split": {"boundary": 10}}}]}]}"#,
+    );
+    assert!(e.0.contains("boundary"), "{e}");
+}
+
+#[test]
+fn rejects_exclusive_churn_spellings() {
+    let e = compile_err(
+        r#"{"name": "probe", "seed": 1,
+            "topology": {"nodes": 10, "scheme": "epidemic"},
+            "phases": [{"name": "p", "steps": 50,
+                        "churn": {"crash_every": 10, "crash_rate": 0.1}}]}"#,
+    );
+    assert!(e.0.contains("exclusive"), "{e}");
+    let e = compile_err(
+        r#"{"name": "probe", "seed": 1,
+            "topology": {"nodes": 10, "scheme": "epidemic"},
+            "phases": [{"name": "p", "steps": 50, "churn": {}}]}"#,
+    );
+    assert!(e.0.contains("neither crashes nor joins"), "{e}");
+}
+
+#[test]
+fn rejects_structural_mistakes() {
+    let e = compile_err(
+        r#"{"name": "probe", "seed": 1,
+            "topology": {"nodes": 10, "scheme": "epidemic"},
+            "phases": []}"#,
+    );
+    assert!(e.0.contains("at least one phase"), "{e}");
+    let e = compile_err(
+        r#"{"name": "probe", "seed": 1,
+            "topology": {"nodes": 10, "scheme": "epidemic"},
+            "phases": [{"name": "p", "steps": 50}, {"name": "p", "steps": 10}]}"#,
+    );
+    assert!(e.0.contains("duplicate phase name"), "{e}");
+    let e = compile_err(
+        r#"{"name": "probe", "seed": 1,
+            "topology": {"nodes": 10, "scheme": "leader", "fanout": 2},
+            "phases": [{"name": "p", "steps": 50}]}"#,
+    );
+    assert!(e.0.contains("fanout"), "{e}");
+    let e = compile_err(
+        r#"{"name": "probe", "seed": 1,
+            "topology": {"nodes": 10, "scheme": "epidemic"},
+            "phases": [{"name": "p", "steps": 50,
+                        "expect": {"min_delivered": 1.2}}]}"#,
+    );
+    assert!(e.0.contains("floors"), "{e}");
+}
+
+#[test]
+fn rejects_unknown_fields_and_bad_json() {
+    // A typo'd key must not silently deserialize to defaults.
+    let e = ScenarioSpec::from_json_str(&valid().replace("\"seed\"", "\"sede\"")).unwrap_err();
+    assert!(e.0.contains("unknown field") && e.0.contains("sede"), "{e}");
+    // Unknown enum variant tags name themselves.
+    let e = ScenarioSpec::from_json_str(
+        r#"{"name": "probe", "seed": 1,
+            "topology": {"nodes": 10, "scheme": "epidemic"},
+            "phases": [{"name": "p", "steps": 50,
+                        "partitions": [{"cut": {"Spilt": {"boundary": 5}}}]}]}"#,
+    )
+    .unwrap_err();
+    assert!(
+        e.0.contains("unknown variant") && e.0.contains("Spilt"),
+        "{e}"
+    );
+    // Syntax errors carry positions.
+    let e = ScenarioSpec::from_json_str("{\n  \"name\": \"x\",,\n}").unwrap_err();
+    assert!(e.0.contains("line 2"), "{e}");
+    // Shape errors carry the field path.
+    let e = ScenarioSpec::from_json_str(&valid().replace("\"seed\": 1", "\"seed\": \"one\""))
+        .unwrap_err();
+    assert!(e.0.contains("seed"), "{e}");
+    // A missing *required* float field is a deserialization error, not a
+    // silent NaN (missing keys read as null; floats reject null).
+    let e = ScenarioSpec::from_json_str(
+        r#"{"name": "probe", "seed": 1,
+            "topology": {"nodes": 10, "scheme": "epidemic"},
+            "phases": [{"name": "p", "steps": 50,
+                        "loss": [{"from": 0, "until": 50}]}]}"#,
+    )
+    .unwrap_err();
+    assert!(
+        e.0.contains("rate") && e.0.contains("null"),
+        "missing required rate must fail at parse time: {e}"
+    );
+}

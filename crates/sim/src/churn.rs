@@ -78,11 +78,30 @@ impl ChurnPlan {
         }
     }
 
-    /// The paper's second dependability scenario: one crash every `every` steps,
-    /// but only within `[from, until)`.
+    /// The paper's second dependability scenario: one crash every `every`
+    /// steps, but only within the window. Window bounds follow
+    /// [`events_at`](Self::events_at): `from`-exclusive / `until`-inclusive,
+    /// so a storm over `(1000, 2000]` at one crash per two steps yields
+    /// exactly 500 crashes.
     pub fn storm(from: Step, until: Step, every: Step) -> Self {
+        ChurnPlan::rate_during(from, until, 1.0 / every.max(1) as f64)
+    }
+
+    /// Crashes at per-step probability `p` within the `from`-exclusive /
+    /// `until`-inclusive window only — the windowed sibling of
+    /// [`rate`](Self::rate), for scenario phases that turn churn on and off
+    /// mid-run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is negative or not finite.
+    pub fn rate_during(from: Step, until: Step, p: f64) -> Self {
+        assert!(
+            p.is_finite() && p >= 0.0,
+            "failure probability must be >= 0"
+        );
         ChurnPlan {
-            crash_per_step: 1.0 / every.max(1) as f64,
+            crash_per_step: p,
             crash_from: from,
             crash_until: until,
             ..ChurnPlan::none()
@@ -91,8 +110,17 @@ impl ChurnPlan {
 
     /// The paper's scalability scenario: one new node every `every` steps.
     pub fn growth(every: Step) -> Self {
+        ChurnPlan::joins_during(0, Step::MAX, every)
+    }
+
+    /// One new node every `every` steps, within the `from`-exclusive /
+    /// `until`-inclusive window only — the windowed sibling of
+    /// [`growth`](Self::growth).
+    pub fn joins_during(from: Step, until: Step, every: Step) -> Self {
         ChurnPlan {
             join_per_step: 1.0 / every.max(1) as f64,
+            join_from: from,
+            join_until: until,
             ..ChurnPlan::none()
         }
     }
@@ -176,6 +204,20 @@ mod tests {
         let plan = ChurnPlan::none();
         assert_eq!(count(&plan, 1000, ChurnEvent::CrashRandom), 0);
         assert_eq!(count(&plan, 1000, ChurnEvent::Join), 0);
+    }
+
+    #[test]
+    fn windowed_builders_bound_their_events() {
+        // rate_during == storm when p = 1/every.
+        let a = ChurnPlan::rate_during(1000, 2000, 0.5);
+        let b = ChurnPlan::storm(1000, 2000, 2);
+        assert_eq!(a, b);
+        // joins_during fires only inside its window.
+        let j = ChurnPlan::joins_during(100, 200, 10);
+        assert_eq!(count(&j, 100, ChurnEvent::Join), 0);
+        assert_eq!(count(&j, 3000, ChurnEvent::Join), 10);
+        assert_eq!(j.events_at(110), vec![ChurnEvent::Join]);
+        assert!(j.events_at(205).is_empty());
     }
 
     #[test]

@@ -332,7 +332,7 @@ impl<P: Process> Sim<P> {
     /// then deliver-phase/tick-phase send order), then ticks every alive node (in
     /// id order). With more than one shard the per-shard work runs on scoped
     /// threads; the staging outboxes are merged at the barrier (see the
-    /// [module docs](self)).
+    /// crate docs on sharded execution).
     pub fn step(&mut self) {
         self.now += 1;
         // The only metrics roll of the step: every send/receive below happens
@@ -345,7 +345,7 @@ impl<P: Process> Sim<P> {
         // Fault fast path: both checks hoisted out of the per-message loops so
         // fault-free runs replay byte-identically (no stray RNG draws).
         let partition_active = self.fault.active_partitions(self.now).next().is_some();
-        let loss_active = self.fault.has_loss();
+        let loss_active = self.fault.has_loss_at(self.now);
         let now = self.now;
         let fault = &self.fault;
 

@@ -108,29 +108,40 @@ impl PartitionWindow {
 }
 
 /// A loss rule: drop probability for links matching the endpoint patterns
-/// (`None` = any node). More specific rules beat less specific ones; among
-/// equally specific rules the **last added** wins, so `set_loss` calls layer
-/// naturally.
+/// (`None` = any node), in force for steps in `[from_step, until_step)`.
+/// Rules added through the un-windowed setters cover the whole run. More
+/// specific rules beat less specific ones — endpoint specificity first, then
+/// time-bounded over whole-run; among equally specific rules the **last
+/// added** wins, so `set_loss` calls layer naturally.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 struct LossRule {
     from: Option<NodeId>,
     to: Option<NodeId>,
     rate: f64,
+    from_step: Step,
+    until_step: Step,
 }
 
 impl LossRule {
-    fn matches(&self, from: NodeId, to: NodeId) -> bool {
-        self.from.is_none_or(|f| f == from) && self.to.is_none_or(|t| t == to)
+    fn matches(&self, from: NodeId, to: NodeId, now: Step) -> bool {
+        self.from_step <= now
+            && now < self.until_step
+            && self.from.is_none_or(|f| f == from)
+            && self.to.is_none_or(|t| t == to)
     }
 
-    /// 0 = wildcard both ends, 1 = one end fixed, 2 = exact link.
+    /// Endpoint specificity first (exact link > one end fixed > wildcard),
+    /// then time-bounded windows over whole-run rules: a scheduled window
+    /// shadows the always-on default it temporarily overrides.
     fn specificity(&self) -> u8 {
-        u8::from(self.from.is_some()) + u8::from(self.to.is_some())
+        let ends = u8::from(self.from.is_some()) + u8::from(self.to.is_some());
+        let windowed = u8::from((self.from_step, self.until_step) != (0, Step::MAX));
+        ends * 2 + windowed
     }
 }
 
-/// A deterministic link-fault schedule: partitions plus lossy links. See the
-/// [module docs](self).
+/// A deterministic link-fault schedule: partitions plus lossy links —
+/// scheduled windows the engine consults at delivery time.
 ///
 /// ```
 /// use dps_sim::{FaultPlan, NodeId};
@@ -145,8 +156,13 @@ impl LossRule {
 /// // All links drop 10% of messages, one link is dead entirely.
 /// plan.set_default_loss(0.1);
 /// plan.set_link_loss(a, b, 1.0);
-/// assert_eq!(plan.loss_rate(b, a), 0.1);
-/// assert_eq!(plan.loss_rate(a, b), 1.0);
+/// assert_eq!(plan.loss_rate(b, a, 0), 0.1);
+/// assert_eq!(plan.loss_rate(a, b, 0), 1.0);
+///
+/// // Loss can also be scheduled: 30% everywhere during steps [50, 80).
+/// plan.set_loss_during(50, 80, 0.3);
+/// assert_eq!(plan.loss_rate(b, a, 60), 0.3);
+/// assert_eq!(plan.loss_rate(b, a, 80), 0.1); // window over, default back
 /// ```
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct FaultPlan {
@@ -314,34 +330,71 @@ impl FaultPlan {
     ///
     /// Panics if `rate` is not within `[0, 1]`.
     pub fn set_default_loss(&mut self, rate: f64) -> &mut Self {
-        self.push_loss(None, None, rate)
+        self.push_loss(None, None, rate, 0, Step::MAX)
     }
 
     /// Sets the loss rate of every link *out of* `from`.
     pub fn set_egress_loss(&mut self, from: NodeId, rate: f64) -> &mut Self {
-        self.push_loss(Some(from), None, rate)
+        self.push_loss(Some(from), None, rate, 0, Step::MAX)
     }
 
     /// Sets the loss rate of every link *into* `to`.
     pub fn set_ingress_loss(&mut self, to: NodeId, rate: f64) -> &mut Self {
-        self.push_loss(None, Some(to), rate)
+        self.push_loss(None, Some(to), rate, 0, Step::MAX)
     }
 
     /// Sets the loss rate of the directed link `from -> to`.
     pub fn set_link_loss(&mut self, from: NodeId, to: NodeId, rate: f64) -> &mut Self {
-        self.push_loss(Some(from), Some(to), rate)
+        self.push_loss(Some(from), Some(to), rate, 0, Step::MAX)
     }
 
-    fn push_loss(&mut self, from: Option<NodeId>, to: Option<NodeId>, rate: f64) -> &mut Self {
+    /// Schedules a default (wildcard) loss rate for steps in `[from, until)`
+    /// only — the scheduled sibling of [`set_default_loss`](Self::set_default_loss),
+    /// letting scenario files lower loss windows onto the plan up front
+    /// instead of mutating it mid-run.
+    pub fn set_loss_during(&mut self, from: Step, until: Step, rate: f64) -> &mut Self {
+        self.push_loss(None, None, rate, from, until)
+    }
+
+    /// Schedules a loss rate for the directed link `a -> b` for steps in
+    /// `[from, until)` only.
+    pub fn set_link_loss_during(
+        &mut self,
+        from: Step,
+        until: Step,
+        a: NodeId,
+        b: NodeId,
+        rate: f64,
+    ) -> &mut Self {
+        self.push_loss(Some(a), Some(b), rate, from, until)
+    }
+
+    fn push_loss(
+        &mut self,
+        from: Option<NodeId>,
+        to: Option<NodeId>,
+        rate: f64,
+        from_step: Step,
+        until_step: Step,
+    ) -> &mut Self {
         assert!(
             rate.is_finite() && (0.0..=1.0).contains(&rate),
             "loss rate must be within [0, 1]"
         );
+        assert!(from_step < until_step, "empty loss window");
         // A rule fully shadowing an identical pattern replaces it in place.
-        if let Some(r) = self.loss.iter_mut().find(|r| r.from == from && r.to == to) {
+        if let Some(r) = self.loss.iter_mut().find(|r| {
+            r.from == from && r.to == to && r.from_step == from_step && r.until_step == until_step
+        }) {
             r.rate = rate;
         } else {
-            self.loss.push(LossRule { from, to, rate });
+            self.loss.push(LossRule {
+                from,
+                to,
+                rate,
+                from_step,
+                until_step,
+            });
         }
         self
     }
@@ -352,21 +405,54 @@ impl FaultPlan {
         self
     }
 
-    /// The effective drop probability of the `from -> to` link: the most
-    /// specific matching rule (ties: last added), or `0.0`.
-    pub fn loss_rate(&self, from: NodeId, to: NodeId) -> f64 {
+    /// The effective drop probability of the `from -> to` link at step `now`:
+    /// the most specific rule matching the link among those in force (ties:
+    /// last added), or `0.0`.
+    pub fn loss_rate(&self, from: NodeId, to: NodeId, now: Step) -> f64 {
+        // `max_by_key` keeps the *last* maximal element, which is exactly the
+        // documented tie-break: later rules shadow earlier equally-specific ones.
         self.loss
             .iter()
-            .rev()
-            .filter(|r| r.matches(from, to))
+            .filter(|r| r.matches(from, to, now))
             .max_by_key(|r| r.specificity())
             .map_or(0.0, |r| r.rate)
     }
 
-    /// Whether any loss rule is configured (engine fast path: skip RNG draws
-    /// on loss-free plans so fault-free runs replay byte-identically).
+    /// Whether any loss rule (scheduled or not) could ever drop a message.
     pub fn has_loss(&self) -> bool {
         self.loss.iter().any(|r| r.rate > 0.0)
+    }
+
+    /// Whether any loss rule in force at `now` could drop a message (engine
+    /// fast path: skip RNG draws on loss-free steps so fault-free stretches
+    /// replay byte-identically whatever windows are scheduled later).
+    pub fn has_loss_at(&self, now: Step) -> bool {
+        self.loss
+            .iter()
+            .any(|r| r.rate > 0.0 && r.from_step <= now && now < r.until_step)
+    }
+
+    // ---- scheduling helpers ----
+
+    /// The plan with every window shifted `offset` steps into the future:
+    /// partition intervals and loss windows alike (saturating, so open-ended
+    /// windows stay open-ended). Scenario compilers build plans on a relative
+    /// timeline and shift them once the absolute start step is known.
+    #[must_use]
+    pub fn shifted(mut self, offset: Step) -> Self {
+        for w in &mut self.partitions {
+            w.from = w.from.saturating_add(offset);
+            w.until = w.until.saturating_add(offset);
+        }
+        for r in &mut self.loss {
+            // Un-windowed rules cover the whole run; keep them anchored at 0
+            // so pre-window traffic behaves identically after the shift.
+            if (r.from_step, r.until_step) != (0, Step::MAX) {
+                r.from_step = r.from_step.saturating_add(offset);
+                r.until_step = r.until_step.saturating_add(offset);
+            }
+        }
+        self
     }
 }
 
@@ -482,23 +568,77 @@ mod tests {
     #[test]
     fn loss_specificity_and_layering() {
         let mut plan = FaultPlan::none();
-        assert_eq!(plan.loss_rate(n(0), n(1)), 0.0);
+        assert_eq!(plan.loss_rate(n(0), n(1), 0), 0.0);
         plan.set_default_loss(0.1);
         plan.set_egress_loss(n(0), 0.5);
         plan.set_link_loss(n(0), n(1), 0.9);
-        assert_eq!(plan.loss_rate(n(2), n(3)), 0.1);
-        assert_eq!(plan.loss_rate(n(0), n(2)), 0.5);
-        assert_eq!(plan.loss_rate(n(0), n(1)), 0.9);
+        assert_eq!(plan.loss_rate(n(2), n(3), 0), 0.1);
+        assert_eq!(plan.loss_rate(n(0), n(2), 0), 0.5);
+        assert_eq!(plan.loss_rate(n(0), n(1), 0), 0.9);
         // Ingress beats wildcard, loses to exact link.
         plan.set_ingress_loss(n(1), 0.2);
-        assert_eq!(plan.loss_rate(n(3), n(1)), 0.2);
-        assert_eq!(plan.loss_rate(n(0), n(1)), 0.9);
+        assert_eq!(plan.loss_rate(n(3), n(1), 0), 0.2);
+        assert_eq!(plan.loss_rate(n(0), n(1), 0), 0.9);
         // Re-setting an identical pattern replaces it.
         plan.set_default_loss(0.0);
-        assert_eq!(plan.loss_rate(n(2), n(3)), 0.0);
+        assert_eq!(plan.loss_rate(n(2), n(3), 0), 0.0);
         plan.clear_loss();
         assert!(!plan.has_loss());
         assert!(plan.is_trivial()); // no partitions in this plan either
+    }
+
+    #[test]
+    fn scheduled_loss_windows_bound_their_rates() {
+        let mut plan = FaultPlan::none();
+        plan.set_loss_during(50, 80, 0.3);
+        assert!(!plan.severed(n(0), n(1), 60)); // loss is not a partition
+        assert_eq!(plan.loss_rate(n(0), n(1), 49), 0.0);
+        assert_eq!(plan.loss_rate(n(0), n(1), 50), 0.3);
+        assert_eq!(plan.loss_rate(n(0), n(1), 79), 0.3);
+        assert_eq!(plan.loss_rate(n(0), n(1), 80), 0.0);
+        assert!(plan.has_loss());
+        assert!(!plan.has_loss_at(10));
+        assert!(plan.has_loss_at(60));
+        assert!(!plan.has_loss_at(80));
+        // A scheduled per-link rule beats the scheduled wildcard inside both
+        // windows; outside its own window it is inert.
+        plan.set_link_loss_during(60, 70, n(0), n(1), 0.9);
+        assert_eq!(plan.loss_rate(n(0), n(1), 65), 0.9);
+        assert_eq!(plan.loss_rate(n(0), n(1), 75), 0.3);
+        assert_eq!(plan.loss_rate(n(2), n(3), 65), 0.3);
+        // Re-scheduling the same pattern over the same window replaces it.
+        plan.set_loss_during(50, 80, 0.1);
+        assert_eq!(plan.loss_rate(n(0), n(1), 55), 0.1);
+        // A different window for the same pattern layers (last added wins in
+        // the overlap).
+        plan.set_loss_during(70, 90, 0.6);
+        assert_eq!(plan.loss_rate(n(0), n(1), 75), 0.6);
+        assert_eq!(plan.loss_rate(n(0), n(1), 85), 0.6);
+        assert_eq!(plan.loss_rate(n(0), n(1), 55), 0.1);
+    }
+
+    #[test]
+    fn shifted_moves_windows_but_not_global_rules() {
+        let mut plan = FaultPlan::none();
+        plan.add_split(10, 20, 3);
+        plan.set_loss_during(10, 20, 0.5);
+        plan.set_default_loss(0.1);
+        let plan = plan.shifted(100);
+        assert!(!plan.severed(n(0), n(5), 15));
+        assert!(plan.severed(n(0), n(5), 115));
+        assert_eq!(plan.loss_rate(n(0), n(5), 15), 0.1); // global rule holds
+        assert_eq!(plan.loss_rate(n(0), n(5), 115), 0.5);
+        // Open-ended windows stay open-ended after a shift.
+        let mut open = FaultPlan::none();
+        open.add_split(0, Step::MAX, 1);
+        let open = open.shifted(7);
+        assert!(open.severed(n(0), n(1), Step::MAX - 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty loss window")]
+    fn empty_loss_window_panics() {
+        FaultPlan::none().set_loss_during(10, 10, 0.5);
     }
 
     #[test]

@@ -97,7 +97,7 @@ pub struct WindowStat {
 ///
 /// Under the sharded engine each shard keeps a `Metrics` partial covering its
 /// own nodes; [`Sim::metrics`](crate::Sim::metrics) merges the partials with
-/// [`absorb`](Metrics::absorb) at snapshot time. Since every counter is a sum
+/// `absorb` at snapshot time. Since every counter is a sum
 /// and all partials roll their windows in lockstep, the merged view is
 /// identical whatever the shard count.
 #[derive(Debug, Clone)]

@@ -195,7 +195,7 @@ impl<P: Process> Shard<P> {
                 }
                 let slot = &mut self.slots[l];
                 if loss_active {
-                    let rate = fault.loss_rate(from, to);
+                    let rate = fault.loss_rate(from, to, now);
                     if rate > 0.0 && slot.rng.random::<f64>() < rate {
                         self.metrics.on_drop(DropReason::Loss, msg.class());
                         continue;

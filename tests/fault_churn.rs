@@ -1,97 +1,66 @@
-//! The two fault combinations ROADMAP listed as still missing from the
-//! scenario coverage: a **partition under simultaneous churn** (nodes keep
-//! crashing on both sides while the cut holds — healing must cope with the
-//! overlay having rotted, not just diverged), and **lossy links combined with
-//! churn** (the failure detector must survive dropped pongs while real
-//! crashes keep happening, and gossip redundancy must absorb both).
+//! The two fault combinations ROADMAP once listed as missing from the
+//! scenario coverage — **partition under simultaneous churn** and **lossy
+//! links combined with churn** — now run through the declarative scenario
+//! layer: the storylines live in `scenarios/epidemic-partition-churn.json`
+//! and `scenarios/epidemic-loss-churn.json`, the spec compiler lowers them
+//! onto `ChurnPlan`/`FaultPlan`, and this test asserts both the spec's own
+//! delivery floors and the structural facts the hand-rolled versions pinned
+//! (churn actually fired, the cut/loss actually dropped traffic).
 
-use dps::{CommKind, DpsConfig, DpsNetwork, DropReason, JoinRule, NodeId, TraversalKind};
-use dps_workload::Workload;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use dps_scenarios::{run_scenario, PhaseRow, ScenarioReport, ScenarioSpec};
 
-const N: usize = 30;
+fn load(file: &str) -> ScenarioSpec {
+    let path = format!("{}/../../scenarios/{file}", env!("CARGO_MANIFEST_DIR"));
+    ScenarioSpec::load(&path).expect("library spec must parse")
+}
 
-/// A converged epidemic (k = 2) overlay with one workload subscription per
-/// node — the setup both scenarios start from.
-fn build(seed: u64) -> (DpsNetwork, Vec<NodeId>) {
-    let mut cfg = DpsConfig::named(TraversalKind::Root, CommKind::Epidemic).with_fanout(2);
-    cfg.join_rule = JoinRule::Explicit;
-    let w = Workload::multiplayer_game();
-    let mut rng = StdRng::seed_from_u64(seed ^ 0xabcd);
-    let mut net = DpsNetwork::new(cfg, seed);
-    let nodes = net.add_nodes(N);
-    net.run(30);
-    for n in &nodes {
-        net.subscribe(*n, w.subscription(&mut rng));
-        net.run(2);
-    }
-    assert!(net.quiesce(1500), "overlay failed to converge");
-    net.run(150);
-    (net, nodes)
+fn row<'r>(report: &'r ScenarioReport, phase: &str) -> &'r PhaseRow {
+    report
+        .rows
+        .iter()
+        .find(|r| r.phase == phase)
+        .unwrap_or_else(|| panic!("no phase {phase:?} in {}", report.scenario))
 }
 
 /// Partition + simultaneous churn: while the split holds, a node crashes
-/// every 20 steps (hitting both sides); after `heal()` the merge process must
-/// reconnect what is left and delivery must recover among the survivors.
+/// every 20 steps (hitting both sides); after the window closes the merge
+/// process must reconnect what is left and delivery must recover among the
+/// survivors.
 #[test]
 fn partition_under_simultaneous_churn_recovers_after_heal() {
-    let (mut net, _nodes) = build(61);
-    let w = Workload::multiplayer_game();
-    let mut w_rng = StdRng::seed_from_u64(5);
-    let start = net.sim().now();
-    net.partition_split(N / 2);
-    for t in 0..160u64 {
-        if t % 20 == 19 {
-            net.crash_random(); // churn keeps biting *while* the cut holds
-        }
-        if t % 10 == 0 {
-            if let Some(p) = net.random_alive() {
-                net.publish(p, w.event(&mut w_rng));
-            }
-        }
-        net.run(1);
-    }
-    let healed_at = net.sim().now();
-    let crashed = N - net.snapshot().alive_nodes;
-    assert!(crashed >= 6, "churn plan never fired ({crashed} crashes)");
+    let report = run_scenario(&load("epidemic-partition-churn.json")).unwrap();
+    let cut = row(&report, "cut-churn");
     assert!(
-        net.metrics().dropped_for(DropReason::Partitioned) > 0,
+        cut.crashes >= 6,
+        "churn never fired during the cut ({} crashes)",
+        cut.crashes
+    );
+    assert!(
+        cut.dropped_partitioned > 0,
         "the cut never dropped anything"
     );
-    net.heal();
-    // Let the merge machinery (view pushes, owner walks, reattach retries)
-    // stitch the halves back together before the measured phase.
-    net.run(300);
-    let measured_from = net.sim().now();
-    for t in 0..120u64 {
-        if t % 10 == 0 {
-            if let Some(p) = net.random_alive() {
-                net.publish(p, w.event(&mut w_rng));
-            }
-        }
-        net.run(1);
-    }
-    net.run(2 * N as u64 + 200);
-
     // While partitioned *and* churning, unreachable far-side subscribers cap
     // the raw ratio; the reachable measure must stay meaningfully higher.
-    let during_raw = net.delivered_ratio_between(start, healed_at);
-    let during_reachable = net.delivered_ratio_reachable_between(start, healed_at);
     assert!(
-        during_reachable >= during_raw,
-        "reachable ratio ({during_reachable:.3}) below raw ({during_raw:.3})?"
+        cut.delivered_ratio_reachable >= cut.delivered_ratio,
+        "reachable ratio ({:.3}) below raw ({:.3})?",
+        cut.delivered_ratio_reachable,
+        cut.delivered_ratio
     );
     assert!(
-        during_reachable >= 0.75,
-        "same-side delivery collapsed under partition+churn: {during_reachable:.3}"
+        cut.delivered_ratio_reachable >= 0.75,
+        "same-side delivery collapsed under partition+churn: {:.3}",
+        cut.delivered_ratio_reachable
     );
-    // After heal + re-merge, delivery among the survivors must recover.
-    let after = net.delivered_ratio_between(measured_from, u64::MAX);
+    // After the window closes and the merge re-runs, delivery among the
+    // survivors must recover.
+    let healed = row(&report, "healed");
     assert!(
-        after >= 0.9,
-        "post-heal delivery never recovered under churn: {after:.3}"
+        healed.delivered_ratio >= 0.9,
+        "post-heal delivery never recovered under churn: {:.3}",
+        healed.delivered_ratio
     );
+    assert!(report.passed, "spec floors failed: {report:?}");
 }
 
 /// Loss + churn combined: every link drops 15 % of deliveries while a node
@@ -100,38 +69,18 @@ fn partition_under_simultaneous_churn_recovers_after_heal() {
 /// chatty-but-alive neighbors over dropped pongs.
 #[test]
 fn loss_and_churn_combined_degrade_gracefully() {
-    let (mut net, _nodes) = build(62);
-    let w = Workload::multiplayer_game();
-    let mut w_rng = StdRng::seed_from_u64(6);
-    let start = net.sim().now();
-    net.set_loss(0.15);
-    for t in 0..200u64 {
-        if t % 25 == 24 {
-            net.crash_random();
-        }
-        if t % 10 == 0 {
-            if let Some(p) = net.random_alive() {
-                net.publish(p, w.event(&mut w_rng));
-            }
-        }
-        net.run(1);
-    }
-    // Drain with the loss still in force: redundancy, not luck, closes gaps.
-    net.run(2 * N as u64 + 200);
-    let crashed = N - net.snapshot().alive_nodes;
-    assert!(crashed >= 7, "churn never fired ({crashed} crashes)");
-    let m = net.metrics();
+    let report = run_scenario(&load("epidemic-loss-churn.json")).unwrap();
+    let r = row(&report, "loss-churn");
+    assert!(r.crashes >= 7, "churn never fired ({} crashes)", r.crashes);
+    assert!(r.dropped_loss > 0, "loss sampling never dropped anything");
     assert!(
-        m.dropped_for(DropReason::Loss) > 0,
-        "loss sampling never dropped anything"
+        r.dropped_crashed > 0,
+        "crashed-node drops never observed (did crashed nodes stop receiving traffic?)"
     );
     assert!(
-        m.dropped_for(DropReason::Crashed) > 0,
-        "crashed-node drops never observed"
+        r.delivered_ratio >= 0.8,
+        "epidemic k=2 fell apart under loss+churn: {:.3}",
+        r.delivered_ratio
     );
-    let ratio = net.delivered_ratio_between(start, u64::MAX);
-    assert!(
-        ratio >= 0.8,
-        "epidemic k=2 fell apart under loss+churn: {ratio:.3}"
-    );
+    assert!(report.passed, "spec floors failed: {report:?}");
 }

@@ -1,57 +1,66 @@
 //! Partition fault-model scenario: the epidemic variant's group views diverge
 //! while a partition holds (joiners on one side stay invisible to the other)
 //! and re-converge through the merge process (view-exchange pushes, owner
-//! merge walks) after `heal()` — deterministically under a fixed seed.
+//! merge walks) after the cut closes — deterministically under a fixed seed.
 //!
-//! Determinism note: the whole scenario runs inside one `Sim`, whose trace is a
-//! pure function of the seed. `DPS_THREADS` only fans out *independent* cells
-//! in the experiment runners and is never consulted here, so the digest this
-//! test compares is byte-identical whatever that variable is set to; running
-//! the scenario twice in-process proves the replay property the acceptance
-//! criterion asks for.
+//! The fault timeline (one long split spanning three phases, then two healed
+//! phases) is declared in `scenarios/epidemic-partition-views.json` and
+//! lowered onto scheduled `FaultPlan` windows by the scenario compiler; this
+//! test drives the phases through [`ScenarioRun`] and injects the bespoke
+//! actions (high-side joiners, hand-picked publications) at the phase
+//! boundaries, asserting the view divergence/re-merge shape the declarative
+//! rows cannot express.
+//!
+//! Determinism note: the whole scenario runs inside one `Sim`, whose trace is
+//! a pure function of the spec (`DPS_SHARDS`/`DPS_THREADS` never change any
+//! outcome), so the digest this test compares is byte-identical across runs;
+//! running the scenario twice in-process proves the replay property.
 
 use std::collections::BTreeMap;
 
-use dps::{CommKind, DpsConfig, DpsNetwork, DropReason, JoinRule, NodeId, TraversalKind};
+use dps::{CommKind, DpsConfig, DpsNetwork, DropReason, NodeId, TraversalKind};
+use dps_scenarios::{ScenarioRun, ScenarioSpec};
 
-const N: usize = 24;
 const SPLIT: usize = 12;
 const FILTER: &str = "load > 10";
 
+fn load_spec() -> ScenarioSpec {
+    let path = format!(
+        "{}/../../scenarios/epidemic-partition-views.json",
+        env!("CARGO_MANIFEST_DIR")
+    );
+    ScenarioSpec::load(&path).expect("library spec must parse")
+}
+
 /// Runs the scenario once, asserting the divergence/re-convergence shape, and
 /// returns a digest of everything observable (view maps and delivery ratios).
-fn run_scenario(seed: u64) -> String {
-    let mut cfg = DpsConfig::named(TraversalKind::Root, CommKind::Epidemic).with_fanout(2);
-    cfg.join_rule = JoinRule::First;
-    let mut net = DpsNetwork::new(cfg, seed);
-    let nodes = net.add_nodes(N);
-    net.run(30);
-    for n in &nodes {
-        net.subscribe(*n, FILTER.parse().unwrap());
-        net.run(2);
-    }
-    assert!(
-        net.quiesce(1500),
+fn run_scenario_once() -> String {
+    let spec = load_spec();
+    let mut run = ScenarioRun::new(&spec).expect("spec must compile");
+    let nodes: Vec<NodeId> = (0..spec.topology.nodes).map(NodeId::from_index).collect();
+    assert_eq!(
+        run.network().pending_subscriptions(),
+        0,
         "overlay failed to converge before the cut"
     );
-    net.run(150);
 
-    // ---- partition: low = indices < SPLIT, high = the rest (and joiners) ----
-    net.partition_split(SPLIT);
-    net.run(60); // let cross-side suspicion set in
+    // ---- the cut opens: low = indices < SPLIT, high = the rest (and joiners) ----
+    assert_eq!(run.run_phase(), Some("suspect")); // cross-side suspicion sets in
 
     // Two nodes join and subscribe on the high side while the cut holds.
-    let joiners = net.add_nodes(2);
+    let joiners = run.network_mut().add_nodes(2);
     for j in &joiners {
-        net.subscribe(*j, FILTER.parse().unwrap());
+        run.network_mut().subscribe(*j, FILTER.parse().unwrap());
     }
-    assert!(
-        net.quiesce(600),
+    assert_eq!(run.run_phase(), Some("place-joiners"));
+    assert_eq!(
+        run.network().pending_subscriptions(),
+        0,
         "high-side joiners failed to place during the partition"
     );
 
     // Divergence: nobody on the low side has heard of the joiners.
-    let views = group_views(&net);
+    let views = group_views(run.network());
     for (holder, view) in &views {
         if holder.index() < SPLIT {
             for j in &joiners {
@@ -70,13 +79,14 @@ fn run_scenario(seed: u64) -> String {
     );
 
     // A low-side publication reaches every reachable subscriber and nothing
-    // across the cut.
-    let pub_at = net.sim().now();
-    net.publish(nodes[0], "load = 50".parse().unwrap()).unwrap();
-    // Generous drain: if the tree owner sits on the far side, the publisher
-    // only finds a same-side entry after its ack timeout (40 steps) fires a
-    // re-walk or two.
-    net.run(200);
+    // across the cut; the deliver phase (200 steps, cut still scheduled) is
+    // the generous drain the descent retries need.
+    let pub_at = run.network().sim().now();
+    run.network_mut()
+        .publish(nodes[0], "load = 50".parse().unwrap())
+        .unwrap();
+    assert_eq!(run.run_phase(), Some("deliver-across-cut"));
+    let net = run.network();
     let during = net.delivered_ratio_between(pub_at, u64::MAX);
     let during_reachable = net.delivered_ratio_reachable_between(pub_at, u64::MAX);
     let missed: Vec<NodeId> = {
@@ -108,14 +118,26 @@ fn run_scenario(seed: u64) -> String {
         net.metrics().dropped_for(DropReason::Partitioned) > 0,
         "no cross-side message was ever dropped?"
     );
+    assert!(
+        net.fault_plan().severed(nodes[0], nodes[SPLIT], pub_at),
+        "the scheduled window must sever cross-side links while it holds"
+    );
 
-    // ---- heal: the merge must reconnect the halves ----
-    assert_eq!(net.heal(), 1);
-    net.run(500); // view exchanges every 20 steps, owner merge walks every 100
-
-    let heal_at = net.sim().now();
-    net.publish(nodes[0], "load = 77".parse().unwrap()).unwrap();
-    net.run(120);
+    // ---- the windows close: the merge must reconnect the halves ----
+    assert_eq!(run.run_phase(), Some("merge")); // view exchanges + owner walks
+    let heal_at = run.network().sim().now();
+    assert!(
+        !run.network()
+            .fault_plan()
+            .severed(nodes[0], nodes[SPLIT], heal_at),
+        "the scheduled window must have healed itself"
+    );
+    run.network_mut()
+        .publish(nodes[0], "load = 77".parse().unwrap())
+        .unwrap();
+    assert_eq!(run.run_phase(), Some("post-heal-drain"));
+    assert_eq!(run.run_phase(), None, "timeline exhausted");
+    let net = run.network();
     let after = net.delivered_ratio_between(heal_at, u64::MAX);
     assert!(
         (after - 1.0).abs() < 1e-9,
@@ -125,7 +147,7 @@ fn run_scenario(seed: u64) -> String {
     // Re-convergence: the joiners are now inside low-side views too (the
     // view-exchange merge crossed the healed cut), and every oracle member of
     // the group is known by someone else.
-    let views = group_views(&net);
+    let views = group_views(net);
     assert!(
         views
             .iter()
@@ -171,14 +193,15 @@ fn group_views(net: &DpsNetwork) -> BTreeMap<NodeId, Vec<NodeId>> {
 
 #[test]
 fn epidemic_views_diverge_and_remerge_across_partition() {
-    let a = run_scenario(71);
-    let b = run_scenario(71);
+    let a = run_scenario_once();
+    let b = run_scenario_once();
     assert_eq!(a, b, "same seed must replay byte-identically");
 }
 
 /// The named-sides facade and the loss knobs: cross-side (and only cross-side
 /// pairs) drop and are accounted; unlisted nodes bridge; loss drops sample
-/// deterministically from the seed.
+/// deterministically from the seed. (The imperative facade API the scenario
+/// compiler lowers onto — kept hand-driven on purpose.)
 #[test]
 fn named_partition_and_loss_facade() {
     let mut net = DpsNetwork::new(DpsConfig::named(TraversalKind::Root, CommKind::Epidemic), 3);

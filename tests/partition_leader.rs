@@ -2,80 +2,49 @@
 //!
 //! ROADMAP recorded the honest negative result the fault runner exposed in
 //! PR 3: after a full partition healed, *leader-mode* delivery stayed poor
-//! (healed-phase ratio ≈ 0.56 at smoke scale vs ≈ 0.97–0.99 for the epidemic
-//! flavors), because dissolving the duplicate tree the minority side built
-//! tore leader-mode members down individually (break-before-make: every
-//! subscription re-traversed from scratch, many parking for hundreds of
-//! steps). Leader-mode dissolve now merges groups in place — keep label,
-//! members, leadership and subscriptions; adopt the surviving owner's claim;
-//! reattach as a unit — the same make-before-break treatment the epidemic
-//! path received in PR 3. This test replays the fault runner's
-//! partition-merge scenario shape and pins the healed-phase recovery.
+//! (healed-phase ratio ≈ 0.56) because dissolving the duplicate tree the
+//! minority side built tore members down individually (break-before-make).
+//! PR 4 made leader-mode dissolve merge groups in place; this pin now runs
+//! through the declarative scenario layer — the timeline lives in
+//! `scenarios/leader-partition-heal.json` (split for a phase, then healed),
+//! and the healed-phase floor is both declared in the spec and re-asserted
+//! here with the regression's original threshold.
 
-use dps::{CommKind, DpsConfig, DpsNetwork, DropReason, JoinRule, TraversalKind};
-use dps_workload::Workload;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-
-const N: usize = 40;
-const PHASE: u64 = 120;
-
-fn healed_phase_ratio(seed: u64) -> f64 {
-    let mut cfg = DpsConfig::named(TraversalKind::Root, CommKind::Leader);
-    cfg.join_rule = JoinRule::Explicit;
-    let w = Workload::multiplayer_game();
-    let mut rng = StdRng::seed_from_u64(seed ^ 0xabcd);
-    let mut net = DpsNetwork::new(cfg, seed);
-    let nodes = net.add_nodes(N);
-    net.run(30);
-    for _round in 0..2 {
-        for n in &nodes {
-            net.subscribe(*n, w.subscription(&mut rng));
-        }
-        net.run(20);
-    }
-    assert!(
-        net.quiesce(1500),
-        "overlay failed to converge before the cut"
-    );
-    net.run(150);
-
-    let mut w_rng = StdRng::seed_from_u64(31 + seed);
-    net.partition_split(N / 2);
-    for t in 0..PHASE {
-        if t % 10 == 0 {
-            if let Some(p) = net.random_alive() {
-                net.publish(p, w.event(&mut w_rng));
-            }
-        }
-        net.run(1);
-    }
-    assert!(
-        net.metrics().dropped_for(DropReason::Partitioned) > 0,
-        "the cut never dropped anything"
-    );
-    let healed_at = net.sim().now();
-    net.heal();
-    for t in 0..PHASE {
-        if t % 10 == 0 {
-            if let Some(p) = net.random_alive() {
-                net.publish(p, w.event(&mut w_rng));
-            }
-        }
-        net.run(1);
-    }
-    net.run(2 * N as u64 + 200);
-    net.delivered_ratio_between(healed_at, u64::MAX)
-}
+use dps_scenarios::{run_scenario, ScenarioSpec};
 
 /// The pin: leader-mode delivery in the healed phase must recover to the
 /// level the epidemic flavors reach, not the ≈ 0.56 of break-before-make.
 #[test]
 fn leader_mode_recovers_after_partition_heals() {
-    let ratio = healed_phase_ratio(4200);
-    assert!(
-        ratio >= 0.9,
-        "leader-mode healed-phase recovery regressed to {ratio:.3} \
-         (the break-before-make dissolve is back?)"
+    let path = format!(
+        "{}/../../scenarios/leader-partition-heal.json",
+        env!("CARGO_MANIFEST_DIR")
     );
+    let spec = ScenarioSpec::load(&path).expect("library spec must parse");
+    let report = run_scenario(&spec).unwrap();
+    let healed = report
+        .rows
+        .iter()
+        .find(|r| r.phase == "healed")
+        .expect("spec declares a healed phase");
+    assert!(
+        healed.dropped_partitioned == 0,
+        "healed phase must not keep dropping cross-side traffic"
+    );
+    let partitioned = report
+        .rows
+        .iter()
+        .find(|r| r.phase == "partitioned")
+        .expect("spec declares a partitioned phase");
+    assert!(
+        partitioned.dropped_partitioned > 0,
+        "the cut never dropped anything"
+    );
+    assert!(
+        healed.delivered_ratio >= 0.9,
+        "leader-mode healed-phase recovery regressed to {:.3} \
+         (the break-before-make dissolve is back?)",
+        healed.delivered_ratio
+    );
+    assert!(report.passed, "spec floors failed: {report:?}");
 }

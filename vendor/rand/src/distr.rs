@@ -105,7 +105,7 @@ macro_rules! impl_sample_uniform_float {
 }
 impl_sample_uniform_float!(f32, f64);
 
-/// Range types accepted by [`Rng::random_range`](crate::Rng::random_range).
+/// Range types accepted by [`Rng::random_range`].
 pub trait SampleRange<T> {
     /// Draws one value uniformly from the range.
     fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T;

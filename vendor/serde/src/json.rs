@@ -1,5 +1,6 @@
 //! The JSON value tree [`Serialize`](crate::Serialize) renders into, plus the
-//! pretty printer `serde_json::to_string_pretty` delegates to.
+//! pretty printer `serde_json::to_string_pretty` delegates to and the parser
+//! `serde_json::from_str` starts from.
 
 /// A JSON value. Numbers keep their already-formatted literal so integer
 /// precision is never lost through an `f64` round-trip.
@@ -20,6 +21,65 @@ pub enum Value {
 }
 
 impl Value {
+    /// Parses a JSON document into a value tree. Errors carry the offending
+    /// line and column, so a typo in a hand-written file points at itself.
+    pub fn parse(input: &str) -> Result<Value, String> {
+        let mut p = Parser {
+            bytes: input.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value(0)?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing characters after the JSON document"));
+        }
+        Ok(v)
+    }
+
+    /// The object entries, if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// The array items, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The string contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Looks a key up, if this is an object (first match; missing = `None`).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object()?
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+    }
+
+    /// A short description of the value's type, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "a boolean",
+            Value::Number(_) => "a number",
+            Value::String(_) => "a string",
+            Value::Array(_) => "an array",
+            Value::Object(_) => "an object",
+        }
+    }
     /// Renders the value as pretty-printed JSON at the given indent level
     /// (two spaces per level).
     pub fn render(&self, indent: usize) -> String {
@@ -53,6 +113,244 @@ impl Value {
                 format!("{{\n{body}\n{close}}}")
             }
         }
+    }
+}
+
+/// Maximum nesting depth the parser accepts (guards the recursion).
+const MAX_DEPTH: usize = 128;
+
+/// A minimal recursive-descent JSON parser over the input bytes.
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    /// Formats `msg` with the current line:column position.
+    fn err(&self, msg: &str) -> String {
+        let (mut line, mut col) = (1usize, 1usize);
+        for &b in &self.bytes[..self.pos.min(self.bytes.len())] {
+            if b == b'\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+        }
+        format!("JSON parse error at line {line}, column {col}: {msg}")
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    /// Consumes `lit` (after its first byte has been peeked).
+    fn literal(&mut self, lit: &str, value: Value) -> Result<Value, String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("expected `{lit}`")))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Value, String> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("document nested too deeply"));
+        }
+        match self.peek() {
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::String(self.string()?)),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(c) => Err(self.err(&format!("unexpected character `{}`", c as char))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Value, String> {
+        self.pos += 1; // `[`
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.err("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Value, String> {
+        self.pos += 1; // `{`
+        let mut entries: Vec<(String, Value)> = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(entries));
+        }
+        loop {
+            self.skip_ws();
+            if self.peek() != Some(b'"') {
+                return Err(self.err("expected a string object key"));
+            }
+            let key = self.string()?;
+            if entries.iter().any(|(k, _)| *k == key) {
+                return Err(self.err(&format!("duplicate object key {key:?}")));
+            }
+            self.skip_ws();
+            if self.peek() != Some(b':') {
+                return Err(self.err("expected `:` after object key"));
+            }
+            self.pos += 1;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            entries.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(entries));
+                }
+                _ => return Err(self.err("expected `,` or `}` in object")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.pos += 1; // opening `"`
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hi = self.hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: a `\uXXXX` low half must follow.
+                                if self.bytes[self.pos..].starts_with(b"\\u") {
+                                    self.pos += 2;
+                                    let lo = self.hex4()?;
+                                    if !(0xDC00..0xE000).contains(&lo) {
+                                        return Err(self.err("invalid low surrogate"));
+                                    }
+                                    let c = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                                    char::from_u32(c)
+                                } else {
+                                    return Err(self.err("unpaired surrogate escape"));
+                                }
+                            } else {
+                                char::from_u32(hi)
+                            };
+                            out.push(c.ok_or_else(|| self.err("invalid unicode escape"))?);
+                        }
+                        other => {
+                            return Err(self.err(&format!("invalid escape `\\{}`", other as char)))
+                        }
+                    }
+                }
+                Some(c) if c < 0x20 => return Err(self.err("raw control character in string")),
+                Some(_) => {
+                    // Copy one UTF-8 character (the input is a &str, so the
+                    // byte stream is valid UTF-8 by construction).
+                    let start = self.pos;
+                    self.pos += 1;
+                    while self.peek().is_some_and(|b| b & 0xC0 == 0x80) {
+                        self.pos += 1;
+                    }
+                    out.push_str(std::str::from_utf8(&self.bytes[start..self.pos]).unwrap());
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, String> {
+        let end = self.pos + 4;
+        let hex = self
+            .bytes
+            .get(self.pos..end)
+            .and_then(|b| std::str::from_utf8(b).ok())
+            .ok_or_else(|| self.err("truncated unicode escape"))?;
+        let v =
+            u32::from_str_radix(hex, 16).map_err(|_| self.err("invalid unicode escape digits"))?;
+        self.pos = end;
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Value, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let int_start = self.pos;
+        let int_digits = self.digits();
+        if int_digits == 0 {
+            return Err(self.err("expected digits in number"));
+        }
+        if int_digits > 1 && self.bytes[int_start] == b'0' {
+            return Err(self.err("leading zeros are not allowed"));
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            if self.digits() == 0 {
+                return Err(self.err("expected digits after decimal point"));
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if self.digits() == 0 {
+                return Err(self.err("expected digits in exponent"));
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        Ok(Value::Number(text.to_string()))
+    }
+
+    fn digits(&mut self) -> usize {
+        let start = self.pos;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        self.pos - start
     }
 }
 
@@ -97,5 +395,70 @@ mod tests {
     fn empty_collections_are_compact() {
         assert_eq!(Value::Array(vec![]).render(0), "[]");
         assert_eq!(Value::Object(vec![]).render(0), "{}");
+    }
+
+    #[test]
+    fn parses_scalars_and_collections() {
+        assert_eq!(Value::parse("null").unwrap(), Value::Null);
+        assert_eq!(Value::parse(" true ").unwrap(), Value::Bool(true));
+        assert_eq!(
+            Value::parse("-12.5e3").unwrap(),
+            Value::Number("-12.5e3".into())
+        );
+        assert_eq!(
+            Value::parse(r#""a\"b\u0041\n""#).unwrap(),
+            Value::String("a\"bA\n".into())
+        );
+        assert_eq!(
+            Value::parse("[1, [], {\"k\": \"v\"}]").unwrap(),
+            Value::Array(vec![
+                Value::Number("1".into()),
+                Value::Array(vec![]),
+                Value::Object(vec![("k".into(), Value::String("v".into()))]),
+            ])
+        );
+    }
+
+    #[test]
+    fn parse_render_round_trips() {
+        let text = r#"{
+  "name": "demo",
+  "xs": [
+    1,
+    null,
+    "two"
+  ],
+  "nested": {
+    "ok": true
+  }
+}"#;
+        let v = Value::parse(text).unwrap();
+        assert_eq!(v.render(0), text);
+        assert_eq!(Value::parse(&v.render(0)).unwrap(), v);
+    }
+
+    #[test]
+    fn parse_errors_carry_positions() {
+        let e = Value::parse("{\n  \"a\": 1,\n  \"b\" 2\n}").unwrap_err();
+        assert!(e.contains("line 3"), "{e}");
+        assert!(Value::parse("[1, 2").unwrap_err().contains("expected"));
+        assert!(Value::parse("[1] tail").unwrap_err().contains("trailing"));
+        assert!(Value::parse("{\"a\":1,\"a\":2}")
+            .unwrap_err()
+            .contains("duplicate"));
+        assert!(Value::parse("01").unwrap_err().contains("leading zeros"));
+        assert!(Value::parse("\"\\q\"").unwrap_err().contains("escape"));
+    }
+
+    #[test]
+    fn accessors_navigate_objects() {
+        let v = Value::parse("{\"a\": [1], \"b\": \"s\"}").unwrap();
+        assert_eq!(v.get("b").and_then(Value::as_str), Some("s"));
+        assert_eq!(
+            v.get("a").and_then(Value::as_array).map(<[Value]>::len),
+            Some(1)
+        );
+        assert!(v.get("missing").is_none());
+        assert_eq!(v.kind(), "an object");
     }
 }

@@ -2,9 +2,10 @@
 //!
 //! The build environment has no network access, so the workspace vendors the
 //! slice of serde it uses: `#[derive(Serialize)]` producing JSON trees (pretty
-//! printed by the vendored `serde_json`), and `#[derive(Deserialize)]` as a
-//! marker (nothing in the workspace deserializes yet). The full serde data
-//! model (visitors, serializers, zero-copy) is deliberately out of scope.
+//! printed by the vendored `serde_json`), and `#[derive(Deserialize)]`
+//! rebuilding values from parsed JSON trees (`serde_json::from_str`). The full
+//! serde data model (visitors, format-agnostic serializers, zero-copy) is
+//! deliberately out of scope: both traits go straight to [`json::Value`].
 
 #![forbid(unsafe_code)]
 
@@ -22,9 +23,78 @@ pub trait Serialize {
     fn to_json(&self) -> json::Value;
 }
 
-/// Marker for types that would be deserializable; no workspace code
-/// deserializes, so there are no required methods.
-pub trait Deserialize: Sized {}
+/// A type rebuildable from a JSON value tree (the inverse of [`Serialize`]).
+///
+/// Errors are plain strings carrying a field path (e.g.
+/// `"ScenarioSpec.phases[2].steps: expected an integer, got a string"`), so a
+/// typo in a hand-written spec file reports itself precisely.
+pub trait Deserialize: Sized {
+    /// Rebuilds a value from a JSON tree.
+    fn from_json(v: &json::Value) -> Result<Self, String>;
+}
+
+/// Helpers the `#[derive(Deserialize)]` expansion calls into. Public because
+/// generated code references them; not intended for direct use.
+pub mod de {
+    use crate::json::Value;
+    use crate::Deserialize;
+
+    /// Expects an object, naming `ty` on mismatch.
+    pub fn object<'v>(v: &'v Value, ty: &str) -> Result<&'v [(String, Value)], String> {
+        v.as_object()
+            .ok_or_else(|| format!("{ty}: expected an object, got {}", v.kind()))
+    }
+
+    /// Rejects keys that name no field of `ty` — a typo in a hand-written
+    /// file must fail loudly, not silently deserialize to defaults.
+    pub fn deny_unknown(
+        entries: &[(String, Value)],
+        known: &[&str],
+        ty: &str,
+    ) -> Result<(), String> {
+        for (k, _) in entries {
+            if !known.contains(&k.as_str()) {
+                return Err(format!(
+                    "{ty}: unknown field {k:?} (expected one of {known:?})"
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Deserializes the field `key` of `ty`; a missing key reads as `null`
+    /// (so `Option` fields may simply be omitted).
+    pub fn field<T: Deserialize>(
+        entries: &[(String, Value)],
+        key: &str,
+        ty: &str,
+    ) -> Result<T, String> {
+        let v = entries
+            .iter()
+            .find(|(k, _)| k == key)
+            .map_or(&Value::Null, |(_, v)| v);
+        T::from_json(v).map_err(|e| format!("{ty}.{key}: {e}"))
+    }
+
+    /// Expects an array of exactly `n` items, naming `ty` on mismatch.
+    pub fn array<'v>(v: &'v Value, n: usize, ty: &str) -> Result<&'v [Value], String> {
+        let items = v
+            .as_array()
+            .ok_or_else(|| format!("{ty}: expected an array, got {}", v.kind()))?;
+        if items.len() != n {
+            return Err(format!(
+                "{ty}: expected {n} array items, got {}",
+                items.len()
+            ));
+        }
+        Ok(items)
+    }
+
+    /// Deserializes item `idx` of an exact-arity array (tuple structs/variants).
+    pub fn element<T: Deserialize>(items: &[Value], idx: usize, ty: &str) -> Result<T, String> {
+        T::from_json(&items[idx]).map_err(|e| format!("{ty}[{idx}]: {e}"))
+    }
+}
 
 macro_rules! impl_ser_int {
     ($($t:ty),*) => {$(
@@ -33,7 +103,23 @@ macro_rules! impl_ser_int {
                 json::Value::Number(self.to_string())
             }
         }
-        impl Deserialize for $t {}
+        impl Deserialize for $t {
+            fn from_json(v: &json::Value) -> Result<Self, String> {
+                match v {
+                    json::Value::Number(n) => n.parse::<$t>().map_err(|_| {
+                        format!(
+                            "expected {}, got the number `{n}`",
+                            stringify!($t)
+                        )
+                    }),
+                    other => Err(format!(
+                        "expected {}, got {}",
+                        stringify!($t),
+                        other.kind()
+                    )),
+                }
+            }
+        }
     )*};
 }
 impl_ser_int!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
@@ -49,7 +135,21 @@ macro_rules! impl_ser_float {
                 }
             }
         }
-        impl Deserialize for $t {}
+        impl Deserialize for $t {
+            fn from_json(v: &json::Value) -> Result<Self, String> {
+                match v {
+                    json::Value::Number(n) => n
+                        .parse::<$t>()
+                        .map_err(|_| format!("invalid number literal `{n}`")),
+                    // Note: `Serialize` renders non-finite floats as null, so
+                    // they do NOT round-trip — deliberately. Accepting null
+                    // here would turn every *missing* required float field
+                    // into a silent NaN (missing keys read as null), gutting
+                    // the fail-loudly contract.
+                    other => Err(format!("expected a number, got {}", other.kind())),
+                }
+            }
+        }
     )*};
 }
 impl_ser_float!(f32, f64);
@@ -59,14 +159,28 @@ impl Serialize for bool {
         json::Value::Bool(*self)
     }
 }
-impl Deserialize for bool {}
+impl Deserialize for bool {
+    fn from_json(v: &json::Value) -> Result<Self, String> {
+        match v {
+            json::Value::Bool(b) => Ok(*b),
+            other => Err(format!("expected a boolean, got {}", other.kind())),
+        }
+    }
+}
 
 impl Serialize for String {
     fn to_json(&self) -> json::Value {
         json::Value::String(self.clone())
     }
 }
-impl Deserialize for String {}
+impl Deserialize for String {
+    fn from_json(v: &json::Value) -> Result<Self, String> {
+        match v {
+            json::Value::String(s) => Ok(s.clone()),
+            other => Err(format!("expected a string, got {}", other.kind())),
+        }
+    }
+}
 
 impl Serialize for str {
     fn to_json(&self) -> json::Value {
@@ -79,7 +193,17 @@ impl Serialize for char {
         json::Value::String(self.to_string())
     }
 }
-impl Deserialize for char {}
+impl Deserialize for char {
+    fn from_json(v: &json::Value) -> Result<Self, String> {
+        match v {
+            json::Value::String(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(format!(
+                "expected a one-character string, got {}",
+                other.kind()
+            )),
+        }
+    }
+}
 
 impl<T: Serialize + ?Sized> Serialize for &T {
     fn to_json(&self) -> json::Value {
@@ -92,16 +216,49 @@ impl<T: Serialize + ?Sized> Serialize for Box<T> {
         (**self).to_json()
     }
 }
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_json(v: &json::Value) -> Result<Self, String> {
+        T::from_json(v).map(Box::new)
+    }
+}
 
 impl<T: Serialize + ?Sized> Serialize for std::rc::Rc<T> {
     fn to_json(&self) -> json::Value {
         (**self).to_json()
     }
 }
+impl<T: Deserialize> Deserialize for std::rc::Rc<T> {
+    fn from_json(v: &json::Value) -> Result<Self, String> {
+        T::from_json(v).map(std::rc::Rc::new)
+    }
+}
 
 impl<T: Serialize + ?Sized> Serialize for std::sync::Arc<T> {
     fn to_json(&self) -> json::Value {
         (**self).to_json()
+    }
+}
+impl<T: Deserialize> Deserialize for std::sync::Arc<T> {
+    fn from_json(v: &json::Value) -> Result<Self, String> {
+        T::from_json(v).map(std::sync::Arc::new)
+    }
+}
+
+// `Arc<str>`/`Rc<str>`/`Box<str>` don't fit the sized blanket impls above;
+// interned strings (e.g. attribute names) deserialize through these.
+impl Deserialize for std::sync::Arc<str> {
+    fn from_json(v: &json::Value) -> Result<Self, String> {
+        String::from_json(v).map(Into::into)
+    }
+}
+impl Deserialize for std::rc::Rc<str> {
+    fn from_json(v: &json::Value) -> Result<Self, String> {
+        String::from_json(v).map(Into::into)
+    }
+}
+impl Deserialize for Box<str> {
+    fn from_json(v: &json::Value) -> Result<Self, String> {
+        String::from_json(v).map(Into::into)
     }
 }
 
@@ -113,7 +270,14 @@ impl<T: Serialize> Serialize for Option<T> {
         }
     }
 }
-impl<T: Deserialize> Deserialize for Option<T> {}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_json(v: &json::Value) -> Result<Self, String> {
+        match v {
+            json::Value::Null => Ok(None),
+            other => T::from_json(other).map(Some),
+        }
+    }
+}
 
 impl<T: Serialize> Serialize for [T] {
     fn to_json(&self) -> json::Value {
@@ -132,7 +296,18 @@ impl<T: Serialize> Serialize for Vec<T> {
         self.as_slice().to_json()
     }
 }
-impl<T: Deserialize> Deserialize for Vec<T> {}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_json(v: &json::Value) -> Result<Self, String> {
+        match v {
+            json::Value::Array(items) => items
+                .iter()
+                .enumerate()
+                .map(|(i, item)| T::from_json(item).map_err(|e| format!("[{i}]: {e}")))
+                .collect(),
+            other => Err(format!("expected an array, got {}", other.kind())),
+        }
+    }
+}
 
 impl<T: Serialize> Serialize for std::collections::VecDeque<T> {
     fn to_json(&self) -> json::Value {
@@ -194,6 +369,13 @@ macro_rules! impl_ser_tuple {
         impl<$($name: Serialize),+> Serialize for ($($name,)+) {
             fn to_json(&self) -> json::Value {
                 json::Value::Array(vec![$(self.$idx.to_json()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_json(v: &json::Value) -> Result<Self, String> {
+                const N: usize = [$($idx),+].len();
+                let items = de::array(v, N, "tuple")?;
+                Ok(($(de::element::<$name>(items, $idx, "tuple")?,)+))
             }
         }
     )*};

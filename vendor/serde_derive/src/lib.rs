@@ -5,7 +5,9 @@
 //! (the build environment has no network access, so `syn`/`quote` are not
 //! available). Supported shapes — the ones this workspace actually derives:
 //!
-//! * structs with named fields → JSON objects;
+//! * structs with named fields → JSON objects (deserialization rejects
+//!   unknown keys, and reads missing keys as `null` so `Option` fields may be
+//!   omitted);
 //! * tuple structs — single field is transparent (covers
 //!   `#[serde(transparent)]` newtypes), multi-field becomes an array;
 //! * enums with unit, tuple and struct variants, externally tagged like serde
@@ -61,13 +63,11 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
     }
 }
 
-/// Derives the vendored `serde::Deserialize` marker trait.
+/// Derives the vendored `serde::Deserialize` (rebuild from a JSON value tree).
 #[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     match parse_item(input) {
-        Ok(item) => format!("impl ::serde::Deserialize for {} {{}}", item.name())
-            .parse()
-            .unwrap(),
+        Ok(item) => gen_deserialize(&item).parse().unwrap(),
         Err(msg) => error(&msg),
     }
 }
@@ -287,4 +287,150 @@ fn gen_variant_arm(enum_name: &str, variant: &Variant) -> String {
             )
         }
     }
+}
+
+/// The expression rebuilding a named-fields body `Ty { a: ..., b: ... }` from
+/// the object entries bound to `entries`, with unknown-key rejection.
+fn gen_named_body(ty_path: &str, ty_label: &str, fields: &[String]) -> String {
+    let known = fields
+        .iter()
+        .map(|f| format!("{f:?}"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let inits = fields
+        .iter()
+        .map(|f| format!("{f}: ::serde::de::field(entries, {f:?}, {ty_label:?})?"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    format!(
+        "{{ ::serde::de::deny_unknown(entries, &[{known}], {ty_label:?})?; \
+             ::std::result::Result::Ok({ty_path} {{ {inits} }}) }}"
+    )
+}
+
+/// The expression rebuilding a tuple body `Ty(...)` of the given arity from
+/// the array value bound to `inner`.
+fn gen_tuple_body(ty_path: &str, ty_label: &str, arity: usize) -> String {
+    let elems = (0..arity)
+        .map(|i| format!("::serde::de::element(items, {i}, {ty_label:?})?"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    format!(
+        "{{ let items = ::serde::de::array(inner, {arity}, {ty_label:?})?; \
+             ::std::result::Result::Ok({ty_path}({elems})) }}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = item.name();
+    let body = match item {
+        Item::NamedStruct { fields, .. } => format!(
+            "let entries = ::serde::de::object(v, {name:?})?;\n        {}",
+            gen_named_body(name, name, fields)
+        ),
+        Item::TupleStruct { arity: 1, .. } => format!(
+            // Transparent newtype: delegate straight to the inner field.
+            "::std::result::Result::Ok({name}(::serde::Deserialize::from_json(v)\
+                 .map_err(|e| format!(\"{name}: {{e}}\"))?))"
+        ),
+        Item::TupleStruct { arity, .. } => format!(
+            "let inner = v;\n        {}",
+            gen_tuple_body(name, name, *arity)
+        ),
+        Item::UnitStruct { .. } => format!(
+            "match v {{\n            \
+                 ::serde::json::Value::Null => ::std::result::Result::Ok({name}),\n            \
+                 other => ::std::result::Result::Err(\
+                     format!(\"{name}: expected null, got {{}}\", other.kind())),\n        \
+             }}"
+        ),
+        Item::Enum { name, variants } => {
+            // If-chains with early returns rather than `match` arms: an enum
+            // with only unit (or only data) variants would otherwise expand to
+            // a single-binding match.
+            let unit_ifs = variants
+                .iter()
+                .filter_map(|var| match var {
+                    Variant::Unit(v) => Some(format!(
+                        "if s == {v:?} {{ return ::std::result::Result::Ok({name}::{v}); }}"
+                    )),
+                    _ => None,
+                })
+                .collect::<Vec<_>>()
+                .join("\n                ");
+            let data_ifs = variants
+                .iter()
+                .filter_map(|var| {
+                    let (v, body) = match var {
+                        Variant::Unit(_) => return None,
+                        Variant::Tuple(v, 1) => (
+                            v,
+                            format!(
+                                "::std::result::Result::Ok({name}::{v}(\
+                                     ::serde::Deserialize::from_json(inner)\
+                                     .map_err(|e| format!(\"{name}::{v}: {{e}}\"))?))"
+                            ),
+                        ),
+                        Variant::Tuple(v, arity) => (
+                            v,
+                            gen_tuple_body(
+                                &format!("{name}::{v}"),
+                                &format!("{name}::{v}"),
+                                *arity,
+                            ),
+                        ),
+                        Variant::Struct(v, fields) => (
+                            v,
+                            format!(
+                                "{{ let entries = ::serde::de::object(inner, \
+                                     \"{name}::{v}\")?; {} }}",
+                                gen_named_body(
+                                    &format!("{name}::{v}"),
+                                    &format!("{name}::{v}"),
+                                    fields
+                                )
+                            ),
+                        ),
+                    };
+                    Some(format!("if tag == {v:?} {{ return {body}; }}"))
+                })
+                .collect::<Vec<_>>()
+                .join("\n                ");
+            let all = variants
+                .iter()
+                .map(|var| match var {
+                    Variant::Unit(v) | Variant::Tuple(v, _) | Variant::Struct(v, _) => v.as_str(),
+                })
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!(
+                "match v {{\n            \
+                     ::serde::json::Value::String(s) => {{\n                \
+                         let s = s.as_str();\n                \
+                         {unit_ifs}\n                \
+                         ::std::result::Result::Err(format!(\
+                             \"unknown variant {{s:?}} of {name} (expected one of: {all})\"))\n            \
+                     }},\n            \
+                     ::serde::json::Value::Object(tagged) if tagged.len() == 1 => {{\n                \
+                         let (tag, inner) = &tagged[0];\n                \
+                         let tag = tag.as_str();\n                \
+                         let _ = inner;\n                \
+                         {data_ifs}\n                \
+                         ::std::result::Result::Err(format!(\
+                             \"unknown variant {{tag:?}} of {name} (expected one of: {all})\"))\n            \
+                     }},\n            \
+                     other => ::std::result::Result::Err(format!(\
+                         \"{name}: expected a variant (string or single-key object), got {{}}\", \
+                         other.kind())),\n        \
+                 }}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n    \
+             fn from_json(v: &::serde::json::Value) -> ::std::result::Result<Self, ::std::string::String> {{\n        \
+                 {body}\n    \
+             }}\n\
+         }}"
+    )
 }

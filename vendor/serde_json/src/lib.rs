@@ -1,19 +1,20 @@
-//! Offline stand-in for `serde_json`: the `to_string` / `to_string_pretty`
-//! entry points over the vendored `serde`'s JSON value tree.
+//! Offline stand-in for `serde_json`: the `to_string` / `to_string_pretty` /
+//! `from_str` entry points over the vendored `serde`'s JSON value tree.
 
 #![forbid(unsafe_code)]
 
 pub use serde::json::Value;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
-/// Serialization error. The vendored pipeline is infallible, but the public
-/// signatures keep `Result` so call sites read like real `serde_json`.
+/// Serialization/deserialization error. Serialization through the vendored
+/// pipeline is infallible; deserialization reports parse and shape errors
+/// with positions / field paths.
 #[derive(Debug)]
-pub struct Error(());
+pub struct Error(String);
 
 impl std::fmt::Display for Error {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "JSON serialization error")
+        write!(f, "{}", self.0)
     }
 }
 
@@ -29,6 +30,12 @@ pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
     to_string_pretty(value)
 }
 
+/// Parses a JSON document and rebuilds a `T` from it.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let value = Value::parse(s).map_err(Error)?;
+    T::from_json(&value).map_err(Error)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -37,5 +44,36 @@ mod tests {
     fn pretty_prints_vecs_of_values() {
         let rows = vec![1u64, 2, 3];
         assert_eq!(to_string_pretty(&rows).unwrap(), "[\n  1,\n  2,\n  3\n]");
+    }
+
+    #[test]
+    fn from_str_rebuilds_primitives_and_containers() {
+        assert_eq!(from_str::<u64>("42").unwrap(), 42);
+        assert_eq!(from_str::<f64>("0.5").unwrap(), 0.5);
+        assert!(from_str::<bool>("true").unwrap());
+        assert_eq!(from_str::<String>("\"hi\"").unwrap(), "hi");
+        assert_eq!(from_str::<Option<u32>>("null").unwrap(), None);
+        assert_eq!(from_str::<Option<u32>>("3").unwrap(), Some(3));
+        assert_eq!(
+            from_str::<Vec<(String, u32)>>("[[\"a\", 1], [\"b\", 2]]").unwrap(),
+            vec![("a".to_string(), 1), ("b".to_string(), 2)]
+        );
+    }
+
+    #[test]
+    fn from_str_reports_paths_and_positions() {
+        let e = from_str::<u64>("\"nope\"").unwrap_err().to_string();
+        assert!(e.contains("expected u64"), "{e}");
+        let e = from_str::<Vec<u64>>("[1, \"x\"]").unwrap_err().to_string();
+        assert!(e.contains("[1]"), "{e}");
+        let e = from_str::<u64>("{").unwrap_err().to_string();
+        assert!(e.contains("line 1"), "{e}");
+    }
+
+    #[test]
+    fn round_trips_through_render() {
+        let v: Vec<Option<u32>> = vec![Some(1), None, Some(3)];
+        let s = to_string_pretty(&v).unwrap();
+        assert_eq!(from_str::<Vec<Option<u32>>>(&s).unwrap(), v);
     }
 }
