@@ -59,6 +59,9 @@ pub struct GroupSnapshot {
 pub struct DpsNetwork {
     sim: Sim<DpsNode>,
     cfg: DpsConfig,
+    /// The one config allocation every node shares (see
+    /// `DpsNode::with_shared_config`): joins clone the `Arc`, not the config.
+    node_cfg: Arc<DpsConfig>,
     sink: Arc<CountingSink>,
     oracle: ForestModel,
     /// Filters per node, maintained by subscribe/unsubscribe (the oracle's
@@ -86,6 +89,7 @@ impl DpsNetwork {
     pub fn new_sharded(cfg: DpsConfig, seed: u64, shards: usize) -> Self {
         DpsNetwork {
             sim: Sim::new_sharded(seed, shards),
+            node_cfg: Arc::new(cfg.clone()),
             cfg,
             sink: Arc::new(CountingSink::new()),
             oracle: ForestModel::new(),
@@ -104,7 +108,7 @@ impl DpsNetwork {
         let sample = self.sample_alive(self.cfg.peer_view.min(8));
         let introducers = self.sample_alive(3);
         let sink: Arc<dyn dps_overlay::StatsSink> = self.sink.clone();
-        let mut node = DpsNode::with_sink(self.cfg.clone(), sink);
+        let mut node = DpsNode::with_shared_config(self.node_cfg.clone(), sink);
         node.seed_peers(sample);
         let id = self.sim.add_node(node);
         // Symmetric introduction: a few existing peers learn about the newcomer.

@@ -1,33 +1,47 @@
 //! Scenario-matrix runner: sweeps every declarative spec in a directory
-//! (default: `scenarios/` at the repository root), executes each through
-//! `dps_scenarios::run_scenario`, prints the per-phase rows and persists them
-//! as JSON under `target/experiments/scenario_<name>.json`.
+//! (default: `scenarios/` at the repository root; `scenarios/metro/` when
+//! `DPS_SCALE=metro`), executes each through `dps_scenarios::run_scenario`,
+//! prints the per-phase rows and persists them as JSON under
+//! `target/experiments/scenario_<name>.json`.
 //!
 //! Independent scenarios fan out across `DPS_THREADS` workers; each run
 //! executes on `DPS_SHARDS` simulation shards. Rows are byte-identical
 //! whatever either knob is — the CI `scenario-matrix` job `cmp`s the output
-//! across both.
+//! across both, and the metro smoke job does the same at 100k nodes.
+//!
+//! After the table the runner prints a throughput summary (wall time and
+//! steps/sec per scenario, process peak RSS) to stdout only — never into the
+//! row JSON, which must stay byte-comparable.
 //!
 //! Exits non-zero if any spec fails to parse, fails to compile, or misses a
 //! declared delivery floor.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::{Duration, Instant};
 
+use dps_experiments::Scale;
 use dps_scenarios::{run_scenario, ScenarioReport, ScenarioSpec, SpecError};
 
-/// The spec directory: the CLI argument if given, else `scenarios/` resolved
+/// The spec directory: the CLI argument if given, else `scenarios/` — or the
+/// metro library `scenarios/metro/` under `DPS_SCALE=metro` — resolved
 /// against the working directory, else against the workspace root (so the
 /// bin also works when invoked from a crate directory).
 fn spec_dir() -> PathBuf {
     if let Some(arg) = std::env::args().nth(1) {
         return PathBuf::from(arg);
     }
-    let cwd = PathBuf::from("scenarios");
+    let rel = match Scale::from_env() {
+        Scale::Metro => "scenarios/metro",
+        _ => "scenarios",
+    };
+    let cwd = PathBuf::from(rel);
     if cwd.is_dir() {
         return cwd;
     }
-    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../scenarios")
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join(rel)
 }
 
 fn main() -> ExitCode {
@@ -74,15 +88,23 @@ fn main() -> ExitCode {
     );
     let cells: Vec<_> = specs
         .into_iter()
-        .map(|spec| move || run_scenario(&spec))
+        .map(|spec| {
+            move || {
+                let t0 = Instant::now();
+                let result = run_scenario(&spec);
+                (result, t0.elapsed())
+            }
+        })
         .collect();
-    let results: Vec<Result<ScenarioReport, SpecError>> = dps_experiments::run_cells(cells);
+    let results: Vec<(Result<ScenarioReport, SpecError>, Duration)> =
+        dps_experiments::run_cells(cells);
 
     println!(
         "{:<34} {:<16} {:>6} {:>8} {:>8} {:>10} {:>6}",
         "scenario", "phase", "pubs", "raw", "reach", "drops c/l", "pass"
     );
-    for result in results {
+    let mut perf: Vec<(String, u64, Duration)> = Vec::new();
+    for (result, wall) in results {
         let report = match result {
             Ok(r) => r,
             Err(e) => {
@@ -91,6 +113,7 @@ fn main() -> ExitCode {
                 continue;
             }
         };
+        perf.push((report.scenario.clone(), report.total_steps, wall));
         for row in &report.rows {
             println!(
                 "{:<34} {:<16} {:>6} {:>8.3} {:>8.3} {:>6}/{:<3} {:>6}",
@@ -112,6 +135,23 @@ fn main() -> ExitCode {
             );
             failed = true;
         }
+    }
+    // Throughput summary — stdout only, never in the row JSON (the CI
+    // determinism jobs `cmp` that byte-for-byte). Wall times vary run to
+    // run; steps and RSS are what the metro tier records in BENCH_micro.
+    println!();
+    println!("--- throughput (diagnostics; not part of the row JSON) ---");
+    for (name, steps, wall) in &perf {
+        let secs = wall.as_secs_f64();
+        let rate = if secs > 0.0 {
+            *steps as f64 / secs
+        } else {
+            0.0
+        };
+        println!("{name:<34} {steps:>8} steps  {secs:>8.2}s  {rate:>9.0} steps/sec");
+    }
+    if let Some(rss) = dps_experiments::peak_rss_bytes() {
+        println!("peak RSS: {:.1} MiB", rss as f64 / (1024.0 * 1024.0));
     }
     if failed {
         ExitCode::FAILURE

@@ -49,6 +49,12 @@ pub enum Scale {
     Quick,
     /// The paper's parameters.
     Paper,
+    /// Six-figure populations (≥ 100k nodes), far past the paper's own 1,000.
+    /// This tier exists for the metro scenario library under
+    /// `scenarios/metro/` (the `scenarios` bin switches to that directory
+    /// when `DPS_SCALE=metro`); the table/figure runners have no metro
+    /// parameters and abort loudly if asked for them.
+    Metro,
 }
 
 impl Scale {
@@ -61,8 +67,9 @@ impl Scale {
             Some("paper" | "PAPER" | "full") => Ok(Scale::Paper),
             Some("smoke" | "SMOKE") => Ok(Scale::Smoke),
             Some("quick" | "QUICK") => Ok(Scale::Quick),
+            Some("metro" | "METRO") => Ok(Scale::Metro),
             Some(other) => Err(format!(
-                "DPS_SCALE={other:?} is not a known scale (expected smoke, quick or paper)"
+                "DPS_SCALE={other:?} is not a known scale (expected smoke, quick, paper or metro)"
             )),
         }
     }
@@ -80,11 +87,24 @@ impl Scale {
     }
 
     /// Picks the parameter for this scale.
+    ///
+    /// # Panics
+    ///
+    /// Panics for [`Scale::Metro`]: the figure/table runners define smoke,
+    /// quick and paper parameter sets only. A metro run that silently fell
+    /// back to paper parameters would measure the wrong thing, so — like a
+    /// malformed `DPS_SCALE` — it aborts instead.
     pub fn pick<T>(self, smoke: T, quick: T, paper: T) -> T {
         match self {
             Scale::Smoke => smoke,
             Scale::Quick => quick,
             Scale::Paper => paper,
+            Scale::Metro => panic!(
+                "DPS_SCALE=metro drives the metro scenario tier \
+                 (`cargo run --release -p dps-experiments --bin scenarios` \
+                 sweeps scenarios/metro/); this runner has no metro parameters \
+                 — use smoke, quick or paper"
+            ),
         }
     }
 }
@@ -93,6 +113,19 @@ impl Scale {
 pub fn banner(title: &str, scale: Scale) {
     println!();
     println!("=== {title} [scale: {scale:?}] ===");
+}
+
+/// Peak resident-set size of this process in bytes (`VmHWM` from
+/// `/proc/self/status`), or `None` where procfs is unavailable. This is the
+/// number recorded next to `BENCH_micro.json` for the metro tier: it bounds
+/// what the whole run — nodes, queues, bookkeeping — ever held in RAM.
+/// Diagnostics only; never fold it into result JSON (the CI determinism jobs
+/// `cmp` those byte-for-byte across shard/thread counts).
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kib: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kib * 1024)
 }
 
 /// Worker-thread count for [`run_cells`]: `DPS_THREADS` if set (≥ 1), otherwise
@@ -177,10 +210,30 @@ mod tests {
         assert_eq!(Scale::parse(Some("quick")), Ok(Scale::Quick));
         assert_eq!(Scale::parse(Some("paper")), Ok(Scale::Paper));
         assert_eq!(Scale::parse(Some("full")), Ok(Scale::Paper));
+        assert_eq!(Scale::parse(Some("metro")), Ok(Scale::Metro));
+        assert_eq!(Scale::parse(Some("METRO")), Ok(Scale::Metro));
         // The satellite bugfix: a typo must error, not quietly run quick.
         let e = Scale::parse(Some("papr")).unwrap_err();
         assert!(e.contains("DPS_SCALE") && e.contains("papr"), "{e}");
         assert!(Scale::parse(Some("")).is_err());
+    }
+
+    #[test]
+    fn metro_has_no_figure_parameters() {
+        // The figure runners define smoke/quick/paper only; asking them for
+        // metro parameters must abort, not silently measure at paper scale.
+        let picked = std::panic::catch_unwind(|| Scale::Metro.pick(1, 2, 3));
+        assert!(picked.is_err());
+        assert_eq!(Scale::Paper.pick(1, 2, 3), 3);
+    }
+
+    #[test]
+    fn peak_rss_is_plausible_on_linux() {
+        if let Some(rss) = peak_rss_bytes() {
+            // The test process certainly holds more than 1 MB and (far) less
+            // than 1 TB; the point is that the procfs parse is sane.
+            assert!(rss > 1 << 20 && rss < 1 << 40, "VmHWM parsed as {rss}");
+        }
     }
 
     #[test]

@@ -125,7 +125,11 @@ pub(crate) struct TreeContact {
 /// A DPS protocol node. See the [module docs](self).
 pub struct DpsNode {
     pub(crate) id: NodeId,
-    pub(crate) cfg: DpsConfig,
+    /// Shared, immutable protocol configuration. Behind an `Arc` so a
+    /// network's nodes all point at one allocation instead of each carrying
+    /// a ~200-byte copy — at metro scale (100k+ nodes) the per-node copy is
+    /// pure waste, and no code path ever mutates a node's config.
+    pub(crate) cfg: Arc<DpsConfig>,
     pub(crate) sink: Arc<dyn StatsSink>,
 
     // Bootstrap substrate.
@@ -184,6 +188,13 @@ impl DpsNode {
 
     /// Creates a node reporting delivery milestones to `sink`.
     pub fn with_sink(cfg: DpsConfig, sink: Arc<dyn StatsSink>) -> Self {
+        DpsNode::with_shared_config(Arc::new(cfg), sink)
+    }
+
+    /// Creates a node sharing an existing configuration allocation — the
+    /// bulk-construction path: the `dps` facade hands every node the same
+    /// `Arc`, so a 100k-node network stores one config, not 100k copies.
+    pub fn with_shared_config(cfg: Arc<DpsConfig>, sink: Arc<dyn StatsSink>) -> Self {
         let seen_cap = cfg.seen_cap;
         DpsNode {
             id: NodeId::from_index(0), // fixed up in on_start

@@ -7,6 +7,15 @@ use std::hash::Hash;
 /// each node without unbounded memory (events are short-lived: network-wide rates
 /// in the paper's scenarios are ~1 event per 10 steps, so a few hundred entries
 /// dwarf the in-flight window).
+///
+/// Storage is **lazy**: `cap` is a ceiling, not a preallocation. A fresh cache
+/// owns no heap memory and grows geometrically with what it actually sees —
+/// the difference between a metro-scale population fitting in RAM or not:
+/// every `DpsNode` carries three of these (route dedup at `4 × seen_cap`,
+/// node dedup at `seen_cap`, suspicion memory), and at the default
+/// `seen_cap = 512` the old eager `with_capacity` reserved several hundred
+/// kilobytes per node that idle nodes never touched. Capacity is invisible to
+/// behavior (insert/evict order is unchanged), so traces stay byte-identical.
 #[derive(Debug, Clone)]
 pub struct SeenCache<T> {
     cap: usize,
@@ -15,13 +24,13 @@ pub struct SeenCache<T> {
 }
 
 impl<T: Eq + Hash + Clone> SeenCache<T> {
-    /// Creates a cache remembering at most `cap` keys (minimum 1).
+    /// Creates a cache remembering at most `cap` keys (minimum 1). Allocates
+    /// nothing until the first insert.
     pub fn new(cap: usize) -> Self {
-        let cap = cap.max(1);
         SeenCache {
-            cap,
-            set: HashSet::with_capacity(cap),
-            order: VecDeque::with_capacity(cap),
+            cap: cap.max(1),
+            set: HashSet::new(),
+            order: VecDeque::new(),
         }
     }
 

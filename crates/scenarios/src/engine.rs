@@ -77,6 +77,10 @@ pub struct ScenarioReport {
     pub passed: bool,
     /// One row per phase, in timeline order.
     pub rows: Vec<PhaseRow>,
+    /// Total simulation steps the run executed (setup, phases and drain).
+    /// Deterministic for a given spec, so safe next to the rows; the runner
+    /// uses it for the steps/sec throughput summary at metro scale.
+    pub total_steps: Step,
 }
 
 /// Bookkeeping recorded while a phase runs.
@@ -283,6 +287,7 @@ impl ScenarioRun {
             scenario: self.compiled.name.clone(),
             passed: rows.iter().all(|r| r.pass),
             rows,
+            total_steps: self.net.sim().now(),
         }
     }
 }

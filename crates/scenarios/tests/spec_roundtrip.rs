@@ -16,10 +16,17 @@ fn library_dir() -> PathBuf {
 }
 
 fn library_specs() -> Vec<(PathBuf, ScenarioSpec)> {
-    let mut paths: Vec<PathBuf> = std::fs::read_dir(library_dir())
-        .expect("scenarios/ must exist")
-        .filter_map(|e| e.ok().map(|e| e.path()))
-        .filter(|p| p.extension().is_some_and(|x| x == "json"))
+    // The main library plus the metro tier (scenarios/metro/, swept by the
+    // `scenarios` bin under DPS_SCALE=metro). Metro specs are too big to
+    // *run* here, but they must parse, compile and round-trip like any other.
+    let mut paths: Vec<PathBuf> = [library_dir(), library_dir().join("metro")]
+        .iter()
+        .flat_map(|dir| {
+            std::fs::read_dir(dir)
+                .unwrap_or_else(|e| panic!("{} must exist: {e}", dir.display()))
+                .filter_map(|e| e.ok().map(|e| e.path()))
+                .filter(|p| p.extension().is_some_and(|x| x == "json"))
+        })
         .collect();
     paths.sort();
     assert!(

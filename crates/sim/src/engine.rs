@@ -9,23 +9,29 @@
 //!
 //! The engine partitions nodes across `S` [`Shard`]s (round-robin by id;
 //! `S = 1` by default, reproducing the classic single-threaded behavior).
-//! Each [`step`](Sim::step), shards advance their nodes **in parallel** under
-//! `std::thread::scope`: deliveries, handler invocations, ticks and loss
-//! sampling all happen shard-locally (every node owns a private RNG stream,
-//! so no draw ever crosses a shard). Sends land in per-destination-shard
-//! staging outboxes that the engine exchanges at the step barrier, merging
-//! them into the destination buckets in a canonical order — deliver-phase
-//! sends before tick-phase sends, each sorted by sender id, which is exactly
-//! the order a single shard produces naturally. Every handler therefore sees
-//! the same messages in the same order with the same RNG state whatever `S`
-//! is: **a run is byte-identical for `S = 1` and `S = N`.**
+//! Each [`step`](Sim::step), shards advance their nodes **in parallel** on a
+//! persistent pool of worker threads (spawned once in
+//! [`Sim::new_sharded`], parked between steps, joined on drop — a
+//! steady-state step spawns zero threads): deliveries, handler invocations,
+//! ticks and loss sampling all happen shard-locally (every node owns a
+//! private RNG stream, so no draw ever crosses a shard). Sends land in
+//! per-destination-shard staging outboxes that the engine exchanges at the
+//! step barrier, merging them into the destination buckets in a canonical
+//! order — deliver-phase sends before tick-phase sends, each sorted by sender
+//! id, which is exactly the order a single shard produces naturally. Every
+//! handler therefore sees the same messages in the same order with the same
+//! RNG state whatever `S` is: **a run is byte-identical for `S = 1` and
+//! `S = N`.**
+
+use std::sync::Arc;
 
 use rand::SeedableRng;
 
 use crate::fault::FaultPlan;
 use crate::metrics::Metrics;
+use crate::pool::WorkerPool;
 use crate::process::{Context, Message, NodeId, Process, SimRng, Step};
-use crate::shard::{Phase, Shard, Slot, Staged};
+use crate::shard::{Phase, Shard, Staged};
 
 /// Derives node `index`'s private RNG stream from the simulation seed by
 /// mixing the index into the seed (golden-ratio multiply, then the
@@ -48,11 +54,20 @@ pub struct Sim<P: Process> {
     /// The execution shards; node with global index `i` lives in
     /// `shards[i % S]` at local slot `i / S`. Always at least one.
     shards: Vec<Shard<P>>,
+    /// Persistent shard workers, spawned once for `S > 1` (never for the
+    /// serial layout) and joined when the simulation is dropped. `step`
+    /// hands each shard to its worker by ownership transfer and collects
+    /// them back at the barrier — no thread is spawned after construction.
+    pool: Option<WorkerPool<P>>,
     /// Nodes ever added (dense global ids `0..total_nodes`).
     total_nodes: usize,
     now: Step,
     /// Link-fault schedule (partitions, lossy links), enforced at delivery.
-    fault: FaultPlan,
+    /// Behind an `Arc` so each step can hand the workers a reference-counted
+    /// handle instead of cloning the plan; driver mutations between steps go
+    /// through `Arc::make_mut` (which never actually clones there, because
+    /// the barrier has already collected every worker's handle).
+    fault: Arc<FaultPlan>,
     /// Driver-level RNG: scenario choices made *between* steps (picking a
     /// crash victim, a publisher). Protocol handlers use per-node streams.
     rng: SimRng,
@@ -89,14 +104,53 @@ impl<P: Process> Sim<P> {
     /// outcome are **byte-identical** to `Sim::new(seed)` — sharding only
     /// changes how many cores a step uses. Nodes are assigned round-robin:
     /// global id `i` lives in shard `i % shards`.
+    ///
+    /// For `shards > 1` this spawns the persistent worker pool (one thread
+    /// per shard, parked between steps); the workers live exactly as long as
+    /// the `Sim` and are joined when it drops. `shards = 1` spawns nothing
+    /// and steps inline, exactly like [`Sim::new`].
+    ///
+    /// ```
+    /// use dps_sim::{Context, Message, MsgClass, NodeId, Process, Sim};
+    ///
+    /// #[derive(Clone, Debug)]
+    /// struct Hop(u32);
+    /// impl Message for Hop {
+    ///     fn class(&self) -> MsgClass { MsgClass::Management }
+    /// }
+    /// struct Counter(u32);
+    /// impl Process for Counter {
+    ///     type Msg = Hop;
+    ///     fn on_message(&mut self, _from: NodeId, msg: Hop, ctx: &mut Context<'_, Hop>) {
+    ///         self.0 += 1;
+    ///         if msg.0 > 0 {
+    ///             let next = NodeId::from_index((ctx.me().index() + 1) % 8);
+    ///             ctx.send(next, Hop(msg.0 - 1));
+    ///         }
+    ///     }
+    /// }
+    ///
+    /// // The same run on one shard and on four: identical observables.
+    /// let run = |shards: usize| {
+    ///     let mut sim = Sim::new_sharded(99, shards);
+    ///     for _ in 0..8 { sim.add_node(Counter(0)); }
+    ///     sim.post(NodeId::from_index(0), Hop(25));
+    ///     sim.run(40); // workers (if any) persist across all 40 steps
+    ///     let hops: Vec<u32> = sim.node_ids().iter().map(|n| sim.node(*n).unwrap().0).collect();
+    ///     (hops, sim.snapshot())
+    /// };
+    /// assert_eq!(run(1), run(4));
+    /// // Dropping `sim` joined the 4 workers; nothing outlives the run.
+    /// ```
     pub fn new_sharded(seed: u64, shards: usize) -> Self {
         let n = shards.max(1);
         let metrics_window = 100;
         Sim {
             shards: (0..n).map(|i| Shard::new(i, n, metrics_window)).collect(),
+            pool: (n > 1).then(|| WorkerPool::spawn(n)),
             total_nodes: 0,
             now: 0,
-            fault: FaultPlan::none(),
+            fault: Arc::new(FaultPlan::none()),
             rng: SimRng::seed_from_u64(seed),
             seed,
             metrics_window,
@@ -123,14 +177,16 @@ impl<P: Process> Sim<P> {
     }
 
     /// Mutable access to the fault schedule: scenario drivers start
-    /// partitions, heal them and set loss rates through this.
+    /// partitions, heal them and set loss rates through this. Driver calls
+    /// run between steps, when no worker holds a plan handle, so the
+    /// copy-on-write below is a plain in-place mutation in practice.
     pub fn fault_plan_mut(&mut self) -> &mut FaultPlan {
-        &mut self.fault
+        Arc::make_mut(&mut self.fault)
     }
 
     /// Replaces the fault schedule wholesale.
     pub fn set_fault_plan(&mut self, plan: FaultPlan) {
-        self.fault = plan;
+        self.fault = Arc::new(plan);
     }
 
     /// Sets the metrics window length in steps (default 100, the sampling period
@@ -154,24 +210,21 @@ impl<P: Process> Sim<P> {
         let (s, l) = self.locate(idx);
         self.total_nodes += 1;
         let shard = &mut self.shards[s];
-        debug_assert_eq!(shard.slots.len(), l, "round-robin assignment broken");
-        shard.slots.push(Slot {
-            proc,
-            alive: true,
-            rng: node_rng(self.seed, idx),
-        });
+        debug_assert_eq!(shard.procs.len(), l, "round-robin assignment broken");
+        shard.procs.push(proc);
+        shard.alive.push(true);
+        shard.rngs.push(node_rng(self.seed, idx));
         shard.alive_count += 1;
-        if shard.next_inboxes.len() < shard.slots.len() {
-            shard.next_inboxes.resize_with(shard.slots.len(), Vec::new);
+        if shard.next_inboxes.len() < shard.procs.len() {
+            shard.next_inboxes.resize_with(shard.procs.len(), Vec::new);
         }
-        let Slot { proc, rng, .. } = &mut shard.slots[l];
         let mut ctx = Context {
             me: id,
             now: self.now,
-            rng,
+            rng: &mut shard.rngs[l],
             out: &mut shard.scratch_out,
         };
-        proc.on_start(&mut ctx);
+        shard.procs[l].on_start(&mut ctx);
         self.flush_outgoing(id);
         id
     }
@@ -189,9 +242,9 @@ impl<P: Process> Sim<P> {
         }
         let (s, l) = self.locate(id.index());
         let shard = &mut self.shards[s];
-        if let Some(slot) = shard.slots.get_mut(l) {
-            if slot.alive {
-                slot.alive = false;
+        if let Some(alive) = shard.alive.get_mut(l) {
+            if *alive {
+                *alive = false;
                 shard.alive_count -= 1;
                 shard.purge_queued(l);
             }
@@ -204,7 +257,7 @@ impl<P: Process> Sim<P> {
             return false;
         }
         let (s, l) = self.locate(id.index());
-        self.shards[s].slots.get(l).is_some_and(|s| s.alive)
+        self.shards[s].alive.get(l).is_some_and(|a| *a)
     }
 
     /// Immutable access to a node's protocol state (alive or crashed).
@@ -213,7 +266,7 @@ impl<P: Process> Sim<P> {
             return None;
         }
         let (s, l) = self.locate(id.index());
-        self.shards[s].slots.get(l).map(|s| &s.proc)
+        self.shards[s].procs.get(l)
     }
 
     /// Mutable access to a node's protocol state. Intended for scenario drivers
@@ -224,7 +277,7 @@ impl<P: Process> Sim<P> {
             return None;
         }
         let (s, l) = self.locate(id.index());
-        self.shards[s].slots.get_mut(l).map(|s| &mut s.proc)
+        self.shards[s].procs.get_mut(l)
     }
 
     /// Ids of all nodes ever added, in join order.
@@ -239,7 +292,7 @@ impl<P: Process> Sim<P> {
     pub fn alive(&self) -> impl DoubleEndedIterator<Item = NodeId> + '_ {
         let n = self.n_shards();
         (0..self.total_nodes)
-            .filter(move |i| self.shards[i % n].slots[i / n].alive)
+            .filter(move |i| self.shards[i % n].alive[i / n])
             .map(NodeId::from_index)
     }
 
@@ -283,14 +336,13 @@ impl<P: Process> Sim<P> {
         }
         let (s, l) = self.locate(id.index());
         let shard = &mut self.shards[s];
-        let Slot { proc, rng, .. } = &mut shard.slots[l];
         let mut ctx = Context {
             me: id,
             now: self.now,
-            rng,
+            rng: &mut shard.rngs[l],
             out: &mut shard.scratch_out,
         };
-        f(proc, &mut ctx);
+        f(&mut shard.procs[l], &mut ctx);
         self.flush_outgoing(id);
     }
 
@@ -330,9 +382,11 @@ impl<P: Process> Sim<P> {
 
     /// Advances one step: delivers all in-flight messages (in destination-id order,
     /// then deliver-phase/tick-phase send order), then ticks every alive node (in
-    /// id order). With more than one shard the per-shard work runs on scoped
-    /// threads; the staging outboxes are merged at the barrier (see the
-    /// crate docs on sharded execution).
+    /// id order). With more than one shard the per-shard work runs on the
+    /// persistent worker pool — each shard is handed to its (already running)
+    /// worker and collected back at the barrier, so no thread is ever spawned
+    /// here; the staging outboxes are then merged (see the crate docs on
+    /// sharded execution).
     pub fn step(&mut self) {
         self.now += 1;
         // The only metrics roll of the step: every send/receive below happens
@@ -347,17 +401,22 @@ impl<P: Process> Sim<P> {
         let partition_active = self.fault.active_partitions(self.now).next().is_some();
         let loss_active = self.fault.has_loss_at(self.now);
         let now = self.now;
-        let fault = &self.fault;
 
-        if self.shards.len() == 1 {
-            // Serial fast path: no thread is spawned for the classic layout.
-            self.shards[0].step_local(now, fault, partition_active, loss_active);
-        } else {
-            std::thread::scope(|scope| {
-                for sh in self.shards.iter_mut() {
-                    scope.spawn(move || sh.step_local(now, fault, partition_active, loss_active));
-                }
-            });
+        match &self.pool {
+            // Serial fast path: the classic single-shard layout has no pool
+            // and steps inline on the caller's thread.
+            None => {
+                self.shards[0].step_local(now, &self.fault, partition_active, loss_active);
+            }
+            Some(pool) => {
+                pool.step(
+                    &mut self.shards,
+                    now,
+                    &self.fault,
+                    partition_active,
+                    loss_active,
+                );
+            }
         }
 
         self.merge_staging();

@@ -12,10 +12,12 @@
 //!   order (by destination node id, then send order), so a run is a pure function
 //!   of its RNG seed.
 //! * One run can use **several cores**: [`Sim::new_sharded`] partitions the
-//!   nodes across `S` shards that advance in parallel each step, exchanging
-//!   cross-shard sends at the step barrier. Every node draws from a private
-//!   counter-seeded RNG stream ([`SimRng`]), so the trace is *byte-identical*
-//!   whatever `S` is — sharding is purely a wall-clock knob.
+//!   nodes across `S` shards that advance in parallel each step on a
+//!   persistent worker pool (spawned once, parked between steps, joined on
+//!   drop), exchanging cross-shard sends at the step barrier. Every node
+//!   draws from a private counter-seeded RNG stream ([`SimRng`]), so the
+//!   trace is *byte-identical* whatever `S` is — sharding is purely a
+//!   wall-clock knob.
 //! * Protocol logic is supplied via the [`Process`] trait: a node is a state
 //!   machine reacting to `on_start`, `on_message` and `on_tick`.
 //! * [`ChurnPlan`] reproduces the paper's failure scenarios (a crash every `1/p`
@@ -68,6 +70,7 @@ mod churn;
 mod engine;
 mod fault;
 mod metrics;
+mod pool;
 mod process;
 mod shard;
 

@@ -1,0 +1,135 @@
+//! The persistent shard worker pool behind [`Sim::step`](crate::Sim::step).
+//!
+//! Before the pool, every sharded step spawned `S` scoped threads and joined
+//! them at the barrier — ~100–300 µs of spawn/join overhead per step that made
+//! sharding a net loss at small populations (see `BENCH_micro.json`,
+//! `shard_scaling`). The pool spawns the `S` workers **once** (in
+//! [`Sim::new_sharded`](crate::Sim::new_sharded)) and parks them on their job
+//! channels between steps; a steady-state step spawns zero threads.
+//!
+//! # Ownership hand-off, not shared state
+//!
+//! `dps-sim` forbids `unsafe`, so the pool cannot lend `&mut Shard` across
+//! threads the way `thread::scope` did. Instead each step **moves** every
+//! [`Shard`] through a channel to its worker, which advances it and sends it
+//! back — plain ownership transfer, no locks, no aliasing. The shard vector's
+//! capacity is retained across the round trip, so the hand-off allocates
+//! nothing in steady state; the per-step cost is `2·S` channel operations.
+//!
+//! Workers receive the step's [`FaultPlan`] behind an [`Arc`] (the engine
+//! mutates it between steps via `Arc::make_mut`, cloning only when a worker
+//! still holds a reference — which never happens between steps, because the
+//! barrier returns every shard, and with it every plan handle, before
+//! [`Sim::step`] returns).
+//!
+//! # Shutdown
+//!
+//! Dropping the pool (when the [`Sim`](crate::Sim) is dropped) closes the job
+//! channels; every worker falls out of its `recv` loop and is joined. No
+//! thread outlives the simulation — `tests/pool_lifecycle.rs` pins this by
+//! counting OS threads across repeated construction/drop cycles.
+
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crate::fault::FaultPlan;
+use crate::process::{Process, Step};
+use crate::shard::Shard;
+
+/// One step's work order for a single worker: the shard it owns for the
+/// duration of the step plus everything `step_local` needs.
+struct Job<P: Process> {
+    shard: Shard<P>,
+    now: Step,
+    fault: Arc<FaultPlan>,
+    partition_active: bool,
+    loss_active: bool,
+}
+
+/// A fixed set of persistent worker threads, one per shard. Workers are
+/// parked on their job channel between steps; the pool is the only thing
+/// that spawns threads in the whole engine, and it does so exactly once.
+pub(crate) struct WorkerPool<P: Process> {
+    /// Job senders, indexed by shard. Cleared on drop to release the workers.
+    txs: Vec<Sender<Job<P>>>,
+    /// Result receivers, indexed by shard: each yields the shard back after
+    /// `step_local` ran on it.
+    rxs: Vec<Receiver<Shard<P>>>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl<P: Process> WorkerPool<P> {
+    /// Spawns `n` workers (one per shard), each parked waiting for jobs.
+    pub(crate) fn spawn(n: usize) -> Self {
+        let mut txs = Vec::with_capacity(n);
+        let mut rxs = Vec::with_capacity(n);
+        let mut handles = Vec::with_capacity(n);
+        for i in 0..n {
+            let (job_tx, job_rx) = std::sync::mpsc::channel::<Job<P>>();
+            let (res_tx, res_rx) = std::sync::mpsc::channel::<Shard<P>>();
+            let handle = std::thread::Builder::new()
+                .name(format!("dps-shard-{i}"))
+                .spawn(move || {
+                    // Park on `recv` until the engine sends the next step's
+                    // shard; exit when the engine drops the sender.
+                    while let Ok(mut job) = job_rx.recv() {
+                        job.shard.step_local(
+                            job.now,
+                            &job.fault,
+                            job.partition_active,
+                            job.loss_active,
+                        );
+                        if res_tx.send(job.shard).is_err() {
+                            break; // engine gone mid-step (it is being dropped)
+                        }
+                    }
+                })
+                .expect("failed to spawn a shard worker thread");
+            txs.push(job_tx);
+            rxs.push(res_rx);
+            handles.push(handle);
+        }
+        WorkerPool { txs, rxs, handles }
+    }
+
+    /// Runs one parallel step: hands each shard to its worker, then collects
+    /// them back in shard order (the order is bookkeeping only — the merge at
+    /// the barrier is what fixes the canonical message order). Blocks until
+    /// every shard returned; `shards` is drained and refilled in place, so
+    /// its capacity — and the zero-allocation steady state — is preserved.
+    pub(crate) fn step(
+        &self,
+        shards: &mut Vec<Shard<P>>,
+        now: Step,
+        fault: &Arc<FaultPlan>,
+        partition_active: bool,
+        loss_active: bool,
+    ) {
+        debug_assert_eq!(shards.len(), self.txs.len(), "shard/worker count drift");
+        for (tx, shard) in self.txs.iter().zip(shards.drain(..)) {
+            let job = Job {
+                shard,
+                now,
+                fault: Arc::clone(fault),
+                partition_active,
+                loss_active,
+            };
+            tx.send(job).expect("a shard worker exited before shutdown");
+        }
+        for rx in &self.rxs {
+            shards.push(rx.recv().expect("a shard worker died mid-step"));
+        }
+    }
+}
+
+impl<P: Process> Drop for WorkerPool<P> {
+    fn drop(&mut self) {
+        // Closing the job channels releases every worker from `recv`...
+        self.txs.clear();
+        // ...so the joins below always terminate.
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}

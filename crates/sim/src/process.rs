@@ -77,9 +77,11 @@ impl MsgClass {
 }
 
 /// A simulatable message. The only requirements beyond `Clone + Debug` are a
-/// traffic [`class`](Message::class) so the engine can account it, and `Send`
-/// so messages can cross shard boundaries when the engine runs sharded.
-pub trait Message: Clone + fmt::Debug + Send {
+/// traffic [`class`](Message::class) so the engine can account it, and
+/// `Send + 'static` so messages can cross shard boundaries when the engine
+/// runs sharded (the shard workers are persistent threads, so everything they
+/// own must be free of borrowed data).
+pub trait Message: Clone + fmt::Debug + Send + 'static {
     /// The traffic class of this message.
     fn class(&self) -> MsgClass;
 }
@@ -88,9 +90,10 @@ pub trait Message: Clone + fmt::Debug + Send {
 ///
 /// Handlers receive a [`Context`] to send messages and access the node's
 /// private RNG stream; all effects are deferred to the next step, making each
-/// step atomic. Processes must be `Send` (with no hidden shared mutable
-/// state): the sharded engine advances disjoint node sets on worker threads.
-pub trait Process: Send {
+/// step atomic. Processes must be `Send + 'static` (with no hidden shared
+/// mutable state and no borrowed data): the sharded engine hands disjoint
+/// node sets to persistent worker threads by ownership transfer.
+pub trait Process: Send + 'static {
     /// Message type exchanged by this protocol.
     type Msg: Message;
 

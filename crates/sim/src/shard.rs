@@ -20,13 +20,6 @@ use crate::fault::FaultPlan;
 use crate::metrics::{DropReason, Metrics};
 use crate::process::{Context, Message, NodeId, Process, SimRng, Step};
 
-/// One node's slot: protocol state, liveness, and its private RNG stream.
-pub(crate) struct Slot<P> {
-    pub(crate) proc: P,
-    pub(crate) alive: bool,
-    pub(crate) rng: SimRng,
-}
-
 /// A queued message: the sender and the payload. The destination is implicit
 /// in the bucket the message sits in.
 pub(crate) struct Inflight<M> {
@@ -71,12 +64,26 @@ impl<M> StagingOutbox<M> {
 
 /// One shard: a disjoint slice of the node population plus everything needed
 /// to advance it for one step without touching any other shard.
+///
+/// Node state is laid out **struct-of-arrays**: protocol state machines,
+/// liveness flags and RNG streams live in three parallel vectors indexed by
+/// local slot. The hot scans touch only the array they need — the engine's
+/// `alive()` iterator (behind every driver pick at scenario scale) walks a
+/// dense `Vec<bool>` instead of striding over full node structs, and the
+/// layout carries no per-slot padding, which is what lets six-figure
+/// populations fit (a `DpsNode` is hundreds of bytes; a liveness flag is
+/// one).
 pub(crate) struct Shard<P: Process> {
     /// This shard's index within the engine (`0 <= index < staging.len()`).
     pub(crate) index: usize,
-    /// Local nodes; local slot `l` holds global id `l * S + index`.
-    pub(crate) slots: Vec<Slot<P>>,
-    /// Alive nodes among `slots` (maintained incrementally).
+    /// Local protocol state machines; local slot `l` holds global id
+    /// `l * S + index`.
+    pub(crate) procs: Vec<P>,
+    /// Liveness flags, parallel to `procs`.
+    pub(crate) alive: Vec<bool>,
+    /// Private per-node RNG streams, parallel to `procs`.
+    pub(crate) rngs: Vec<SimRng>,
+    /// Alive nodes among the local slots (maintained incrementally).
     pub(crate) alive_count: usize,
     /// Messages to deliver at the next step, bucketed by local destination.
     pub(crate) next_inboxes: Vec<Vec<Inflight<P::Msg>>>,
@@ -98,7 +105,9 @@ impl<P: Process> Shard<P> {
     pub(crate) fn new(index: usize, n_shards: usize, metrics_window: Step) -> Self {
         Shard {
             index,
-            slots: Vec::new(),
+            procs: Vec::new(),
+            alive: Vec::new(),
+            rngs: Vec::new(),
             alive_count: 0,
             next_inboxes: Vec::new(),
             spare_inboxes: Vec::new(),
@@ -126,7 +135,7 @@ impl<P: Process> Shard<P> {
     /// serial driver paths (`post`, `invoke`, `add_node` flushes).
     pub(crate) fn enqueue(&mut self, from: NodeId, to: NodeId, msg: P::Msg) {
         let l = to.index() / self.n_shards();
-        if self.slots.get(l).is_some_and(|s| !s.alive) {
+        if self.alive.get(l).is_some_and(|a| !*a) {
             self.metrics.on_drop(DropReason::Crashed, msg.class());
             return;
         }
@@ -169,8 +178,8 @@ impl<P: Process> Shard<P> {
         // from the buckets filled last step. Capacity is retained end to end.
         let mut cur = std::mem::take(&mut self.next_inboxes);
         std::mem::swap(&mut self.next_inboxes, &mut self.spare_inboxes);
-        if self.next_inboxes.len() < self.slots.len() {
-            self.next_inboxes.resize_with(self.slots.len(), Vec::new);
+        if self.next_inboxes.len() < self.procs.len() {
+            self.next_inboxes.resize_with(self.procs.len(), Vec::new);
         }
         self.in_flight = 0;
 
@@ -180,7 +189,7 @@ impl<P: Process> Shard<P> {
                 continue;
             }
             let to = self.global_id(l);
-            let alive = self.slots.get(l).is_some_and(|s| s.alive);
+            let alive = self.alive.get(l).is_some_and(|a| *a);
             let mut bucket = std::mem::take(inbox);
             for Inflight { from, msg } in bucket.drain(..) {
                 if !alive {
@@ -193,23 +202,21 @@ impl<P: Process> Shard<P> {
                     self.metrics.on_drop(DropReason::Partitioned, msg.class());
                     continue;
                 }
-                let slot = &mut self.slots[l];
                 if loss_active {
                     let rate = fault.loss_rate(from, to, now);
-                    if rate > 0.0 && slot.rng.random::<f64>() < rate {
+                    if rate > 0.0 && self.rngs[l].random::<f64>() < rate {
                         self.metrics.on_drop(DropReason::Loss, msg.class());
                         continue;
                     }
                 }
                 self.metrics.on_recv(to, msg.class());
-                let Slot { proc, rng, .. } = &mut self.slots[l];
                 let mut ctx = Context {
                     me: to,
                     now,
-                    rng,
+                    rng: &mut self.rngs[l],
                     out: &mut self.scratch_out,
                 };
-                proc.on_message(from, msg, &mut ctx);
+                self.procs[l].on_message(from, msg, &mut ctx);
                 self.stage_outgoing(to, Phase::Deliver);
             }
             *inbox = bucket;
@@ -217,19 +224,18 @@ impl<P: Process> Shard<P> {
         self.spare_inboxes = cur;
 
         // Tick.
-        for l in 0..self.slots.len() {
-            if !self.slots[l].alive {
+        for l in 0..self.procs.len() {
+            if !self.alive[l] {
                 continue;
             }
             let id = self.global_id(l);
-            let Slot { proc, rng, .. } = &mut self.slots[l];
             let mut ctx = Context {
                 me: id,
                 now,
-                rng,
+                rng: &mut self.rngs[l],
                 out: &mut self.scratch_out,
             };
-            proc.on_tick(&mut ctx);
+            self.procs[l].on_tick(&mut ctx);
             self.stage_outgoing(id, Phase::Tick);
         }
     }
