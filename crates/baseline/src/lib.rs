@@ -26,7 +26,7 @@
 use std::collections::HashSet;
 use std::sync::Arc;
 
-use dps_content::{Event, Filter};
+use dps_content::{match_mode, Event, Filter, FilterIndex, MatchMode, MatchScratch};
 use dps_overlay::{CountingSink, PubId, StatsSink};
 use dps_sim::{Context, Message, MsgClass, NodeId, Process, Sim};
 use rand::Rng;
@@ -48,7 +48,9 @@ impl Message for Flood {
 pub struct FloodNode {
     id: NodeId,
     neighbors: Vec<NodeId>,
-    subs: Vec<Filter>,
+    subs: FilterIndex<u32>,
+    next_sub: u32,
+    scratch: MatchScratch,
     seen: HashSet<PubId>,
     sink: Arc<CountingSink>,
     next_pub: u32,
@@ -59,7 +61,9 @@ impl FloodNode {
         FloodNode {
             id: NodeId::from_index(0),
             neighbors: Vec::new(),
-            subs: Vec::new(),
+            subs: FilterIndex::new(),
+            next_sub: 0,
+            scratch: MatchScratch::new(),
             seen: HashSet::new(),
             sink,
             next_pub: 0,
@@ -71,7 +75,11 @@ impl FloodNode {
             return;
         }
         self.sink.on_contact(msg.id, self.id);
-        if self.subs.iter().any(|f| f.matches(&msg.event)) {
+        let matched = match match_mode() {
+            MatchMode::Scan => self.subs.entries().any(|(_, f)| f.matches(&msg.event)),
+            MatchMode::Index => self.subs.any_match(&msg.event, &mut self.scratch),
+        };
+        if matched {
             self.sink.on_notify(msg.id, self.id);
         }
         for n in self.neighbors.clone() {
@@ -130,7 +138,9 @@ impl BroadcastNet {
     /// Installs a subscription (purely local in a broadcast system).
     pub fn subscribe(&mut self, node: NodeId, filter: Filter) {
         if let Some(n) = self.sim.node_mut(node) {
-            n.subs.push(filter);
+            let id = n.next_sub;
+            n.next_sub += 1;
+            n.subs.insert(id, filter);
         }
     }
 

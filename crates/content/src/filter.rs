@@ -1,5 +1,6 @@
 //! Filters: conjunctions of predicates, i.e. the paper's subscriptions.
 
+use std::collections::HashSet;
 use std::fmt;
 
 use serde::{Deserialize, Serialize};
@@ -31,13 +32,9 @@ impl Filter {
     /// otherwise (the first predicate is the "primary" one used by default when the
     /// overlay picks the attribute tree to join).
     pub fn new<I: IntoIterator<Item = Predicate>>(predicates: I) -> Self {
-        let mut out: Vec<Predicate> = Vec::new();
-        for p in predicates {
-            if !out.contains(&p) {
-                out.push(p);
-            }
-        }
-        Filter { predicates: out }
+        let mut f = Filter::default();
+        f.extend(predicates);
+        f
     }
 
     /// The always-true filter (matches every event). Mostly useful in tests.
@@ -63,13 +60,12 @@ impl Filter {
     /// Iterates over the distinct attribute names constrained by this filter, in
     /// first-appearance order.
     pub fn attributes(&self) -> Vec<&AttrName> {
-        let mut seen: Vec<&AttrName> = Vec::new();
-        for p in &self.predicates {
-            if !seen.contains(&p.name()) {
-                seen.push(p.name());
-            }
-        }
-        seen
+        let mut seen: HashSet<&AttrName> = HashSet::with_capacity(self.predicates.len());
+        self.predicates
+            .iter()
+            .map(|p| p.name())
+            .filter(|n| seen.insert(*n))
+            .collect()
     }
 
     /// The predicates constraining a given attribute.
@@ -120,8 +116,11 @@ impl From<Predicate> for Filter {
 
 impl Extend<Predicate> for Filter {
     fn extend<I: IntoIterator<Item = Predicate>>(&mut self, iter: I) {
+        // Set-backed dedup keeps construction O(n) instead of the quadratic
+        // `Vec::contains` scan, while preserving first-appearance order.
+        let mut seen: HashSet<Predicate> = self.predicates.iter().cloned().collect();
         for p in iter {
-            if !self.predicates.contains(&p) {
+            if seen.insert(p.clone()) {
                 self.predicates.push(p);
             }
         }

@@ -42,6 +42,7 @@
 mod attr;
 mod event;
 mod filter;
+mod index;
 mod parse;
 mod predicate;
 
@@ -52,5 +53,6 @@ pub mod strategies;
 pub use attr::{AttrName, AttrType, Value};
 pub use event::Event;
 pub use filter::Filter;
+pub use index::{match_mode, FilterIndex, MatchMode, MatchScratch};
 pub use parse::ParseError;
 pub use predicate::{Op, Predicate, TypeMismatchError};

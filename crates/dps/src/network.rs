@@ -1,10 +1,10 @@
 //! [`DpsNetwork`]: the high-level driver tying protocol nodes, the cycle-based
 //! simulator and the omniscient oracle together.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
 use std::sync::Arc;
 
-use dps_content::{Event, Filter};
+use dps_content::{match_mode, Event, Filter, FilterIndex, MatchMode, MatchScratch};
 use dps_overlay::model::ForestModel;
 use dps_overlay::{CountingSink, DpsConfig, DpsNode, GroupLabel, JoinRule, PubId, SubId};
 use dps_sim::{FaultPlan, Metrics, NodeId, Sim, SimSnapshot, Step};
@@ -64,9 +64,14 @@ pub struct DpsNetwork {
     node_cfg: Arc<DpsConfig>,
     sink: Arc<CountingSink>,
     oracle: ForestModel,
-    /// Filters per node, maintained by subscribe/unsubscribe (the oracle's
-    /// subscription list is append-only, so matching uses this registry).
-    filters: HashMap<NodeId, Vec<(SubId, Filter)>>,
+    /// Live filters keyed `(node, sub)`, maintained by subscribe/unsubscribe
+    /// (the oracle's subscription list is append-only, so matching uses this
+    /// registry) — a counting-algorithm index, scan restorable via
+    /// `DPS_MATCH=scan`.
+    filters: FilterIndex<(NodeId, SubId)>,
+    /// Reusable scratch + hit buffer for `filters` queries.
+    match_scratch: MatchScratch,
+    match_hits: Vec<(NodeId, SubId)>,
     pubs: Vec<PubRecord>,
     rng: StdRng,
     /// Reusable buffer for peer sampling (avoids per-join allocations).
@@ -93,7 +98,9 @@ impl DpsNetwork {
             cfg,
             sink: Arc::new(CountingSink::new()),
             oracle: ForestModel::new(),
-            filters: HashMap::new(),
+            filters: FilterIndex::new(),
+            match_scratch: MatchScratch::new(),
+            match_hits: Vec::new(),
             pubs: Vec::new(),
             rng: StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15),
             scratch: Vec::new(),
@@ -158,15 +165,13 @@ impl DpsNetwork {
             out = Some(n.subscribe_with(f, join_idx, ctx));
         });
         let sub_id = out?;
-        self.filters.entry(node).or_default().push((sub_id, filter));
+        self.filters.insert((node, sub_id), filter);
         Some(sub_id)
     }
 
     /// Cancels a subscription.
     pub fn unsubscribe(&mut self, node: NodeId, sub_id: SubId) {
-        if let Some(v) = self.filters.get_mut(&node) {
-            v.retain(|(s, _)| *s != sub_id);
-        }
+        self.filters.remove((node, sub_id));
         self.sim.invoke(node, |n, ctx| n.unsubscribe(sub_id, ctx));
     }
 
@@ -180,12 +185,24 @@ impl DpsNetwork {
         // node, not cloned.
         let sim = &self.sim;
         let now = sim.now();
-        let expected: HashSet<NodeId> = self
-            .filters
-            .iter()
-            .filter(|(n, subs)| sim.is_alive(**n) && subs.iter().any(|(_, f)| f.matches(&event)))
-            .map(|(n, _)| *n)
-            .collect();
+        let expected: HashSet<NodeId> = match match_mode() {
+            MatchMode::Scan => self
+                .filters
+                .entries()
+                .filter(|(_, f)| f.matches(&event))
+                .map(|((n, _), _)| n)
+                .filter(|n| sim.is_alive(*n))
+                .collect(),
+            MatchMode::Index => {
+                self.filters
+                    .matching_into(&event, &mut self.match_scratch, &mut self.match_hits);
+                self.match_hits
+                    .iter()
+                    .map(|(n, _)| *n)
+                    .filter(|n| sim.is_alive(*n))
+                    .collect()
+            }
+        };
         // Reachability is per active window and transitive through bridges: a
         // subscriber on the far side of a cut still counts as reachable when
         // some *alive* node sits in no side of that window (it can relay

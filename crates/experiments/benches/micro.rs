@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use dps_content::placement::choose_branch;
-use dps_content::{Event, Filter, Predicate};
+use dps_content::{Event, Filter, FilterIndex, MatchScratch, Predicate};
 use dps_overlay::model::TreeModel;
 use dps_sim::NodeId;
 use dps_workload::Workload;
@@ -28,6 +28,87 @@ fn bench_matching(c: &mut Criterion) {
             black_box(hits)
         })
     });
+    let index: FilterIndex<u32> =
+        filters
+            .iter()
+            .enumerate()
+            .fold(FilterIndex::new(), |mut idx, (i, f)| {
+                idx.insert(i as u32, f.clone());
+                idx
+            });
+    let mut scratch = MatchScratch::new();
+    let mut out = Vec::new();
+    c.bench_function("match_1000_filters_x_100_events_indexed", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for e in &events {
+                index.matching_into(black_box(e), &mut scratch, &mut out);
+                hits += out.len();
+            }
+            black_box(hits)
+        })
+    });
+}
+
+/// Growth-curve rows: scan vs counting index at 10k and 100k filters
+/// (10 events each — the per-event cost is what scales). Two workloads:
+/// `multiplayer_game` (broad ranges, ~25% match rate — indexed cost is
+/// output-bound, a constant-factor win) and `stock_exchange` (selective
+/// equalities and narrow ranges — the sublinear regime, where cost tracks
+/// satisfied predicates instead of the population).
+fn bench_matching_growth(c: &mut Criterion) {
+    for (wname, w) in [
+        ("", Workload::multiplayer_game()),
+        ("stock_", Workload::stock_exchange()),
+    ] {
+        bench_growth_rows(c, wname, &w);
+    }
+}
+
+fn bench_growth_rows(c: &mut Criterion, wname: &str, w: &Workload) {
+    for n in [10_000usize, 100_000] {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let filters: Vec<Filter> = (0..n).map(|_| w.subscription(&mut rng)).collect();
+        let events: Vec<Event> = (0..10).map(|_| w.event(&mut rng)).collect();
+        let label = if n == 10_000 {
+            format!("10k_{wname}")
+        } else {
+            format!("100k_{wname}")
+        };
+        c.bench_function(&format!("match_{label}filters_x_10_events_scan"), |b| {
+            b.iter(|| {
+                let mut hits = 0usize;
+                for e in &events {
+                    for f in &filters {
+                        if f.matches(black_box(e)) {
+                            hits += 1;
+                        }
+                    }
+                }
+                black_box(hits)
+            })
+        });
+        let index: FilterIndex<u32> =
+            filters
+                .iter()
+                .enumerate()
+                .fold(FilterIndex::new(), |mut idx, (i, f)| {
+                    idx.insert(i as u32, f.clone());
+                    idx
+                });
+        let mut scratch = MatchScratch::new();
+        let mut out = Vec::new();
+        c.bench_function(&format!("match_{label}filters_x_10_events_indexed"), |b| {
+            b.iter(|| {
+                let mut hits = 0usize;
+                for e in &events {
+                    index.matching_into(black_box(e), &mut scratch, &mut out);
+                    hits += out.len();
+                }
+                black_box(hits)
+            })
+        });
+    }
 }
 
 fn bench_inclusion(c: &mut Criterion) {
@@ -107,6 +188,7 @@ fn bench_sim_step(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_matching,
+    bench_matching_growth,
     bench_inclusion,
     bench_choose_branch,
     bench_tree_insert,

@@ -14,7 +14,9 @@
 use std::collections::{BTreeMap, HashSet};
 
 use dps_content::placement::{choose_branch, must_reparent};
-use dps_content::{AttrName, Event, Filter, Predicate};
+use dps_content::{
+    match_mode, AttrName, Event, Filter, FilterIndex, MatchMode, MatchScratch, Predicate,
+};
 use dps_sim::NodeId;
 use serde::Serialize;
 
@@ -290,10 +292,27 @@ impl TreeModel {
 
 /// The reference forest plus the global subscription registry: the experiment
 /// harness's omniscient oracle.
-#[derive(Debug, Clone, Default, Serialize)]
+#[derive(Debug, Clone, Default)]
 pub struct ForestModel {
     trees: BTreeMap<AttrName, TreeModel>,
     subscriptions: Vec<(NodeId, Filter)>,
+    /// Counting-algorithm index over `subscriptions` (handle = position in
+    /// the vector), so oracle matching scales past broker-grade populations.
+    index: FilterIndex<u32>,
+    /// Reusable query scratch; a `RefCell` because the oracle is queried
+    /// through `&self` (single-threaded harness code).
+    scratch: std::cell::RefCell<MatchScratch>,
+}
+
+// Manual impl (not derived): the index and scratch are derived state that
+// must not leak into experiment JSON output.
+impl Serialize for ForestModel {
+    fn to_json(&self) -> serde::json::Value {
+        serde::json::Value::Object(vec![
+            ("trees".to_owned(), self.trees.to_json()),
+            ("subscriptions".to_owned(), self.subscriptions.to_json()),
+        ])
+    }
 }
 
 impl ForestModel {
@@ -321,6 +340,8 @@ impl ForestModel {
             .entry(attr.clone())
             .or_insert_with(|| TreeModel::new(attr.clone()))
             .insert(&pred, node);
+        self.index
+            .insert(self.subscriptions.len() as u32, filter.clone());
         self.subscriptions.push((node, filter.clone()));
         (attr, pred)
     }
@@ -343,11 +364,22 @@ impl ForestModel {
     /// Nodes with at least one filter matching `event` — the ground-truth
     /// recipients ("Matching" in Table 1).
     pub fn matching_subscribers(&self, event: &Event) -> HashSet<NodeId> {
-        self.subscriptions
-            .iter()
-            .filter(|(_, f)| f.matches(event))
-            .map(|(n, _)| *n)
-            .collect()
+        match match_mode() {
+            MatchMode::Scan => self
+                .subscriptions
+                .iter()
+                .filter(|(_, f)| f.matches(event))
+                .map(|(n, _)| *n)
+                .collect(),
+            MatchMode::Index => {
+                let mut scratch = self.scratch.borrow_mut();
+                let mut hits = Vec::new();
+                self.index.matching_into(event, &mut scratch, &mut hits);
+                hits.iter()
+                    .map(|h| self.subscriptions[*h as usize].0)
+                    .collect()
+            }
+        }
     }
 
     /// Subscribers a root-based DPS dissemination contacts: union over the trees

@@ -612,7 +612,7 @@ impl DpsNode {
             }
         }
         for sub_id in resubscribe {
-            if let Some((_, filter)) = self.subs.iter().find(|(s, _)| *s == sub_id).cloned() {
+            if let Some(filter) = self.subs.get(sub_id).cloned() {
                 let pred = filter
                     .predicates()
                     .iter()

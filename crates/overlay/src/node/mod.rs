@@ -26,7 +26,7 @@ mod subscribe;
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::Arc;
 
-use dps_content::{AttrName, Event, Filter};
+use dps_content::{match_mode, AttrName, Event, Filter, FilterIndex, MatchMode, MatchScratch};
 use dps_sim::{Context, NodeId, Process, Step};
 
 use crate::config::DpsConfig;
@@ -139,7 +139,12 @@ pub struct DpsNode {
     // Application state.
     pub(crate) next_sub: u32,
     pub(crate) next_pub: u32,
-    pub(crate) subs: Vec<(SubId, Filter)>,
+    /// Active subscriptions, held in a [`FilterIndex`] so publication
+    /// delivery is a counting-algorithm query instead of a linear scan
+    /// (`DPS_MATCH=scan` restores the scan via [`FilterIndex::entries`]).
+    pub(crate) subs: FilterIndex<SubId>,
+    /// Reusable scratch for `subs` queries (allocation-free steady state).
+    pub(crate) sub_scratch: MatchScratch,
     pub(crate) memberships: Vec<Membership>,
     pub(crate) pending_subs: Vec<PendingSub>,
     pub(crate) pending_pubs: Vec<PendingPub>,
@@ -204,7 +209,8 @@ impl DpsNode {
             tree_cache: HashMap::new(),
             next_sub: 0,
             next_pub: 0,
-            subs: Vec::new(),
+            subs: FilterIndex::new(),
+            sub_scratch: MatchScratch::new(),
             memberships: Vec::new(),
             pending_subs: Vec::new(),
             pending_pubs: Vec::new(),
@@ -248,9 +254,14 @@ impl DpsNode {
         &self.cfg
     }
 
-    /// Active subscriptions.
-    pub fn subscriptions(&self) -> &[(SubId, Filter)] {
-        &self.subs
+    /// Active subscriptions, in subscription-id order.
+    pub fn subscriptions(&self) -> impl Iterator<Item = (SubId, &Filter)> + '_ {
+        self.subs.entries()
+    }
+
+    /// Number of active subscriptions.
+    pub fn subscription_count(&self) -> usize {
+        self.subs.len()
     }
 
     /// Current group memberships.
@@ -425,7 +436,11 @@ impl DpsNode {
         }
         self.pubs_received += 1;
         self.sink.on_contact(id, self.id);
-        if self.subs.iter().any(|(_, f)| f.matches(event)) {
+        let matched = match match_mode() {
+            MatchMode::Scan => self.subs.entries().any(|(_, f)| f.matches(event)),
+            MatchMode::Index => self.subs.any_match(event, &mut self.sub_scratch),
+        };
+        if matched {
             self.pubs_notified += 1;
             self.sink.on_notify(id, self.id);
         }

@@ -47,7 +47,7 @@ impl DpsNode {
         let pred = filter.predicates()[join_idx].clone();
         let sub_id = SubId(self.id, self.next_sub);
         self.next_sub += 1;
-        self.subs.push((sub_id, filter));
+        self.subs.insert(sub_id, filter);
         self.enqueue_subscription(sub_id, pred, ctx);
         sub_id
     }
@@ -55,7 +55,7 @@ impl DpsNode {
     /// Cancels a subscription; if this empties the membership serving it, the
     /// node leaves the group (leaders hand over to a co-leader first).
     pub fn unsubscribe(&mut self, sub_id: SubId, ctx: &mut Context<'_, DpsMsg>) {
-        self.subs.retain(|(s, _)| *s != sub_id);
+        self.subs.remove(sub_id);
         self.pending_subs.retain(|p| p.sub_id != sub_id);
         let Some(i) = self
             .memberships
