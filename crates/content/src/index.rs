@@ -109,23 +109,44 @@ struct Slot {
     filter: Filter,
 }
 
+/// Sentinel slot marking a tombstoned `flat` entry in [`RangePostings`]
+/// (would require 2^32 live slots to collide with a real one).
+const TOMBSTONE: SlotId = SlotId::MAX;
+
 /// Flattened numeric range postings, sorted by constant, with a small
 /// unsorted overlay absorbing recent inserts (merged back once it exceeds
 /// `max(64, flat/16)`, keeping amortized build cost O(n log n)). For `Lt`
 /// postings the satisfied set for event value `v` is the contiguous suffix
 /// with constants `> v`; for `Gt` the prefix with constants `< v`.
+///
+/// Removal from the sorted array tombstones the entry instead of shifting
+/// the tail (`Vec::remove` would make unsubscribe-heavy churn on one
+/// attribute O(n²) total); tombstones are compacted at the next merge, or
+/// eagerly once they exceed the same `max(64, flat/16)` bound — each
+/// compaction reclaims a constant fraction, so removal stays amortized O(1)
+/// modulo the binary search.
 #[derive(Debug, Clone, Default)]
 struct RangePostings {
     flat: Vec<(i64, SlotId)>,
     pending: Vec<(i64, SlotId)>,
+    /// Tombstoned entries still in `flat`.
+    dead: usize,
 }
 
 impl RangePostings {
     fn insert(&mut self, c: i64, s: SlotId) {
         self.pending.push((c, s));
         if self.pending.len() >= 64.max(self.flat.len() / 16) {
+            self.compact();
             self.flat.append(&mut self.pending);
             self.flat.sort_unstable_by_key(|&(c, _)| c);
+        }
+    }
+
+    fn compact(&mut self) {
+        if self.dead > 0 {
+            self.flat.retain(|&(_, s)| s != TOMBSTONE);
+            self.dead = 0;
         }
     }
 
@@ -137,7 +158,11 @@ impl RangePostings {
         let mut i = self.flat.partition_point(|&(fc, _)| fc < c);
         while i < self.flat.len() && self.flat[i].0 == c {
             if self.flat[i].1 == s {
-                self.flat.remove(i);
+                self.flat[i].1 = TOMBSTONE;
+                self.dead += 1;
+                if self.dead >= 64.max(self.flat.len() / 16) {
+                    self.compact();
+                }
                 return;
             }
             i += 1;
@@ -145,7 +170,7 @@ impl RangePostings {
     }
 
     fn is_empty(&self) -> bool {
-        self.flat.is_empty() && self.pending.is_empty()
+        self.flat.len() == self.dead && self.pending.is_empty()
     }
 }
 
@@ -204,10 +229,16 @@ impl StabTree {
         if items.is_empty() {
             return u32::MAX;
         }
-        // Center on the median midpoint: the max-hi interval always lands
-        // here or right, the min-lo one here or left, so both child sets
-        // strictly shrink and recursion terminates.
-        let mut mids: Vec<i64> = items.iter().map(|&(lo, hi, _)| lo / 2 + hi / 2).collect();
+        // Center on the median of the interval midpoints. Each midpoint is
+        // strictly interior (`hi >= lo + 2`, and the i128 sum cannot
+        // truncate past a bound — `lo/2 + hi/2` could, landing ON `lo` for
+        // odd tight spans like (3, 5) and recursing forever), so the
+        // interval that produced the median straddles the center, lands in
+        // `here`, and both child sets strictly shrink.
+        let mut mids: Vec<i64> = items
+            .iter()
+            .map(|&(lo, hi, _)| ((lo as i128 + hi as i128) / 2) as i64)
+            .collect();
         mids.sort_unstable();
         let center = mids[mids.len() / 2];
         let mut left = Vec::new();
@@ -902,7 +933,9 @@ impl<H: Copy + Ord> FilterIndex<H> {
                     let lt = &ai.lt;
                     let start = lt.flat.partition_point(|&(c, _)| c <= *v);
                     for &(_, s) in &lt.flat[start..] {
-                        bump(state, hits, hit_count, epoch, arity, s, 1);
+                        if s != TOMBSTONE {
+                            bump(state, hits, hit_count, epoch, arity, s, 1);
+                        }
                     }
                     for &(c, s) in &lt.pending {
                         if c > *v {
@@ -913,7 +946,9 @@ impl<H: Copy + Ord> FilterIndex<H> {
                     let gt = &ai.gt;
                     let end = gt.flat.partition_point(|&(c, _)| c < *v);
                     for &(_, s) in &gt.flat[..end] {
-                        bump(state, hits, hit_count, epoch, arity, s, 1);
+                        if s != TOMBSTONE {
+                            bump(state, hits, hit_count, epoch, arity, s, 1);
+                        }
                     }
                     for &(c, s) in &gt.pending {
                         if c < *v {
@@ -1175,6 +1210,49 @@ mod tests {
         let e = ev(&[("a", Value::from(255))]);
         let want: Vec<u32> = (246..255).collect();
         assert_eq!(idx.matching(&e), want);
+    }
+
+    #[test]
+    fn tight_and_negative_interval_trees_terminate() {
+        // Regression: `((lo as i128 + hi as i128) / 2) as i64` truncation could put the node center
+        // ON a bound (e.g. (3, 5) -> 3, (-5, -3) -> -3), so the partition
+        // moved every item to one child unchanged and build_node recursed
+        // until stack overflow once enough pairs forced a tree build.
+        for (lo, hi, inside) in [(3i64, 5i64, 4i64), (-5, -3, -4), (-6, -2, -4)] {
+            let mut idx: FilterIndex<u32> = FilterIndex::new();
+            for h in 0..80u32 {
+                idx.insert(
+                    h,
+                    Filter::new([Predicate::gt("a", lo), Predicate::lt("a", hi)]),
+                );
+            }
+            let e = ev(&[("a", Value::from(inside))]);
+            assert_eq!(idx.matching(&e), (0..80).collect::<Vec<u32>>());
+            let e = ev(&[("a", Value::from(hi))]);
+            assert!(idx.matching(&e).is_empty());
+        }
+    }
+
+    #[test]
+    fn unpaired_range_churn_compacts_tombstones() {
+        // Removals from the sorted flat array tombstone in place; heavy
+        // churn on one attribute must stay correct through compaction and
+        // still tear the attribute index down once everything is gone.
+        let mut idx: FilterIndex<u32> = FilterIndex::new();
+        for h in 0..300u32 {
+            idx.insert(h, Filter::new([Predicate::gt("a", i64::from(h))]));
+        }
+        for h in (0..300u32).filter(|h| !h.is_multiple_of(3)) {
+            idx.remove(h);
+        }
+        let e = ev(&[("a", Value::from(200))]);
+        let want: Vec<u32> = (0..200u32).filter(|h| h.is_multiple_of(3)).collect();
+        assert_eq!(idx.matching(&e), want);
+        for h in (0..300u32).filter(|h| h.is_multiple_of(3)) {
+            idx.remove(h);
+        }
+        assert!(idx.is_empty());
+        assert!(idx.matching(&e).is_empty());
     }
 
     #[test]

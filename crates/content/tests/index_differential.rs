@@ -117,6 +117,45 @@ proptest! {
         prop_assert_eq!(idx.matching(&e), oracle(&pop, &e));
     }
 
+    /// Populations past the pending-overlay bound (64 entries) force real
+    /// [`StabTree`] builds plus rebuild/quarantine/gc on removal — the small
+    /// populations above never reach that machinery. Tight spans (0..8,
+    /// odd ones included) and negative bounds are the regression surface for
+    /// the truncated-midpoint non-termination in `StabTree::build_node`.
+    #[test]
+    fn tree_rebuilds_equal_scan(bounds in proptest::collection::vec(
+                                    (-64i64..64, 0i64..8).prop_map(|(lo, d)| (lo, lo + d)),
+                                    100..140),
+                                vs in proptest::collection::vec(-70i64..70, 1..6),
+                                drop_stride in 2usize..5) {
+        let pop: Vec<(u32, Filter)> = bounds
+            .iter()
+            .enumerate()
+            .map(|(i, (lo, hi))| {
+                (i as u32, Filter::new([Predicate::gt("a", *lo), Predicate::lt("a", *hi)]))
+            })
+            .collect();
+        let mut idx = build(&pop);
+        for v in &vs {
+            let e = Event::new([("a", dps_content::Value::from(*v))]);
+            prop_assert_eq!(idx.matching(&e), oracle(&pop, &e));
+        }
+        // Remove a slice of the population: enough interval-bearing
+        // removals to trip the quarantine gc sweep and tree rebuilds.
+        let live: Vec<(u32, Filter)> = pop
+            .iter()
+            .filter(|(h, _)| !(*h as usize).is_multiple_of(drop_stride))
+            .cloned()
+            .collect();
+        for (h, _) in pop.iter().filter(|(h, _)| (*h as usize).is_multiple_of(drop_stride)) {
+            idx.remove(*h);
+        }
+        for v in &vs {
+            let e = Event::new([("a", dps_content::Value::from(*v))]);
+            prop_assert_eq!(idx.matching(&e), oracle(&live, &e));
+        }
+    }
+
     /// Empty filters always match, whatever else is in the index.
     #[test]
     fn empty_filters_always_match(pop in population(), e in st::event()) {

@@ -299,9 +299,10 @@ pub struct ForestModel {
     /// Counting-algorithm index over `subscriptions` (handle = position in
     /// the vector), so oracle matching scales past broker-grade populations.
     index: FilterIndex<u32>,
-    /// Reusable query scratch; a `RefCell` because the oracle is queried
-    /// through `&self` (single-threaded harness code).
-    scratch: std::cell::RefCell<MatchScratch>,
+    /// Reusable query scratch and hit buffer (both churn per event on the
+    /// oracle hot path); a `RefCell` because the oracle is queried through
+    /// `&self` (single-threaded harness code).
+    scratch: std::cell::RefCell<(MatchScratch, Vec<u32>)>,
 }
 
 // Manual impl (not derived): the index and scratch are derived state that
@@ -372,9 +373,9 @@ impl ForestModel {
                 .map(|(n, _)| *n)
                 .collect(),
             MatchMode::Index => {
-                let mut scratch = self.scratch.borrow_mut();
-                let mut hits = Vec::new();
-                self.index.matching_into(event, &mut scratch, &mut hits);
+                let mut guard = self.scratch.borrow_mut();
+                let (scratch, hits) = &mut *guard;
+                self.index.matching_into(event, scratch, hits);
                 hits.iter()
                     .map(|h| self.subscriptions[*h as usize].0)
                     .collect()
