@@ -74,13 +74,13 @@ impl FloodNode {
         if !self.seen.insert(msg.id) {
             return;
         }
-        self.sink.on_contact(msg.id, self.id);
+        self.sink.on_contact(msg.id, self.id, ctx.now());
         let matched = match match_mode() {
             MatchMode::Scan => self.subs.entries().any(|(_, f)| f.matches(&msg.event)),
             MatchMode::Index => self.subs.any_match(&msg.event, &mut self.scratch),
         };
         if matched {
-            self.sink.on_notify(msg.id, self.id);
+            self.sink.on_notify(msg.id, self.id, ctx.now());
         }
         for n in self.neighbors.clone() {
             ctx.send(n, msg.clone());

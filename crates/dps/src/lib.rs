@@ -46,8 +46,8 @@ pub use dps_overlay::{
     StatsSink, SubId, TraversalKind,
 };
 pub use dps_sim::{
-    ChurnEvent, ChurnPlan, CutDir, DropReason, FaultPlan, Metrics, MsgClass, NodeId, Sim, SimRng,
-    Step,
+    ChurnEvent, ChurnPlan, CutDir, DropReason, FaultPlan, LatencyHistogram, LatencyModel,
+    LatencySummary, Metrics, MsgClass, NodeId, Sim, SimRng, Step,
 };
 
 pub use network::{DeliveryReport, DpsNetwork, GroupSnapshot};

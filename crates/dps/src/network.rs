@@ -7,7 +7,10 @@ use std::sync::Arc;
 use dps_content::{match_mode, Event, Filter, FilterIndex, MatchMode, MatchScratch};
 use dps_overlay::model::ForestModel;
 use dps_overlay::{CountingSink, DpsConfig, DpsNode, GroupLabel, JoinRule, PubId, SubId};
-use dps_sim::{FaultPlan, Metrics, NodeId, Sim, SimSnapshot, Step};
+use dps_sim::{
+    FaultPlan, LatencyHistogram, LatencyModel, LatencySummary, Metrics, NodeId, Sim, SimSnapshot,
+    Step,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -30,6 +33,10 @@ pub struct DeliveryReport {
     pub delivered: usize,
     /// Distinct nodes the dissemination touched (so far).
     pub contacted: usize,
+    /// Publish→deliver latency percentiles over the expected subscribers that
+    /// were notified: each sample is `first-notify step − published_at`.
+    /// `latency.samples == 0` when nothing was delivered yet.
+    pub latency: LatencySummary,
 }
 
 /// Ground truth recorded for one publication at publish time.
@@ -382,19 +389,59 @@ impl DpsNetwork {
     pub fn reports(&self) -> Vec<DeliveryReport> {
         self.pubs
             .iter()
-            .map(|p| DeliveryReport {
-                id: p.id,
-                published_at: p.at,
-                expected: p.expected.clone(),
-                reachable: p.reachable.clone(),
-                delivered: p
-                    .expected
-                    .iter()
-                    .filter(|n| self.sink.was_notified(p.id, **n))
-                    .count(),
-                contacted: self.sink.contacted(p.id),
+            .map(|p| {
+                let mut delivered = 0usize;
+                let mut hist = LatencyHistogram::new();
+                for n in &p.expected {
+                    if let Some(step) = self.sink.notify_step(p.id, *n) {
+                        delivered += 1;
+                        hist.record(step.saturating_sub(p.at));
+                    }
+                }
+                DeliveryReport {
+                    id: p.id,
+                    published_at: p.at,
+                    expected: p.expected.clone(),
+                    reachable: p.reachable.clone(),
+                    delivered,
+                    contacted: self.sink.contacted(p.id),
+                    latency: hist.summary(),
+                }
             })
             .collect()
+    }
+
+    /// Installs the link-latency model for this run. Must be called on a
+    /// fresh network, **before** [`add_nodes`](Self::add_nodes) (the
+    /// simulator rejects later installs). The default is
+    /// [`LatencyModel::Unit`] — the classic cycle engine, byte for byte.
+    pub fn set_latency(&mut self, model: LatencyModel) {
+        self.sim.set_latency(model);
+    }
+
+    /// Publish→deliver latency percentiles over every `(publication, expected
+    /// subscriber)` pair that was delivered, for publications issued in
+    /// `[from, to)`. Each sample is `first-notify step − publish step`; under
+    /// the default unit-latency model this counts overlay hops.
+    pub fn latency_summary_between(&self, from: Step, to: Step) -> LatencySummary {
+        let mut hist = LatencyHistogram::new();
+        for p in &self.pubs {
+            if p.at < from || p.at >= to {
+                continue;
+            }
+            for n in &p.expected {
+                if let Some(step) = self.sink.notify_step(p.id, *n) {
+                    hist.record(step.saturating_sub(p.at));
+                }
+            }
+        }
+        hist.summary()
+    }
+
+    /// [`latency_summary_between`](Self::latency_summary_between) over the
+    /// whole run.
+    pub fn latency_summary(&self) -> LatencySummary {
+        self.latency_summary_between(0, Step::MAX)
     }
 
     /// Ratio of correctly delivered events: over all `(publication, matching

@@ -185,6 +185,56 @@ fn bench_sim_step(c: &mut Criterion) {
     }
 }
 
+/// The event-queue tax: one busy overlay step at 1k nodes under the
+/// draw-free unit model (the old cycle engine's hot path) vs a sampled
+/// `Uniform{1,4}` model (every enqueue draws from its destination's latency
+/// stream and lands in one of five timing-wheel slots). The gap between the
+/// two rows is the entire cost of running the discrete-event machinery;
+/// events/sec derives as deliveries-per-step / seconds-per-step.
+fn bench_event_queue(c: &mut Criterion) {
+    use dps::{DpsConfig, DpsNetwork, LatencyModel};
+    let cases: [(&str, Option<LatencyModel>); 2] = [
+        ("unit", None),
+        (
+            "uniform_1_4",
+            Some(LatencyModel::Uniform { min: 1, max: 4 }),
+        ),
+    ];
+    for (label, model) in cases {
+        c.bench_function(&format!("event_queue_1k_nodes_one_step_{label}"), |b| {
+            let mut net = DpsNetwork::new(DpsConfig::default(), 3);
+            if let Some(m) = model.clone() {
+                net.set_latency(m);
+            }
+            let nodes = net.add_nodes(1000);
+            net.run(30);
+            let w = Workload::multiplayer_game();
+            let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+            for n in &nodes {
+                net.subscribe(*n, w.subscription(&mut rng));
+            }
+            net.quiesce(6000);
+            // Steady-state delivery rate, so events/sec can be derived from
+            // the ns/iter row (diagnostic print; not part of the timing).
+            let received = |net: &DpsNetwork| -> u64 {
+                dps::MsgClass::ALL
+                    .iter()
+                    .map(|c| net.metrics().total_received(*c))
+                    .sum()
+            };
+            let before = received(&net);
+            net.run(100);
+            println!(
+                "# event_queue_1k_{label}: {:.1} deliveries/step at steady state",
+                (received(&net) - before) as f64 / 100.0
+            );
+            b.iter(|| {
+                net.run(1);
+            })
+        });
+    }
+}
+
 criterion_group!(
     benches,
     bench_matching,
@@ -192,6 +242,7 @@ criterion_group!(
     bench_inclusion,
     bench_choose_branch,
     bench_tree_insert,
-    bench_sim_step
+    bench_sim_step,
+    bench_event_queue
 );
 criterion_main!(benches);

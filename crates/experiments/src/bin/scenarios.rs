@@ -100,8 +100,8 @@ fn main() -> ExitCode {
         dps_experiments::run_cells(cells);
 
     println!(
-        "{:<34} {:<16} {:>6} {:>8} {:>8} {:>10} {:>6}",
-        "scenario", "phase", "pubs", "raw", "reach", "drops c/l", "pass"
+        "{:<34} {:<16} {:>6} {:>8} {:>8} {:>10} {:>6} {:>6} {:>6} {:>6}",
+        "scenario", "phase", "pubs", "raw", "reach", "drops c/l", "p50", "p99", "p999", "pass"
     );
     let mut perf: Vec<(String, u64, Duration)> = Vec::new();
     for (result, wall) in results {
@@ -115,8 +115,14 @@ fn main() -> ExitCode {
         };
         perf.push((report.scenario.clone(), report.total_steps, wall));
         for row in &report.rows {
+            // Publish→deliver percentiles sit next to the delivery ratios;
+            // "-" marks a phase that delivered nothing (no samples).
+            let pct = |p: Option<f64>| match p {
+                Some(v) => format!("{v:.0}"),
+                None => "-".to_owned(),
+            };
             println!(
-                "{:<34} {:<16} {:>6} {:>8.3} {:>8.3} {:>6}/{:<3} {:>6}",
+                "{:<34} {:<16} {:>6} {:>8.3} {:>8.3} {:>6}/{:<3} {:>6} {:>6} {:>6} {:>6}",
                 row.scenario,
                 row.phase,
                 row.published,
@@ -124,6 +130,9 @@ fn main() -> ExitCode {
                 row.delivered_ratio_reachable,
                 row.dropped_partitioned,
                 row.dropped_loss,
+                pct(row.latency_p50),
+                pct(row.latency_p99),
+                pct(row.latency_p999),
                 if row.pass { "ok" } else { "MISS" }
             );
         }

@@ -11,7 +11,7 @@ use std::sync::{Arc, Mutex};
 
 use dps::model::ForestModel;
 use dps::{CommKind, DpsConfig, DpsNode, JoinRule, NodeId, PubId, StatsSink, TraversalKind};
-use dps_sim::Sim;
+use dps_sim::{Sim, Step};
 use dps_workload::Workload;
 use rand::rngs::StdRng;
 use rand::seq::IteratorRandom;
@@ -29,11 +29,11 @@ pub struct TallySink {
 }
 
 impl StatsSink for TallySink {
-    fn on_contact(&self, id: PubId, _node: NodeId) {
+    fn on_contact(&self, id: PubId, _node: NodeId, _now: Step) {
         *self.contacted.lock().unwrap().entry(id).or_insert(0) += 1;
     }
 
-    fn on_notify(&self, _id: PubId, _node: NodeId) {}
+    fn on_notify(&self, _id: PubId, _node: NodeId, _now: Step) {}
 }
 
 impl TallySink {

@@ -427,22 +427,22 @@ impl DpsNode {
         best
     }
 
-    /// Records local receipt of a publication: instrumentation plus the `Notify`
-    /// upcall when one of our filters matches (§2). Returns `true` on first
-    /// receipt.
-    pub(crate) fn deliver_local(&mut self, id: PubId, event: &Event) -> bool {
+    /// Records local receipt of a publication at step `now`: instrumentation
+    /// plus the `Notify` upcall when one of our filters matches (§2). Returns
+    /// `true` on first receipt.
+    pub(crate) fn deliver_local(&mut self, id: PubId, event: &Event, now: Step) -> bool {
         if !self.seen_node.insert(id) {
             return false;
         }
         self.pubs_received += 1;
-        self.sink.on_contact(id, self.id);
+        self.sink.on_contact(id, self.id, now);
         let matched = match match_mode() {
             MatchMode::Scan => self.subs.entries().any(|(_, f)| f.matches(event)),
             MatchMode::Index => self.subs.any_match(event, &mut self.sub_scratch),
         };
         if matched {
             self.pubs_notified += 1;
-            self.sink.on_notify(id, self.id);
+            self.sink.on_notify(id, self.id, now);
         }
         true
     }

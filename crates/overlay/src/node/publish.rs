@@ -260,7 +260,7 @@ impl DpsNode {
 
         let matches = label.matches_event(&t.event);
         if matches {
-            self.deliver_local(t.id, &t.event);
+            self.deliver_local(t.id, &t.event, ctx.now());
             self.remember_pub(t.id, &t.event, ctx.now());
             self.spread_in_group(i, t.id, &t.event, ctx);
             // Downstream: forward into every matching child branch (the pruning
@@ -558,13 +558,13 @@ impl DpsNode {
     ) {
         let Some(i) = self.membership_index(&label) else {
             // We left the group but the event still reached us; deliver anyway.
-            self.deliver_local(id, &event);
+            self.deliver_local(id, &event, ctx.now());
             return;
         };
         if !self.seen_route.insert((id, label.clone())) {
             return;
         }
-        self.deliver_local(id, &event);
+        self.deliver_local(id, &event, ctx.now());
         self.remember_pub(id, &event, ctx.now());
         if self.cfg.comm == CommKind::Epidemic {
             self.start_gossip(i, id, &event, ctx);

@@ -3,12 +3,14 @@
 //! The protocol state machines call into a shared [`StatsSink`] when a node
 //! receives a publication for the first time ("contacted", Table 1) and when a
 //! received publication matches one of the node's own subscriptions ("delivered" /
-//! `Notify`, Figures 3(a)–(b)). The default sink does nothing and costs nothing.
+//! `Notify`, Figures 3(a)–(b)). Both milestones carry the simulation step at
+//! which they happened, so harnesses can compute publish→deliver latency
+//! distributions. The default sink does nothing and costs nothing.
 
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::sync::Mutex;
 
-use dps_sim::NodeId;
+use dps_sim::{NodeId, Step};
 
 use crate::msg::PubId;
 
@@ -17,11 +19,12 @@ use crate::msg::PubId;
 /// Implementations must be cheap and thread-safe (the simulator itself is
 /// single-threaded, but experiment harnesses aggregate across runs in parallel).
 pub trait StatsSink: Send + Sync {
-    /// `node` received publication `id` for the first time (it was *contacted*).
-    fn on_contact(&self, id: PubId, node: NodeId);
-    /// `node` received publication `id` and it matched one of its subscription
-    /// filters (the `Notify` upcall of the paper).
-    fn on_notify(&self, id: PubId, node: NodeId);
+    /// `node` received publication `id` for the first time (it was *contacted*)
+    /// at step `now`.
+    fn on_contact(&self, id: PubId, node: NodeId, now: Step);
+    /// `node` received publication `id` at step `now` and it matched one of
+    /// its subscription filters (the `Notify` upcall of the paper).
+    fn on_notify(&self, id: PubId, node: NodeId, now: Step);
 }
 
 /// A sink that ignores everything.
@@ -29,14 +32,16 @@ pub trait StatsSink: Send + Sync {
 pub struct NoopSink;
 
 impl StatsSink for NoopSink {
-    fn on_contact(&self, _id: PubId, _node: NodeId) {}
-    fn on_notify(&self, _id: PubId, _node: NodeId) {}
+    fn on_contact(&self, _id: PubId, _node: NodeId, _now: Step) {}
+    fn on_notify(&self, _id: PubId, _node: NodeId, _now: Step) {}
 }
 
-/// A simple recording sink: remembers every `(publication, node)` contact and
-/// notify pair. Sufficient for all the paper's measurements at the scales of the
-/// reduced experiments, and for the full 10k × 10k Table 1 runs it stays within a
-/// few hundred MB thanks to the compact pair encoding.
+/// A simple recording sink: remembers every `(publication, node)` contact pair
+/// and, for notifies, the step of the **first** notify (the publish→deliver
+/// latency endpoint — re-notifies through other trees never move it).
+/// Sufficient for all the paper's measurements at the scales of the reduced
+/// experiments, and for the full 10k × 10k Table 1 runs it stays within a few
+/// hundred MB thanks to the compact pair encoding.
 #[derive(Debug, Default)]
 pub struct CountingSink {
     inner: Mutex<CountingInner>,
@@ -45,7 +50,8 @@ pub struct CountingSink {
 #[derive(Debug, Default)]
 struct CountingInner {
     contacts: HashSet<(PubId, NodeId)>,
-    notifies: HashSet<(PubId, NodeId)>,
+    /// First-notify step per `(publication, node)` pair.
+    notifies: HashMap<(PubId, NodeId), Step>,
 }
 
 impl CountingSink {
@@ -63,12 +69,26 @@ impl CountingSink {
     /// Number of distinct nodes notified by `id`.
     pub fn notified(&self, id: PubId) -> usize {
         let inner = self.inner.lock().unwrap();
-        inner.notifies.iter().filter(|(p, _)| *p == id).count()
+        inner.notifies.keys().filter(|(p, _)| *p == id).count()
     }
 
     /// Whether `(id, node)` was notified.
     pub fn was_notified(&self, id: PubId, node: NodeId) -> bool {
-        self.inner.lock().unwrap().notifies.contains(&(id, node))
+        self.inner
+            .lock()
+            .unwrap()
+            .notifies
+            .contains_key(&(id, node))
+    }
+
+    /// The step at which `node` was **first** notified of `id`, if ever.
+    pub fn notify_step(&self, id: PubId, node: NodeId) -> Option<Step> {
+        self.inner
+            .lock()
+            .unwrap()
+            .notifies
+            .get(&(id, node))
+            .copied()
     }
 
     /// Whether `(id, node)` was contacted.
@@ -95,12 +115,19 @@ impl CountingSink {
 }
 
 impl StatsSink for CountingSink {
-    fn on_contact(&self, id: PubId, node: NodeId) {
+    fn on_contact(&self, id: PubId, node: NodeId, _now: Step) {
         self.inner.lock().unwrap().contacts.insert((id, node));
     }
 
-    fn on_notify(&self, id: PubId, node: NodeId) {
-        self.inner.lock().unwrap().notifies.insert((id, node));
+    fn on_notify(&self, id: PubId, node: NodeId, now: Step) {
+        // First notify wins: the entry API keeps the earliest step even if a
+        // slower redundant path re-delivers the publication later.
+        self.inner
+            .lock()
+            .unwrap()
+            .notifies
+            .entry((id, node))
+            .or_insert(now);
     }
 }
 
@@ -114,10 +141,10 @@ mod tests {
         let p = PubId(NodeId::from_index(0), 1);
         let n1 = NodeId::from_index(1);
         let n2 = NodeId::from_index(2);
-        s.on_contact(p, n1);
-        s.on_contact(p, n1); // dedup
-        s.on_contact(p, n2);
-        s.on_notify(p, n2);
+        s.on_contact(p, n1, 3);
+        s.on_contact(p, n1, 4); // dedup
+        s.on_contact(p, n2, 3);
+        s.on_notify(p, n2, 5);
         assert_eq!(s.contacted(p), 2);
         assert_eq!(s.notified(p), 1);
         assert!(s.was_notified(p, n2));
@@ -131,9 +158,20 @@ mod tests {
     }
 
     #[test]
+    fn first_notify_step_wins() {
+        let s = CountingSink::new();
+        let p = PubId(NodeId::from_index(0), 1);
+        let n = NodeId::from_index(1);
+        assert_eq!(s.notify_step(p, n), None);
+        s.on_notify(p, n, 7);
+        s.on_notify(p, n, 12); // a slower redundant path re-delivers
+        assert_eq!(s.notify_step(p, n), Some(7));
+    }
+
+    #[test]
     fn noop_sink_is_silent() {
         let s = NoopSink;
-        s.on_contact(PubId(NodeId::from_index(0), 0), NodeId::from_index(0));
-        s.on_notify(PubId(NodeId::from_index(0), 0), NodeId::from_index(0));
+        s.on_contact(PubId(NodeId::from_index(0), 0), NodeId::from_index(0), 1);
+        s.on_notify(PubId(NodeId::from_index(0), 0), NodeId::from_index(0), 1);
     }
 }

@@ -10,10 +10,12 @@
 //! something else.
 
 use dps::{CommKind, DpsConfig, Filter, JoinRule, NodeId, TraversalKind};
-use dps_sim::{ChurnPlan, FaultPlan, Step};
+use dps_sim::{ChurnPlan, FaultPlan, LatencyModel, Step};
 use dps_workload::{AttrSpec, Dist, SubShape, Workload};
 
-use crate::spec::{CutSpec, LossWindowSpec, PartitionWindowSpec, PhaseSpec, ScenarioSpec};
+use crate::spec::{
+    CutSpec, LatencySpec, LossWindowSpec, PartitionWindowSpec, PhaseSpec, ScenarioSpec,
+};
 
 /// Maximum number of stepped sub-windows a loss ramp is lowered into.
 const RAMP_SEGMENTS: u64 = 8;
@@ -54,6 +56,9 @@ pub struct CompiledScenario {
     pub filter: Option<Filter>,
     /// RNG seed.
     pub seed: u64,
+    /// Link-latency model, when the spec declares one (`None` keeps the
+    /// engine's default unit latency — the classic cycle model).
+    pub latency: Option<LatencyModel>,
     /// The lowered fault schedule (timeline-relative windows).
     pub faults: FaultPlan,
     /// The lowered phases, in timeline order.
@@ -82,6 +87,8 @@ pub struct CompiledPhase {
     pub min_delivered: Option<f64>,
     /// Floor on the reachable-aware delivered ratio, if declared.
     pub min_delivered_reachable: Option<f64>,
+    /// Ceiling on the p99 publish→deliver latency, if declared.
+    pub max_p99: Option<f64>,
 }
 
 /// Validates and lowers a spec. See the [module docs](self).
@@ -181,6 +188,10 @@ pub fn compile(spec: &ScenarioSpec) -> Result<CompiledScenario, SpecError> {
                 .map_err(|e| SpecError(format!("{}: topology.filter {text:?}: {e}", spec.name)))?,
         ),
     };
+    let latency = match &t.latency {
+        None => None,
+        Some(l) => Some(lower_latency(l, &spec.name)?),
+    };
 
     if spec.phases.is_empty() {
         return err(format!(
@@ -209,8 +220,8 @@ pub fn compile(spec: &ScenarioSpec) -> Result<CompiledScenario, SpecError> {
         lower_loss(&mut faults, p, start, &ctx)?;
         let churn = lower_churn(p, &ctx)?;
         let subscribe_at = lower_subscribe(p, &ctx)?;
-        let (min_delivered, min_delivered_reachable) = match &p.expect {
-            None => (None, None),
+        let (min_delivered, min_delivered_reachable, max_p99) = match &p.expect {
+            None => (None, None, None),
             Some(e) => {
                 for floor in [e.min_delivered, e.min_delivered_reachable]
                     .into_iter()
@@ -220,7 +231,20 @@ pub fn compile(spec: &ScenarioSpec) -> Result<CompiledScenario, SpecError> {
                         return err(format!("{ctx}: expectation floors must be within [0, 1]"));
                     }
                 }
-                (e.min_delivered, e.min_delivered_reachable)
+                if let Some(ceiling) = e.max_p99 {
+                    if !ceiling.is_finite() || ceiling < 1.0 {
+                        return err(format!(
+                            "{ctx}: expect.max_p99 must be a finite latency of >= 1 step"
+                        ));
+                    }
+                    if p.publish_every.is_none() {
+                        return err(format!(
+                            "{ctx}: expect.max_p99 needs publish_every (a latency ceiling \
+                             over a phase that publishes nothing would hold vacuously)"
+                        ));
+                    }
+                }
+                (e.min_delivered, e.min_delivered_reachable, e.max_p99)
             }
         };
         phases.push(CompiledPhase {
@@ -232,6 +256,7 @@ pub fn compile(spec: &ScenarioSpec) -> Result<CompiledScenario, SpecError> {
             churn,
             min_delivered,
             min_delivered_reachable,
+            max_p99,
         });
         start += p.steps;
     }
@@ -244,6 +269,7 @@ pub fn compile(spec: &ScenarioSpec) -> Result<CompiledScenario, SpecError> {
         subs_per_node: t.subs_per_node.unwrap_or(1),
         filter,
         seed: spec.seed,
+        latency,
         faults,
         phases,
         drain: spec.drain.unwrap_or(2 * t.nodes as u64 + 200),
@@ -268,6 +294,36 @@ fn synthetic_workload(n: usize) -> Workload {
         attrs,
         SubShape::OneOf,
     )
+}
+
+/// Lowers a [`LatencySpec`] onto the engine's [`LatencyModel`], re-running
+/// the model's own validation so a bad range names the scenario instead of
+/// panicking inside `Sim::set_latency` mid-run.
+fn lower_latency(spec: &LatencySpec, name: &str) -> Result<LatencyModel, SpecError> {
+    let model = match spec {
+        LatencySpec::Uniform { min, max } => LatencyModel::Uniform {
+            min: *min,
+            max: *max,
+        },
+        LatencySpec::Bimodal {
+            fast_min,
+            fast_max,
+            slow_min,
+            slow_max,
+            slow_weight,
+        } => LatencyModel::Bimodal {
+            fast: (*fast_min, *fast_max),
+            slow: (*slow_min, *slow_max),
+            slow_weight: *slow_weight,
+        },
+        LatencySpec::Classes { classes } => LatencyModel::Classed {
+            classes: classes.iter().map(|c| (c.min, c.max)).collect(),
+        },
+    };
+    model
+        .validate()
+        .map_err(|e| SpecError(format!("{name}: topology.latency: {e}")))?;
+    Ok(model)
 }
 
 /// Resolves a phase-relative fault window to absolute engine steps,

@@ -60,11 +60,22 @@ pub struct PhaseRow {
     pub delivered_ratio: f64,
     /// Reachable-aware delivered ratio over the phase's publications.
     pub delivered_ratio_reachable: f64,
+    /// Median publish→deliver latency (steps from publish to first notify)
+    /// over the phase's publications; `None` when nothing was delivered.
+    pub latency_p50: Option<f64>,
+    /// 99th-percentile publish→deliver latency; `None` when nothing was
+    /// delivered.
+    pub latency_p99: Option<f64>,
+    /// 99.9th-percentile publish→deliver latency; `None` when nothing was
+    /// delivered.
+    pub latency_p999: Option<f64>,
     /// The spec's raw-ratio floor, if any.
     pub min_delivered: Option<f64>,
     /// The spec's reachable-ratio floor, if any.
     pub min_delivered_reachable: Option<f64>,
-    /// Whether both declared floors held.
+    /// The spec's p99 latency ceiling, if any.
+    pub max_p99: Option<f64>,
+    /// Whether every declared floor and ceiling held.
     pub pass: bool,
 }
 
@@ -121,6 +132,12 @@ impl ScenarioRun {
     pub fn with_shards(spec: &ScenarioSpec, shards: usize) -> Result<Self, SpecError> {
         let compiled = compile(spec)?;
         let mut net = DpsNetwork::new_sharded(compiled.cfg.clone(), compiled.seed, shards);
+        // The latency model must go in before the first node: `set_latency`
+        // insists on a fresh simulation, and `add_nodes` already enqueues the
+        // nodes' start-up sends.
+        if let Some(model) = compiled.latency.clone() {
+            net.set_latency(model);
+        }
         let nodes = net.add_nodes(compiled.nodes);
         net.run(30);
         let mut sub_rng = StdRng::seed_from_u64(compiled.seed ^ SUB_RNG_SALT);
@@ -256,10 +273,17 @@ impl ScenarioRun {
             let reachable = self
                 .net
                 .delivered_ratio_reachable_between(rec.start, rec.end);
+            let lat = self.net.latency_summary_between(rec.start, rec.end);
             let pass = phase.min_delivered.is_none_or(|floor| delivered >= floor)
                 && phase
                     .min_delivered_reachable
-                    .is_none_or(|floor| reachable >= floor);
+                    .is_none_or(|floor| reachable >= floor)
+                // The ceiling needs deliveries to measure: a phase that
+                // declared one but delivered nothing fails loudly instead of
+                // passing vacuously.
+                && phase
+                    .max_p99
+                    .is_none_or(|ceiling| lat.samples > 0 && lat.p99 <= ceiling);
             rows.push(PhaseRow {
                 scenario: self.compiled.name.clone(),
                 phase: phase.name.clone(),
@@ -275,8 +299,12 @@ impl ScenarioRun {
                 alive_at_end: rec.alive_at_end,
                 delivered_ratio: delivered,
                 delivered_ratio_reachable: reachable,
+                latency_p50: (lat.samples > 0).then_some(lat.p50),
+                latency_p99: (lat.samples > 0).then_some(lat.p99),
+                latency_p999: (lat.samples > 0).then_some(lat.p999),
                 min_delivered: phase.min_delivered,
                 min_delivered_reachable: phase.min_delivered_reachable,
+                max_p99: phase.max_p99,
                 pass,
             });
             prev_cut = rec.dropped_partitioned_at_end;

@@ -59,6 +59,6 @@ pub mod spec;
 pub use compile::{compile, CompiledPhase, CompiledScenario, SpecError};
 pub use engine::{run_scenario, PhaseRow, ScenarioReport, ScenarioRun};
 pub use spec::{
-    ChurnSpec, CutSpec, ExpectSpec, LossWindowSpec, OneWaySpec, PartitionWindowSpec, PhaseSpec,
-    ScenarioSpec, SideSpec, SubscribeSpec, TopologySpec,
+    ChurnSpec, ClassLatencySpec, CutSpec, ExpectSpec, LatencySpec, LossWindowSpec, OneWaySpec,
+    PartitionWindowSpec, PhaseSpec, ScenarioSpec, SideSpec, SubscribeSpec, TopologySpec,
 };

@@ -83,6 +83,56 @@ pub struct TopologySpec {
     /// `"explicit"` (default — picked uniformly at random, the paper's
     /// "arbitrarily chosen") or `"first"` (deterministic first predicate).
     pub join_rule: Option<String>,
+    /// Link-latency distribution (default: unit latency — every link takes
+    /// exactly one step, the classic cycle model). Applies to every message
+    /// of the whole run, setup included.
+    pub latency: Option<LatencySpec>,
+}
+
+/// The link-latency distribution of a scenario, lowered onto
+/// [`dps_sim::LatencyModel`]. Latencies are in steps; every `min` must be
+/// ≥ 1 and every `max` within the engine's [`dps_sim::MAX_LATENCY`] cap.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum LatencySpec {
+    /// Every link delivers after a latency uniform in `[min, max]` steps.
+    Uniform {
+        /// Minimum latency, inclusive.
+        min: u64,
+        /// Maximum latency, inclusive.
+        max: u64,
+    },
+    /// A jitter mixture: with probability `slow_weight` the latency is
+    /// uniform in `[slow_min, slow_max]`, otherwise uniform in
+    /// `[fast_min, fast_max]`.
+    Bimodal {
+        /// Fast-mode minimum, inclusive.
+        fast_min: u64,
+        /// Fast-mode maximum, inclusive.
+        fast_max: u64,
+        /// Slow-mode minimum, inclusive.
+        slow_min: u64,
+        /// Slow-mode maximum, inclusive.
+        slow_max: u64,
+        /// Probability of the slow mode, in `[0, 1]`.
+        slow_weight: f64,
+    },
+    /// Per-destination-class latency: node `i` belongs to class
+    /// `i % classes.len()`, and every link **into** it is uniform in that
+    /// class's range — e.g. `[{fast}, {fast}, {slow}]` makes every third
+    /// node a slow-link straggler.
+    Classes {
+        /// The class ranges, assigned round-robin by node index.
+        classes: Vec<ClassLatencySpec>,
+    },
+}
+
+/// One latency class of a [`LatencySpec::Classes`] distribution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClassLatencySpec {
+    /// Minimum latency, inclusive.
+    pub min: u64,
+    /// Maximum latency, inclusive.
+    pub max: u64,
 }
 
 /// One phase of the timeline: `steps` simulation steps with the declared
@@ -220,4 +270,9 @@ pub struct ExpectSpec {
     /// side of an absolute cut are excluded from the denominator — the fair
     /// measure while a partition holds).
     pub min_delivered_reachable: Option<f64>,
+    /// Ceiling on the p99 publish→deliver latency (steps from publish to
+    /// first notify) over this phase's publications. Requires the phase to
+    /// publish (`publish_every`); a phase that declares the ceiling but
+    /// delivers nothing fails rather than vacuously passing.
+    pub max_p99: Option<f64>,
 }

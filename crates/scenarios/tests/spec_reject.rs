@@ -171,6 +171,70 @@ fn rejects_structural_mistakes() {
 }
 
 #[test]
+fn rejects_bad_latency_models() {
+    // Zero-step links are not a thing: the engine needs latency >= 1.
+    let e = compile_err(
+        r#"{"name": "probe", "seed": 1,
+            "topology": {"nodes": 10, "scheme": "epidemic",
+                         "latency": {"Uniform": {"min": 0, "max": 3}}},
+            "phases": [{"name": "p", "steps": 50}]}"#,
+    );
+    assert!(
+        e.0.contains("topology.latency") && e.0.contains(">= 1"),
+        "{e}"
+    );
+    // Inverted ranges name the offending bounds.
+    let e = compile_err(
+        r#"{"name": "probe", "seed": 1,
+            "topology": {"nodes": 10, "scheme": "epidemic",
+                         "latency": {"Uniform": {"min": 7, "max": 2}}},
+            "phases": [{"name": "p", "steps": 50}]}"#,
+    );
+    assert!(e.0.contains("topology.latency"), "{e}");
+    // Weights are probabilities.
+    let e = compile_err(
+        r#"{"name": "probe", "seed": 1,
+            "topology": {"nodes": 10, "scheme": "epidemic",
+                         "latency": {"Bimodal": {"fast_min": 1, "fast_max": 2,
+                                                 "slow_min": 4, "slow_max": 8,
+                                                 "slow_weight": 1.5}}},
+            "phases": [{"name": "p", "steps": 50}]}"#,
+    );
+    assert!(e.0.contains("topology.latency"), "{e}");
+    // An empty class list would make every destination unclassifiable.
+    let e = compile_err(
+        r#"{"name": "probe", "seed": 1,
+            "topology": {"nodes": 10, "scheme": "epidemic",
+                         "latency": {"Classes": {"classes": []}}},
+            "phases": [{"name": "p", "steps": 50}]}"#,
+    );
+    assert!(e.0.contains("topology.latency"), "{e}");
+}
+
+#[test]
+fn rejects_latency_ceiling_without_publications() {
+    // A p99 ceiling over a phase that never publishes would hold vacuously.
+    let e = compile_err(
+        r#"{"name": "probe", "seed": 1,
+            "topology": {"nodes": 10, "scheme": "epidemic"},
+            "phases": [{"name": "p", "steps": 50,
+                        "expect": {"max_p99": 20.0}}]}"#,
+    );
+    assert!(
+        e.0.contains("max_p99") && e.0.contains("publish_every"),
+        "{e}"
+    );
+    // Sub-step ceilings are nonsense (latency is at least one step).
+    let e = compile_err(
+        r#"{"name": "probe", "seed": 1,
+            "topology": {"nodes": 10, "scheme": "epidemic"},
+            "phases": [{"name": "p", "steps": 50, "publish_every": 10,
+                        "expect": {"max_p99": 0.5}}]}"#,
+    );
+    assert!(e.0.contains("max_p99"), "{e}");
+}
+
+#[test]
 fn rejects_unknown_fields_and_bad_json() {
     // A typo'd key must not silently deserialize to defaults.
     let e = ScenarioSpec::from_json_str(&valid().replace("\"seed\"", "\"sede\"")).unwrap_err();

@@ -17,17 +17,23 @@ fn library_dir() -> PathBuf {
 
 fn library_specs() -> Vec<(PathBuf, ScenarioSpec)> {
     // The main library plus the metro tier (scenarios/metro/, swept by the
-    // `scenarios` bin under DPS_SCALE=metro). Metro specs are too big to
-    // *run* here, but they must parse, compile and round-trip like any other.
-    let mut paths: Vec<PathBuf> = [library_dir(), library_dir().join("metro")]
-        .iter()
-        .flat_map(|dir| {
-            std::fs::read_dir(dir)
-                .unwrap_or_else(|e| panic!("{} must exist: {e}", dir.display()))
-                .filter_map(|e| e.ok().map(|e| e.path()))
-                .filter(|p| p.extension().is_some_and(|x| x == "json"))
-        })
-        .collect();
+    // `scenarios` bin under DPS_SCALE=metro) and the latency tier
+    // (scenarios/latency/, swept by the CI latency-matrix job). Metro specs
+    // are too big to *run* here, but they must parse, compile and round-trip
+    // like any other.
+    let mut paths: Vec<PathBuf> = [
+        library_dir(),
+        library_dir().join("metro"),
+        library_dir().join("latency"),
+    ]
+    .iter()
+    .flat_map(|dir| {
+        std::fs::read_dir(dir)
+            .unwrap_or_else(|e| panic!("{} must exist: {e}", dir.display()))
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|x| x == "json"))
+    })
+    .collect();
     paths.sort();
     assert!(
         paths.len() >= 8,
@@ -69,12 +75,15 @@ fn representative_specs_match_their_goldens() {
     for file in [
         "epidemic-partition-churn.json",
         "epidemic-loss-ramp-resubscribe.json",
+        // Pins the LatencySpec JSON surface (variant tags, class objects,
+        // the max_p99 expectation) against drift.
+        "latency/slow-link-straggler.json",
     ] {
         let spec = ScenarioSpec::load(library_dir().join(file)).unwrap();
         let rendered = spec.to_json_string();
         let golden_path = golden_dir.join(file);
         if std::env::var("DPS_BLESS").is_ok() {
-            std::fs::create_dir_all(&golden_dir).unwrap();
+            std::fs::create_dir_all(golden_path.parent().unwrap()).unwrap();
             std::fs::write(&golden_path, &rendered).unwrap();
             continue;
         }

@@ -28,6 +28,7 @@ use std::sync::Arc;
 use rand::SeedableRng;
 
 use crate::fault::FaultPlan;
+use crate::latency::LatencyModel;
 use crate::metrics::Metrics;
 use crate::pool::WorkerPool;
 use crate::process::{Context, Message, NodeId, Process, SimRng, Step};
@@ -41,11 +42,35 @@ use crate::shard::{Phase, Shard, Staged};
 /// `rand_chacha` stand-in has no `set_stream`, so this is a seed-mix
 /// derivation, not the ChaCha stream-counter construction; switch to
 /// `set_stream(index)` if the real crate ever lands.
-fn node_rng(seed: u64, index: usize) -> SimRng {
+pub(crate) fn node_rng(seed: u64, index: usize) -> SimRng {
     SimRng::seed_from_u64(seed ^ (index as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15))
 }
 
-/// A deterministic cycle-based simulator over a protocol `P`.
+/// Salt separating a node's **latency** stream from its protocol stream.
+/// Latency draws happen at enqueue (once per message into the node) while
+/// protocol and loss draws happen inside the node's handlers; giving the two
+/// different streams means neither sequence can perturb the other — which is
+/// what lets a latency model be swapped in without reshuffling a single
+/// protocol draw, and the unit model (no draws at all) replay the
+/// pre-event-queue engine byte-for-byte.
+const LATENCY_STREAM_SALT: u64 = 0x6C61_7465_6E63_795F;
+
+/// Derives node `index`'s dedicated latency stream: `node_rng` over a salted
+/// seed. A pure function of `(seed, index)`, so shards can derive streams
+/// lazily (on the first sampled message into a node) and the result is
+/// independent of the shard layout and of when the node joined.
+pub(crate) fn latency_rng(seed: u64, index: usize) -> SimRng {
+    node_rng(seed ^ LATENCY_STREAM_SALT, index)
+}
+
+/// A deterministic discrete-event simulator over a protocol `P`.
+///
+/// Messages are timestamped events: each is enqueued with a delivery time
+/// `now + latency(link)` into a per-shard timing wheel, with the latency
+/// sampled from the destination's dedicated stream per the installed
+/// [`LatencyModel`] ([`set_latency`](Sim::set_latency)). The default unit
+/// model makes every latency exactly 1 without drawing — the classic
+/// cycle-based engine is the latency ≡ 1 special case, byte for byte.
 ///
 /// See the [crate docs](crate) for the execution model. The engine is generic: the
 /// DPS overlay, the broadcast baseline and the test protocols all run on it
@@ -75,6 +100,9 @@ pub struct Sim<P: Process> {
     seed: u64,
     /// Metrics window length, applied to every shard partial.
     metrics_window: Step,
+    /// The link-latency model (shards hold clones of the same `Arc`).
+    /// Default [`LatencyModel::Unit`]: the classic cycle engine.
+    latency: Arc<LatencyModel>,
 }
 
 /// A cheap copyable summary of the state of a simulation run.
@@ -86,8 +114,9 @@ pub struct SimSnapshot {
     pub total_nodes: usize,
     /// Nodes currently alive.
     pub alive_nodes: usize,
-    /// Deliverable messages waiting for the next step (messages queued to
-    /// nodes that have since crashed are purged and not counted).
+    /// Deliverable messages waiting in the timing wheel, across all future
+    /// delivery times (messages queued to nodes that have since crashed are
+    /// purged and not counted).
     pub in_flight: usize,
 }
 
@@ -146,7 +175,9 @@ impl<P: Process> Sim<P> {
         let n = shards.max(1);
         let metrics_window = 100;
         Sim {
-            shards: (0..n).map(|i| Shard::new(i, n, metrics_window)).collect(),
+            shards: (0..n)
+                .map(|i| Shard::new(i, n, metrics_window, seed))
+                .collect(),
             pool: (n > 1).then(|| WorkerPool::spawn(n)),
             total_nodes: 0,
             now: 0,
@@ -154,7 +185,47 @@ impl<P: Process> Sim<P> {
             rng: SimRng::seed_from_u64(seed),
             seed,
             metrics_window,
+            latency: Arc::new(LatencyModel::Unit),
         }
+    }
+
+    /// Installs the link-latency model for this run. Must be called **before
+    /// anything is queued** — on a fresh simulation, prior to `add_node`
+    /// (whose `on_start` sends would otherwise be enqueued under the old
+    /// model) — and panics otherwise, or if the model's ranges are invalid.
+    ///
+    /// The default is [`LatencyModel::Unit`]: every link takes exactly one
+    /// step and **no latency stream is ever derived or drawn from**, which
+    /// keeps unit-latency runs byte-identical to the classic cycle-based
+    /// engine. Any other model sizes each shard's timing wheel to
+    /// `max_latency + 1` slots and samples per message from the destination
+    /// node's dedicated latency stream.
+    pub fn set_latency(&mut self, model: LatencyModel) {
+        if let Err(e) = model.validate() {
+            panic!("invalid latency model: {e}");
+        }
+        assert_eq!(
+            self.now, 0,
+            "set_latency must be called before the first step"
+        );
+        assert_eq!(
+            self.snapshot().in_flight,
+            0,
+            "set_latency must be called before any message is enqueued"
+        );
+        let wheel_len = (model.max_latency() + 1).max(2) as usize;
+        let model = Arc::new(model);
+        for sh in &mut self.shards {
+            sh.latency = Arc::clone(&model);
+            sh.wheel.clear();
+            sh.wheel.resize_with(wheel_len, Vec::new);
+        }
+        self.latency = model;
+    }
+
+    /// The link-latency model in force.
+    pub fn latency(&self) -> &LatencyModel {
+        &self.latency
     }
 
     /// Number of execution shards.
@@ -215,9 +286,10 @@ impl<P: Process> Sim<P> {
         shard.alive.push(true);
         shard.rngs.push(node_rng(self.seed, idx));
         shard.alive_count += 1;
-        if shard.next_inboxes.len() < shard.procs.len() {
-            shard.next_inboxes.resize_with(shard.procs.len(), Vec::new);
-        }
+        // Note: the node's dedicated latency stream is NOT derived here —
+        // `lat_rngs` grows lazily at the first sampled enqueue, and may
+        // already cover this slot (messages can be addressed to a node
+        // before it joins; the partially consumed stream must survive).
         let mut ctx = Context {
             me: id,
             now: self.now,
@@ -316,12 +388,15 @@ impl<P: Process> Sim<P> {
         self.alive().collect()
     }
 
-    /// Injects an external message to `to`, delivered at the next step, attributed
-    /// to the recipient itself (external stimuli such as a user's Publish call).
+    /// Injects an external message to `to`, delivered after the link's
+    /// sampled latency (the next step under the default unit model),
+    /// attributed to the recipient itself (external stimuli such as a user's
+    /// Publish call).
     pub fn post(&mut self, to: NodeId, msg: P::Msg) {
+        let now = self.now;
         let d = to.index() % self.n_shards();
         self.shards[d].metrics.on_send(to, msg.class());
-        self.shards[d].enqueue(to, to, msg);
+        self.shards[d].enqueue(to, to, msg, now);
     }
 
     /// Runs the protocol handler `f` on node `id` as if it were executing within
@@ -380,9 +455,9 @@ impl<P: Process> Sim<P> {
         &mut self.rng
     }
 
-    /// Advances one step: delivers all in-flight messages (in destination-id order,
-    /// then deliver-phase/tick-phase send order), then ticks every alive node (in
-    /// id order). With more than one shard the per-shard work runs on the
+    /// Advances one step: delivers the messages whose sampled delivery time
+    /// is due (in destination-id order, then deliver-phase/tick-phase send
+    /// order), then ticks every alive node (in id order). With more than one shard the per-shard work runs on the
     /// persistent worker pool — each shard is handed to its (already running)
     /// worker and collected back at the barrier, so no thread is ever spawned
     /// here; the staging outboxes are then merged (see the crate docs on
@@ -437,6 +512,7 @@ impl<P: Process> Sim<P> {
     /// here, which is equivalent to dropping at send time because liveness
     /// cannot change during the parallel phase.
     fn merge_staging(&mut self) {
+        let now = self.now;
         let n = self.shards.len();
         if n == 1 {
             // Single shard: sends were enqueued directly (the production
@@ -477,7 +553,7 @@ impl<P: Process> Sim<P> {
                         }
                         let Some(s) = best else { break };
                         let Staged { from, to, msg } = its[s].next().expect("peeked");
-                        dest.enqueue(from, to, msg);
+                        dest.enqueue(from, to, msg, now);
                     }
                 }
                 // Hand the (drained, capacity-retaining) buffers back.
@@ -499,12 +575,13 @@ impl<P: Process> Sim<P> {
     /// enqueue (a send to a node id not yet added is kept: the node may join
     /// before the next step).
     fn flush_outgoing(&mut self, from: NodeId) {
+        let now = self.now;
         let s = from.index() % self.n_shards();
         let mut out = std::mem::take(&mut self.shards[s].scratch_out);
         for (to, msg) in out.drain(..) {
             self.shards[s].metrics.on_send(from, msg.class());
             let d = to.index() % self.n_shards();
-            self.shards[d].enqueue(from, to, msg);
+            self.shards[d].enqueue(from, to, msg, now);
         }
         self.shards[s].scratch_out = out;
     }
@@ -855,6 +932,223 @@ mod tests {
                 .collect::<Vec<_>>()
         };
         assert_eq!(with_plan(true), with_plan(false));
+    }
+
+    /// Records every delivery as `(step, sender, tag)` — the probe for the
+    /// event-queue ordering and latency tests below.
+    struct Recorder {
+        peers: Vec<NodeId>,
+        log: Vec<(Step, usize, u64)>,
+    }
+
+    impl Message for (u64,) {
+        fn class(&self) -> MsgClass {
+            MsgClass::Management
+        }
+    }
+
+    impl Process for Recorder {
+        type Msg = (u64,);
+
+        fn on_message(&mut self, from: NodeId, msg: (u64,), ctx: &mut Context<'_, (u64,)>) {
+            self.log.push((ctx.now(), from.index(), msg.0));
+            // A trigger message (tag < 100) makes this node fan its tag out
+            // to every peer from the deliver phase.
+            if msg.0 < 100 {
+                for p in self.peers.clone() {
+                    ctx.send(p, (100 + msg.0,));
+                }
+            }
+        }
+
+        fn on_tick(&mut self, ctx: &mut Context<'_, (u64,)>) {
+            // Every node also sends a tick-tagged message to every peer at
+            // step 1, so deliver-phase and tick-phase sends share timestamps.
+            if ctx.now() == 1 {
+                for p in self.peers.clone() {
+                    ctx.send(p, (200,));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn same_timestamp_orders_deliver_before_tick_then_sender_then_send_order() {
+        // Nodes 0 and 1 each receive a trigger at step 1; both then send to
+        // node 2 from the deliver phase, and all three nodes send to node 2
+        // from the tick phase of the same step. Everything lands at step 2
+        // with unit latency, so node 2's log pins the tie-break order:
+        // deliver-phase sends first (ascending sender), then tick-phase
+        // sends (ascending sender). The order must not depend on the layout.
+        let run = |shards: usize| {
+            let mut sim: Sim<Recorder> = Sim::new_sharded(3, shards);
+            let mk = |peers: Vec<NodeId>| Recorder { peers, log: vec![] };
+            let sink = NodeId::from_index(2);
+            sim.add_node(mk(vec![sink]));
+            sim.add_node(mk(vec![sink]));
+            sim.add_node(mk(vec![]));
+            sim.post(NodeId::from_index(0), (0,));
+            sim.post(NodeId::from_index(1), (1,));
+            sim.run(3);
+            sim.node(sink).unwrap().log.clone()
+        };
+        let serial = run(1);
+        assert_eq!(
+            serial,
+            vec![
+                (2, 0, 100), // deliver-phase, sender 0
+                (2, 1, 101), // deliver-phase, sender 1
+                (2, 0, 200), // tick-phase, sender 0
+                (2, 1, 200), // tick-phase, sender 1
+            ]
+        );
+        for s in [2, 3] {
+            assert_eq!(serial, run(s), "tie-break order diverged at {s} shards");
+        }
+    }
+
+    #[test]
+    fn sampled_latency_defers_delivery_to_the_drawn_step() {
+        // A point-range model: always draws, always 3. A message posted at
+        // step 0 is delivered at step 3, not step 1.
+        let mut sim: Sim<Recorder> = Sim::new(0);
+        sim.set_latency(LatencyModel::Uniform { min: 3, max: 3 });
+        let a = sim.add_node(Recorder {
+            peers: vec![],
+            log: vec![],
+        });
+        sim.post(a, (100,));
+        sim.run(2);
+        assert!(sim.node(a).unwrap().log.is_empty());
+        assert_eq!(sim.snapshot().in_flight, 1);
+        sim.step();
+        assert_eq!(sim.node(a).unwrap().log, vec![(3, 0, 100)]);
+        assert_eq!(sim.snapshot().in_flight, 0);
+    }
+
+    #[test]
+    fn unit_and_point_uniform_runs_are_byte_identical() {
+        // Uniform{1,1} exercises the real sampling + wheel machinery but
+        // every draw yields 1 — the run must be observationally identical to
+        // the draw-free unit model (protocol streams are untouched by the
+        // dedicated latency streams).
+        let run = |model: Option<LatencyModel>, shards: usize| {
+            let mut sim = Sim::new_sharded(7, shards);
+            if let Some(m) = model {
+                sim.set_latency(m);
+            }
+            for _ in 0..5 {
+                sim.add_node(Forwarder { n: 5, seen: vec![] });
+            }
+            sim.post(NodeId::from_index(0), TestMsg::Token(20));
+            sim.run(30);
+            let traces: Vec<_> = sim
+                .node_ids()
+                .into_iter()
+                .map(|id| sim.node(id).unwrap().seen.clone())
+                .collect();
+            (traces, sim.snapshot())
+        };
+        for shards in [1, 2, 4] {
+            assert_eq!(
+                run(None, shards),
+                run(Some(LatencyModel::Uniform { min: 1, max: 1 }), shards),
+                "unit vs point-uniform diverged at {shards} shards"
+            );
+        }
+    }
+
+    #[test]
+    fn nonunit_latency_replays_byte_identically_across_shards() {
+        // The tentpole determinism property under real latency spread: the
+        // per-destination latency streams are consumed in the canonical
+        // enqueue order, so the sharded run equals the serial one.
+        let run = |shards: usize| {
+            let mut sim: Sim<Forwarder> = Sim::new_sharded(13, shards);
+            sim.set_latency(LatencyModel::Bimodal {
+                fast: (1, 2),
+                slow: (5, 9),
+                slow_weight: 0.25,
+            });
+            for _ in 0..7 {
+                sim.add_node(Forwarder { n: 7, seen: vec![] });
+            }
+            sim.fault_plan_mut().set_default_loss(0.2);
+            for i in 0..4 {
+                sim.post(NodeId::from_index(i), TestMsg::Token(30));
+            }
+            sim.run(10);
+            sim.crash(NodeId::from_index(3));
+            sim.run(60);
+            let traces: Vec<_> = sim
+                .node_ids()
+                .into_iter()
+                .map(|id| sim.node(id).unwrap().seen.clone())
+                .collect();
+            (traces, sim.snapshot(), sim.metrics().total_dropped())
+        };
+        let serial = run(1);
+        for s in [2, 3, 4] {
+            assert_eq!(serial, run(s), "diverged at {s} shards");
+        }
+    }
+
+    #[test]
+    fn classed_latency_respects_destination_classes() {
+        // Class 0 (even ids): latency 1. Class 1 (odd ids): exactly 4.
+        let mut sim: Sim<Recorder> = Sim::new(0);
+        sim.set_latency(LatencyModel::Classed {
+            classes: vec![(1, 1), (4, 4)],
+        });
+        let mk = || Recorder {
+            peers: vec![],
+            log: vec![],
+        };
+        let even = sim.add_node(mk());
+        let odd = sim.add_node(mk());
+        sim.post(even, (100,));
+        sim.post(odd, (100,));
+        sim.run(6);
+        assert_eq!(sim.node(even).unwrap().log, vec![(1, 0, 100)]);
+        assert_eq!(sim.node(odd).unwrap().log, vec![(4, 1, 100)]);
+    }
+
+    #[test]
+    fn crash_purges_messages_across_all_wheel_slots() {
+        let mut sim: Sim<Recorder> = Sim::new(0);
+        sim.set_latency(LatencyModel::Uniform { min: 2, max: 6 });
+        let a = sim.add_node(Recorder {
+            peers: vec![],
+            log: vec![],
+        });
+        let b = sim.add_node(Recorder {
+            peers: vec![],
+            log: vec![],
+        });
+        let _ = a;
+        for _ in 0..8 {
+            sim.post(b, (100,));
+        }
+        assert_eq!(sim.snapshot().in_flight, 8);
+        sim.crash(b);
+        assert_eq!(sim.snapshot().in_flight, 0);
+        sim.run(8);
+        assert!(sim.node(b).unwrap().log.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "set_latency must be called before the first step")]
+    fn set_latency_after_a_step_panics() {
+        let mut sim: Sim<Recorder> = Sim::new(0);
+        sim.step();
+        sim.set_latency(LatencyModel::Uniform { min: 1, max: 2 });
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid latency model")]
+    fn set_latency_rejects_bad_models() {
+        let mut sim: Sim<Recorder> = Sim::new(0);
+        sim.set_latency(LatencyModel::Uniform { min: 0, max: 2 });
     }
 
     #[test]

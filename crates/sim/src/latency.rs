@@ -1,0 +1,255 @@
+//! Link-latency models for the event-queue engine.
+//!
+//! Every message is enqueued with a delivery time `now + latency(link)`,
+//! where the latency is sampled at enqueue from the **destination node's**
+//! dedicated latency stream (`docs/determinism.md` explains why the
+//! destination side owns the draw). A model is installed once per run with
+//! [`Sim::set_latency`](crate::Sim::set_latency); the default is
+//! [`LatencyModel::Unit`], which draws nothing and reproduces the classic
+//! cycle-based engine byte-for-byte.
+
+use rand::Rng;
+
+use crate::process::{SimRng, Step};
+
+/// Hard cap on any model's maximum latency, in steps. The timing wheel
+/// allocates `max_latency + 1` slots, so the cap bounds wheel memory; a
+/// model past the cap is a spec mistake (a scenario wanting slower links
+/// should stretch its phase lengths instead).
+pub const MAX_LATENCY: Step = 1024;
+
+/// How many steps a message spends on the wire, as a distribution over links.
+///
+/// Two invariants every variant upholds:
+///
+/// * **Latency is in `[1, max_latency()]`** — a message is never delivered
+///   in the step that sent it, and never overshoots the timing wheel.
+/// * **Sampling variants always draw**, even when the range is a single
+///   point: `Uniform { min: 1, max: 1 }` is observationally equivalent to
+///   [`Unit`](LatencyModel::Unit) but exercises the full sampling + wheel
+///   machinery — the parity that `tests/latency_determinism.rs` pins.
+///   Only `Unit` is draw-free, which is what keeps the default mode
+///   byte-identical to the pre-event-queue engine.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum LatencyModel {
+    /// Every link takes exactly one step: the classic cycle model. Draws
+    /// nothing from any stream.
+    #[default]
+    Unit,
+    /// Latency uniform in `[min, max]` steps on every link. One draw per
+    /// message, even when `min == max`.
+    Uniform {
+        /// Minimum latency, inclusive (≥ 1).
+        min: Step,
+        /// Maximum latency, inclusive (≥ `min`, ≤ [`MAX_LATENCY`]).
+        max: Step,
+    },
+    /// A jitter mixture: with probability `slow_weight` the latency is
+    /// uniform in `slow`, otherwise uniform in `fast`. Exactly two draws
+    /// per message (the branch, then the range), whatever the weight.
+    Bimodal {
+        /// `(min, max)` of the fast mode, inclusive.
+        fast: (Step, Step),
+        /// `(min, max)` of the slow mode, inclusive.
+        slow: (Step, Step),
+        /// Probability of the slow mode, in `[0, 1]`.
+        slow_weight: f64,
+    },
+    /// Per-destination-class latency: node `i` belongs to class
+    /// `i % classes.len()`, and every link **into** it is uniform in that
+    /// class's `(min, max)` range. This models heterogeneous deployments —
+    /// e.g. every 6th node behind a slow last-mile link.
+    Classed {
+        /// `(min, max)` per class, inclusive; non-empty.
+        classes: Vec<(Step, Step)>,
+    },
+}
+
+impl LatencyModel {
+    /// Checks the model's ranges: every `min ≥ 1`, `min ≤ max`,
+    /// `max ≤ `[`MAX_LATENCY`], weights in `[0, 1]`, class lists non-empty.
+    /// Returns a human-readable description of the first violation.
+    pub fn validate(&self) -> Result<(), String> {
+        let range = |what: &str, min: Step, max: Step| -> Result<(), String> {
+            if min < 1 {
+                return Err(format!("{what}: min latency must be >= 1, got {min}"));
+            }
+            if max < min {
+                return Err(format!("{what}: max latency {max} < min latency {min}"));
+            }
+            if max > MAX_LATENCY {
+                return Err(format!(
+                    "{what}: max latency {max} exceeds the cap {MAX_LATENCY}"
+                ));
+            }
+            Ok(())
+        };
+        match self {
+            LatencyModel::Unit => Ok(()),
+            LatencyModel::Uniform { min, max } => range("uniform", *min, *max),
+            LatencyModel::Bimodal {
+                fast,
+                slow,
+                slow_weight,
+            } => {
+                range("bimodal.fast", fast.0, fast.1)?;
+                range("bimodal.slow", slow.0, slow.1)?;
+                if !slow_weight.is_finite() || !(0.0..=1.0).contains(slow_weight) {
+                    return Err(format!(
+                        "bimodal.slow_weight must be in [0, 1], got {slow_weight}"
+                    ));
+                }
+                Ok(())
+            }
+            LatencyModel::Classed { classes } => {
+                if classes.is_empty() {
+                    return Err("classed: at least one latency class is required".into());
+                }
+                for (i, (min, max)) in classes.iter().enumerate() {
+                    range(&format!("classed.classes[{i}]"), *min, *max)?;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// The largest latency this model can ever sample. Sizes the timing
+    /// wheel (`max_latency() + 1` slots).
+    pub fn max_latency(&self) -> Step {
+        match self {
+            LatencyModel::Unit => 1,
+            LatencyModel::Uniform { max, .. } => *max,
+            LatencyModel::Bimodal { fast, slow, .. } => fast.1.max(slow.1),
+            LatencyModel::Classed { classes } => {
+                classes.iter().map(|(_, max)| *max).max().unwrap_or(1)
+            }
+        }
+    }
+
+    /// Whether this is the draw-free unit model (the engine's fast path:
+    /// no stream is derived, no draw is made, latency is the constant 1).
+    pub fn is_unit(&self) -> bool {
+        matches!(self, LatencyModel::Unit)
+    }
+
+    /// Samples the latency of one message into destination node index
+    /// `dest`, drawing from that destination's dedicated latency stream.
+    pub fn sample(&self, dest: usize, rng: &mut SimRng) -> Step {
+        match self {
+            LatencyModel::Unit => 1,
+            LatencyModel::Uniform { min, max } => rng.random_range(*min..=*max),
+            LatencyModel::Bimodal {
+                fast,
+                slow,
+                slow_weight,
+            } => {
+                // Always both draws, in this order, so the draw sequence is
+                // independent of the sampled values.
+                let slow_pick = rng.random::<f64>() < *slow_weight;
+                let (min, max) = if slow_pick { *slow } else { *fast };
+                rng.random_range(min..=max)
+            }
+            LatencyModel::Classed { classes } => {
+                let (min, max) = classes[dest % classes.len()];
+                rng.random_range(min..=max)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn validate_catches_bad_ranges() {
+        assert!(LatencyModel::Unit.validate().is_ok());
+        assert!(LatencyModel::Uniform { min: 1, max: 4 }.validate().is_ok());
+        assert!(LatencyModel::Uniform { min: 0, max: 4 }.validate().is_err());
+        assert!(LatencyModel::Uniform { min: 5, max: 4 }.validate().is_err());
+        assert!(LatencyModel::Uniform {
+            min: 1,
+            max: MAX_LATENCY + 1
+        }
+        .validate()
+        .is_err());
+        assert!(LatencyModel::Bimodal {
+            fast: (1, 2),
+            slow: (4, 8),
+            slow_weight: 1.5
+        }
+        .validate()
+        .is_err());
+        assert!(LatencyModel::Classed { classes: vec![] }
+            .validate()
+            .is_err());
+        assert!(LatencyModel::Classed {
+            classes: vec![(1, 2), (6, 10)]
+        }
+        .validate()
+        .is_ok());
+    }
+
+    #[test]
+    fn samples_stay_in_range() {
+        let mut rng = SimRng::seed_from_u64(1);
+        let uni = LatencyModel::Uniform { min: 2, max: 5 };
+        let bi = LatencyModel::Bimodal {
+            fast: (1, 2),
+            slow: (6, 9),
+            slow_weight: 0.3,
+        };
+        let classed = LatencyModel::Classed {
+            classes: vec![(1, 1), (4, 7)],
+        };
+        for dest in 0..64 {
+            let u = uni.sample(dest, &mut rng);
+            assert!((2..=5).contains(&u));
+            let b = bi.sample(dest, &mut rng);
+            assert!((1..=2).contains(&b) || (6..=9).contains(&b));
+            let c = classed.sample(dest, &mut rng);
+            if dest % 2 == 0 {
+                assert_eq!(c, 1);
+            } else {
+                assert!((4..=7).contains(&c));
+            }
+        }
+    }
+
+    #[test]
+    fn max_latency_covers_every_variant() {
+        assert_eq!(LatencyModel::Unit.max_latency(), 1);
+        assert_eq!(LatencyModel::Uniform { min: 1, max: 7 }.max_latency(), 7);
+        assert_eq!(
+            LatencyModel::Bimodal {
+                fast: (1, 2),
+                slow: (4, 9),
+                slow_weight: 0.1
+            }
+            .max_latency(),
+            9
+        );
+        assert_eq!(
+            LatencyModel::Classed {
+                classes: vec![(1, 2), (6, 10), (1, 1)]
+            }
+            .max_latency(),
+            10
+        );
+    }
+
+    #[test]
+    fn point_ranges_still_draw() {
+        // Uniform{1,1} must consume exactly one draw per sample: the stream
+        // position after k samples differs from an untouched stream.
+        let mut a = SimRng::seed_from_u64(9);
+        let mut b = SimRng::seed_from_u64(9);
+        let m = LatencyModel::Uniform { min: 1, max: 1 };
+        for _ in 0..5 {
+            assert_eq!(m.sample(0, &mut a), 1);
+        }
+        use rand::Rng;
+        assert_ne!(a.random::<u64>(), b.random::<u64>());
+    }
+}

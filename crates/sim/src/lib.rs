@@ -1,16 +1,21 @@
-//! A deterministic, cycle-based discrete-event simulator.
+//! A deterministic discrete-event simulator with timestamped delivery.
 //!
 //! This is the evaluation substrate of the DPS reproduction. The paper (§5.2)
 //! evaluates DPS "using an event-based simulator we developed"; the properties it
 //! states are: the simulation is *cycle based*, messages travel between neighbors
 //! with (implicitly) unit latency, nodes join, leave and crash, and heartbeat-based
 //! failure detection runs between neighbors with detection intervals drawn uniformly
-//! from 10 to 25 steps. This crate implements exactly that machine:
+//! from 10 to 25 steps. This crate implements that machine as the latency ≡ 1
+//! special case of a timestamped event queue:
 //!
-//! * [`Sim`] advances in discrete steps; a message sent at step *t* is delivered at
-//!   step *t + 1*; within a step, deliveries and ticks happen in deterministic
-//!   order (by destination node id, then send order), so a run is a pure function
-//!   of its RNG seed.
+//! * [`Sim`] advances in discrete steps; a message sent at step *t* is enqueued
+//!   with delivery time *t + latency(link)*, the latency sampled per the
+//!   installed [`LatencyModel`] ([`Sim::set_latency`]) from the destination's
+//!   dedicated RNG stream. The default [`LatencyModel::Unit`] delivers at
+//!   *t + 1* without drawing anything — the paper's cycle model, byte for
+//!   byte. Within a step, deliveries and ticks happen in deterministic order
+//!   (by destination node id, then send order), so a run is a pure function
+//!   of its RNG seed. Ticks are the period-1 timer events of the timeline.
 //! * One run can use **several cores**: [`Sim::new_sharded`] partitions the
 //!   nodes across `S` shards that advance in parallel each step on a
 //!   persistent worker pool (spawned once, parked between steps, joined on
@@ -69,6 +74,7 @@
 mod churn;
 mod engine;
 mod fault;
+mod latency;
 mod metrics;
 mod pool;
 mod process;
@@ -77,5 +83,8 @@ mod shard;
 pub use churn::{ChurnEvent, ChurnPlan};
 pub use engine::{Sim, SimSnapshot};
 pub use fault::{CutDir, FaultPlan, PartitionWindow};
-pub use metrics::{ClassCounts, Dir, DropReason, Metrics, Stat, WindowStat};
+pub use latency::{LatencyModel, MAX_LATENCY};
+pub use metrics::{
+    ClassCounts, Dir, DropReason, LatencyHistogram, LatencySummary, Metrics, Stat, WindowStat,
+};
 pub use process::{Context, Message, MsgClass, NodeId, Process, SimRng, Step};

@@ -72,6 +72,89 @@ impl DropReason {
     }
 }
 
+/// An accumulator of publish→deliver latency samples (in steps), summarized
+/// into the percentiles production asks of a pub/sub system.
+///
+/// Samples are recorded by the measurement layer (e.g. the `dps` facade,
+/// which computes `first-notify step − publish step` per `(publication,
+/// subscriber)` pair) and summarized with the **nearest-rank** method — a
+/// percentile is always an observed sample, never an interpolation, which
+/// keeps summaries byte-stable across platforms.
+#[derive(Debug, Clone, Default)]
+pub struct LatencyHistogram {
+    samples: Vec<u64>,
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram::default()
+    }
+
+    /// Records one latency sample (steps from publish to first delivery).
+    pub fn record(&mut self, latency: u64) {
+        self.samples.push(latency);
+    }
+
+    /// Number of samples recorded.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no sample has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Folds another histogram's samples into this one.
+    pub fn absorb(&mut self, other: &LatencyHistogram) {
+        self.samples.extend_from_slice(&other.samples);
+    }
+
+    /// Summarizes the samples into nearest-rank percentiles. An empty
+    /// histogram summarizes to all zeros with `samples == 0` — callers that
+    /// must distinguish "no traffic" from "instant" check the count.
+    pub fn summary(&self) -> LatencySummary {
+        if self.samples.is_empty() {
+            return LatencySummary::default();
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        let nearest = |q_num: usize, q_den: usize| -> u64 {
+            // Nearest-rank in integer arithmetic: rank = ceil(q * n), 1-based.
+            let n = sorted.len();
+            let rank = (q_num * n).div_ceil(q_den).max(1);
+            sorted[rank - 1]
+        };
+        LatencySummary {
+            samples: sorted.len() as u64,
+            p50: nearest(1, 2) as f64,
+            p99: nearest(99, 100) as f64,
+            p999: nearest(999, 1000) as f64,
+            max: *sorted.last().unwrap() as f64,
+            mean: sorted.iter().sum::<u64>() as f64 / sorted.len() as f64,
+        }
+    }
+}
+
+/// Nearest-rank percentile summary of a [`LatencyHistogram`], in steps.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize)]
+pub struct LatencySummary {
+    /// Number of samples behind the summary (0 means every field is 0 and
+    /// means nothing).
+    pub samples: u64,
+    /// Median publish→deliver latency.
+    pub p50: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// 99.9th percentile.
+    pub p999: f64,
+    /// Worst observed sample.
+    pub max: f64,
+    /// Mean over all samples.
+    pub mean: f64,
+}
+
 /// Median / max / mean summary of a per-node quantity within one window.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Serialize)]
 pub struct Stat {
@@ -376,6 +459,34 @@ mod tests {
         for w in m.sent_series(&MsgClass::ALL) {
             assert_eq!(w.stat.max, 0.0);
         }
+    }
+
+    #[test]
+    fn latency_histogram_nearest_rank() {
+        let mut h = LatencyHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.summary(), LatencySummary::default());
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        let s = h.summary();
+        assert_eq!(s.samples, 100);
+        assert_eq!(s.p50, 50.0); // nearest-rank: ceil(0.5 * 100) = rank 50
+        assert_eq!(s.p99, 99.0);
+        assert_eq!(s.p999, 100.0); // ceil(0.999 * 100) = rank 100
+        assert_eq!(s.max, 100.0);
+        assert_eq!(s.mean, 50.5);
+        // Percentiles are observed samples, even for tiny populations.
+        let mut tiny = LatencyHistogram::new();
+        tiny.record(7);
+        let t = tiny.summary();
+        assert_eq!((t.p50, t.p99, t.p999, t.max), (7.0, 7.0, 7.0, 7.0));
+        // Absorb folds sample sets.
+        let mut other = LatencyHistogram::new();
+        other.record(1000);
+        h.absorb(&other);
+        assert_eq!(h.len(), 101);
+        assert_eq!(h.summary().max, 1000.0);
     }
 
     #[test]

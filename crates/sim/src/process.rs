@@ -138,8 +138,9 @@ impl<'a, M: Message> Context<'a, M> {
         self.now
     }
 
-    /// Sends `msg` to `to`; it will be delivered at the next step (if `to` is then
-    /// alive). Sending to self is allowed and also takes one step.
+    /// Sends `msg` to `to`; it will be delivered after the link's sampled
+    /// latency — the next step under the default unit model (if `to` is then
+    /// alive). Sending to self is allowed and takes the same latency.
     pub fn send(&mut self, to: NodeId, msg: M) {
         self.out.push((to, msg));
     }

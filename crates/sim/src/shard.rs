@@ -14,9 +14,13 @@
 //! Each shard also owns the [`Metrics`] partial for its nodes and the alive
 //! bookkeeping for its slots; the engine merges partials at snapshot time.
 
+use std::sync::Arc;
+
 use rand::Rng;
 
+use crate::engine::latency_rng;
 use crate::fault::FaultPlan;
+use crate::latency::LatencyModel;
 use crate::metrics::{DropReason, Metrics};
 use crate::process::{Context, Message, NodeId, Process, SimRng, Step};
 
@@ -85,10 +89,28 @@ pub(crate) struct Shard<P: Process> {
     pub(crate) rngs: Vec<SimRng>,
     /// Alive nodes among the local slots (maintained incrementally).
     pub(crate) alive_count: usize,
-    /// Messages to deliver at the next step, bucketed by local destination.
-    pub(crate) next_inboxes: Vec<Vec<Inflight<P::Msg>>>,
-    /// Last step's buckets, kept to be swapped back in (double buffer).
-    pub(crate) spare_inboxes: Vec<Vec<Inflight<P::Msg>>>,
+    /// The timing wheel: in-flight messages, bucketed first by wheel slot
+    /// (`deliver_at % wheel.len()`), then by local destination. The wheel
+    /// has `max_latency + 1` slots (always ≥ 2); latencies are in
+    /// `[1, wheel.len() - 1]`, so every pending delivery time maps to a
+    /// distinct slot and an enqueue can never target the slot currently
+    /// being drained. The classic double-buffered inbox pair is exactly the
+    /// 2-slot wheel the draw-free unit model sizes.
+    pub(crate) wheel: Vec<Vec<Vec<Inflight<P::Msg>>>>,
+    /// The link-latency model, shared with the engine and every sibling
+    /// shard (installed before the first step, immutable afterwards).
+    pub(crate) latency: Arc<LatencyModel>,
+    /// Dedicated per-node **latency** streams, parallel to `procs` but grown
+    /// lazily (only non-unit models ever derive one): slot `l`'s stream is a
+    /// pure function of `(seed, global id)`, touched only when sampling the
+    /// latency of a message *into* that node. Kept apart from `rngs` so a
+    /// latency draw never perturbs protocol or loss draws — and because the
+    /// enqueue-order of a destination's inbound messages is canonical across
+    /// shard layouts, while the *interleaving* of enqueues across
+    /// destinations is not.
+    pub(crate) lat_rngs: Vec<SimRng>,
+    /// Seed the lazy `lat_rngs` derivation uses.
+    pub(crate) seed: u64,
     /// Reusable buffer behind [`Context::send`]; drained after every handler.
     pub(crate) scratch_out: Vec<(NodeId, P::Msg)>,
     /// Per-destination-shard staging outboxes (length = shard count), filled
@@ -97,20 +119,22 @@ pub(crate) struct Shard<P: Process> {
     /// Traffic partial for this shard's nodes (indexed by global node id;
     /// remote nodes' slots stay zero). Merged at snapshot time.
     pub(crate) metrics: Metrics,
-    /// Deliverable messages queued in `next_inboxes`.
+    /// Deliverable messages queued in the wheel (all slots).
     pub(crate) in_flight: usize,
 }
 
 impl<P: Process> Shard<P> {
-    pub(crate) fn new(index: usize, n_shards: usize, metrics_window: Step) -> Self {
+    pub(crate) fn new(index: usize, n_shards: usize, metrics_window: Step, seed: u64) -> Self {
         Shard {
             index,
             procs: Vec::new(),
             alive: Vec::new(),
             rngs: Vec::new(),
             alive_count: 0,
-            next_inboxes: Vec::new(),
-            spare_inboxes: Vec::new(),
+            wheel: (0..2).map(|_| Vec::new()).collect(),
+            latency: Arc::new(LatencyModel::Unit),
+            lat_rngs: Vec::new(),
+            seed,
             scratch_out: Vec::new(),
             staging: (0..n_shards).map(|_| StagingOutbox::new()).collect(),
             metrics: Metrics::new(metrics_window),
@@ -128,45 +152,86 @@ impl<P: Process> Shard<P> {
         NodeId::from_index(l * self.n_shards() + self.index)
     }
 
-    /// Enqueues a message into this shard's next-step buckets, applying the
-    /// engine's drop-at-enqueue rule: sends to already-crashed nodes drop
-    /// (accounted), sends to not-yet-added nodes are kept (the node may join
-    /// before the next step). Used both by the barrier merge and by the
-    /// serial driver paths (`post`, `invoke`, `add_node` flushes).
-    pub(crate) fn enqueue(&mut self, from: NodeId, to: NodeId, msg: P::Msg) {
+    /// Enqueues a message into this shard's timing wheel at slot
+    /// `(now + latency) % wheel.len()`, sampling the latency from the
+    /// destination's dedicated stream (the draw-free unit model skips the
+    /// stream entirely), and applying the engine's drop-at-enqueue rule:
+    /// sends to already-crashed nodes drop (accounted, no latency draw),
+    /// sends to not-yet-added nodes are kept (the node may join before the
+    /// delivery step). Used both by the barrier merge and by the serial
+    /// driver paths (`post`, `invoke`, `add_node` flushes) — one code path,
+    /// so the crashed-check/draw order is identical whatever the layout.
+    pub(crate) fn enqueue(&mut self, from: NodeId, to: NodeId, msg: P::Msg, now: Step) {
         let l = to.index() / self.n_shards();
         if self.alive.get(l).is_some_and(|a| !*a) {
             self.metrics.on_drop(DropReason::Crashed, msg.class());
             return;
         }
-        if l >= self.next_inboxes.len() {
-            self.next_inboxes.resize_with(l + 1, Vec::new);
+        let delay = self.sample_latency(to, l);
+        let wheel_len = self.wheel.len() as Step;
+        debug_assert!(
+            delay >= 1 && delay < wheel_len,
+            "latency {delay} outside the wheel's [1, {}] range",
+            wheel_len - 1
+        );
+        let slot = ((now + delay) % wheel_len) as usize;
+        let buckets = &mut self.wheel[slot];
+        if l >= buckets.len() {
+            buckets.resize_with(l + 1, Vec::new);
         }
-        self.next_inboxes[l].push(Inflight { from, msg });
+        buckets[l].push(Inflight { from, msg });
         self.in_flight += 1;
     }
 
-    /// Drops every message queued to local slot `l` (a crash purge), keeping
-    /// `in_flight` counting deliverable messages only.
+    /// Samples the link latency of one message into local slot `l` (global
+    /// id `to`). `Unit` is the fast path: constant 1, no stream derived, no
+    /// draw made. Every other model draws from the destination's dedicated
+    /// latency stream, derived lazily on first use — a pure function of
+    /// `(seed, global id)`, never reset, so partially consumed streams
+    /// survive node joins.
+    fn sample_latency(&mut self, to: NodeId, l: usize) -> Step {
+        if self.latency.is_unit() {
+            return 1;
+        }
+        let n = self.n_shards();
+        while self.lat_rngs.len() <= l {
+            let idx = self.lat_rngs.len() * n + self.index;
+            self.lat_rngs.push(latency_rng(self.seed, idx));
+        }
+        self.latency.sample(to.index(), &mut self.lat_rngs[l])
+    }
+
+    /// Drops every message queued to local slot `l` (a crash purge) across
+    /// **all** wheel slots, keeping `in_flight` counting deliverable
+    /// messages only.
     pub(crate) fn purge_queued(&mut self, l: usize) {
-        if let Some(bucket) = self.next_inboxes.get_mut(l) {
-            for env in bucket.drain(..) {
-                self.metrics.on_drop(DropReason::Crashed, env.msg.class());
-                self.in_flight -= 1;
+        for slot in &mut self.wheel {
+            if let Some(bucket) = slot.get_mut(l) {
+                for env in bucket.drain(..) {
+                    self.metrics.on_drop(DropReason::Crashed, env.msg.class());
+                    self.in_flight -= 1;
+                }
             }
         }
     }
 
-    /// Advances this shard's nodes one step: delivers the local buckets filled
-    /// last step (in ascending destination id, then arrival order), then ticks
+    /// Advances this shard's nodes one step: delivers the wheel slot due at
+    /// `now` (in ascending destination id, then arrival order), then ticks
     /// every alive local node (ascending id). All sends — even those to local
     /// destinations — go to the staging outboxes; the engine merges them at
     /// the barrier so bucket order is canonical whatever the shard count.
     ///
+    /// Ticks are the period-1 timer events of the event timeline: every alive
+    /// node holds a standing timer that fires each step, so the tick loop
+    /// *is* the timer queue, kept implicit because materializing one event
+    /// per node per step would buy nothing.
+    ///
     /// Runs with no access to any other shard: loss sampling draws from the
     /// *destination* node's RNG stream, and the fault plan is consulted
     /// read-only (the shard-safe interface to `FaultPlan` — partitions and
-    /// loss rates are pure lookups; the only sampling is local).
+    /// loss rates are pure lookups; the only sampling is local). Fault and
+    /// loss windows are evaluated **at delivery time** (`now`), not at send
+    /// time, so a message in flight across a partition onset is cut.
     pub(crate) fn step_local(
         &mut self,
         now: Step,
@@ -174,14 +239,15 @@ impl<P: Process> Shard<P> {
         partition_active: bool,
         loss_active: bool,
     ) {
-        // Swap in the spare buckets to collect next step's merges; deliver
-        // from the buckets filled last step. Capacity is retained end to end.
-        let mut cur = std::mem::take(&mut self.next_inboxes);
-        std::mem::swap(&mut self.next_inboxes, &mut self.spare_inboxes);
-        if self.next_inboxes.len() < self.procs.len() {
-            self.next_inboxes.resize_with(self.procs.len(), Vec::new);
-        }
-        self.in_flight = 0;
+        // Detach the wheel slot due at `now`. Latencies are in
+        // [1, wheel_len - 1], so nothing enqueued while delivering (the
+        // single-shard fast path enqueues inline) can target this slot —
+        // the empty placeholder left by `take` is never touched, and the
+        // drained buckets are handed back below, capacity retained.
+        let wheel_len = self.wheel.len() as Step;
+        let slot = (now % wheel_len) as usize;
+        let mut cur = std::mem::take(&mut self.wheel[slot]);
+        self.in_flight -= cur.iter().map(Vec::len).sum::<usize>();
 
         // Deliver.
         for (l, inbox) in cur.iter_mut().enumerate() {
@@ -217,11 +283,11 @@ impl<P: Process> Shard<P> {
                     out: &mut self.scratch_out,
                 };
                 self.procs[l].on_message(from, msg, &mut ctx);
-                self.stage_outgoing(to, Phase::Deliver);
+                self.stage_outgoing(to, Phase::Deliver, now);
             }
             *inbox = bucket;
         }
-        self.spare_inboxes = cur;
+        self.wheel[slot] = cur;
 
         // Tick.
         for l in 0..self.procs.len() {
@@ -236,7 +302,7 @@ impl<P: Process> Shard<P> {
                 out: &mut self.scratch_out,
             };
             self.procs[l].on_tick(&mut ctx);
-            self.stage_outgoing(id, Phase::Tick);
+            self.stage_outgoing(id, Phase::Tick, now);
         }
     }
 
@@ -249,12 +315,12 @@ impl<P: Process> Shard<P> {
     /// order already *is* the canonical merged order, so sends enqueue
     /// directly — the default `DPS_SHARDS=1` configuration must not pay a
     /// staging round-trip per message for a merge with nothing to merge.
-    fn stage_outgoing(&mut self, from: NodeId, phase: Phase) {
+    fn stage_outgoing(&mut self, from: NodeId, phase: Phase, now: Step) {
         if self.staging.len() == 1 {
             let mut out = std::mem::take(&mut self.scratch_out);
             for (to, msg) in out.drain(..) {
                 self.metrics.on_send(from, msg.class());
-                self.enqueue(from, to, msg);
+                self.enqueue(from, to, msg, now);
             }
             self.scratch_out = out;
             return;
