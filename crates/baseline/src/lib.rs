@@ -26,7 +26,7 @@
 use std::collections::HashSet;
 use std::sync::Arc;
 
-use dps_content::{match_mode, Event, Filter, FilterIndex, MatchMode, MatchScratch};
+use dps_content::{match_mode, Event, Filter, FilterIndex, MatchMode, MatchScratch, SharedEvent};
 use dps_overlay::{CountingSink, PubId, StatsSink};
 use dps_sim::{Context, Message, MsgClass, NodeId, Process, Sim};
 use rand::Rng;
@@ -35,7 +35,9 @@ use rand::Rng;
 #[derive(Debug, Clone)]
 pub struct Flood {
     id: PubId,
-    event: Event,
+    /// Refcounted: re-flooding to every neighbor clones the `Arc`, so the
+    /// whole broadcast shares the publisher's one allocation.
+    event: SharedEvent,
 }
 
 impl Message for Flood {
@@ -150,7 +152,10 @@ impl BroadcastNet {
         self.sim.invoke(node, |n, ctx| {
             let id = PubId(n.id, n.next_pub);
             n.next_pub += 1;
-            let msg = Flood { id, event };
+            let msg = Flood {
+                id,
+                event: event.into(),
+            };
             n.deliver(&msg, ctx);
             out = Some(id);
         });

@@ -49,7 +49,7 @@
 use std::collections::{BTreeMap, HashMap};
 use std::sync::{Arc, OnceLock};
 
-use crate::{AttrName, Event, Filter, Op, Value};
+use crate::{AttrName, Event, Filter, Op, SharedFilter, Value};
 
 /// Which matcher the delivery paths use: the linear scan oracle or the
 /// counting-algorithm [`FilterIndex`]. Selected process-wide by the
@@ -106,7 +106,7 @@ type SlotId = u32;
 /// array and the `handles` map).
 #[derive(Debug, Clone)]
 struct Slot {
-    filter: Filter,
+    filter: SharedFilter,
 }
 
 /// Sentinel slot marking a tombstoned `flat` entry in [`RangePostings`]
@@ -608,6 +608,12 @@ impl<H: Copy + Ord> FilterIndex<H> {
 
     /// The first filter registered under `handle`, if any.
     pub fn get(&self, handle: H) -> Option<&Filter> {
+        self.get_shared(handle).map(|f| f.inner())
+    }
+
+    /// Like [`FilterIndex::get`], but exposes the refcounted wrapper so a
+    /// caller can share the stored filter without re-allocating it.
+    pub fn get_shared(&self, handle: H) -> Option<&SharedFilter> {
         let slot = *self.handles.get(&handle)?.first()?;
         self.slots[slot as usize].as_ref().map(|s| &s.filter)
     }
@@ -619,7 +625,7 @@ impl<H: Copy + Ord> FilterIndex<H> {
             slots.iter().filter_map(move |s| {
                 self.slots[*s as usize]
                     .as_ref()
-                    .map(|slot| (*h, &slot.filter))
+                    .map(|slot| (*h, slot.filter.inner()))
             })
         })
     }
@@ -631,7 +637,8 @@ impl<H: Copy + Ord> FilterIndex<H> {
     ///
     /// Panics on a filter of 65536+ predicates (the packed satisfied-count
     /// is 16-bit; real filters are conjunctions of a handful).
-    pub fn insert(&mut self, handle: H, filter: Filter) {
+    pub fn insert(&mut self, handle: H, filter: impl Into<SharedFilter>) {
+        let filter = filter.into();
         assert!(
             filter.len() <= u16::MAX as usize,
             "FilterIndex: filter arity {} exceeds the 16-bit counting range",
@@ -1056,11 +1063,11 @@ mod tests {
     #[test]
     fn string_sub_indexes() {
         let mut idx: FilterIndex<u32> = FilterIndex::new();
-        idx.insert(0, Predicate::str_eq("c", "abc").into());
-        idx.insert(1, Predicate::prefix("c", "ab").into());
-        idx.insert(2, Predicate::suffix("c", "bc").into());
-        idx.insert(3, Predicate::contains("c", "b").into());
-        idx.insert(4, Predicate::prefix("c", "").into()); // matches any string
+        idx.insert(0, Filter::from(Predicate::str_eq("c", "abc")));
+        idx.insert(1, Filter::from(Predicate::prefix("c", "ab")));
+        idx.insert(2, Filter::from(Predicate::suffix("c", "bc")));
+        idx.insert(3, Filter::from(Predicate::contains("c", "b")));
+        idx.insert(4, Filter::from(Predicate::prefix("c", ""))); // matches any string
         let e = ev(&[("c", Value::from("abc"))]);
         assert_eq!(idx.matching(&e), vec![0, 1, 2, 3, 4]);
         let e = ev(&[("c", Value::from("zb"))]);

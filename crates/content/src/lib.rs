@@ -45,6 +45,7 @@ mod filter;
 mod index;
 mod parse;
 mod predicate;
+mod shared;
 
 pub mod placement;
 #[cfg(feature = "proptest-support")]
@@ -56,3 +57,4 @@ pub use filter::Filter;
 pub use index::{match_mode, FilterIndex, MatchMode, MatchScratch};
 pub use parse::ParseError;
 pub use predicate::{Op, Predicate, TypeMismatchError};
+pub use shared::{SharedEvent, SharedFilter};

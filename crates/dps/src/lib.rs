@@ -40,7 +40,9 @@
 
 mod network;
 
-pub use dps_content::{AttrName, AttrType, Event, Filter, Op, ParseError, Predicate, Value};
+pub use dps_content::{
+    AttrName, AttrType, Event, Filter, Op, ParseError, Predicate, SharedEvent, SharedFilter, Value,
+};
 pub use dps_overlay::{
     model, CommKind, CountingSink, DpsConfig, DpsMsg, DpsNode, GroupLabel, JoinRule, PubId,
     StatsSink, SubId, TraversalKind,

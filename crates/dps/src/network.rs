@@ -4,7 +4,7 @@
 use std::collections::HashSet;
 use std::sync::Arc;
 
-use dps_content::{match_mode, Event, Filter, FilterIndex, MatchMode, MatchScratch};
+use dps_content::{match_mode, Event, Filter, FilterIndex, MatchMode, MatchScratch, SharedFilter};
 use dps_overlay::model::ForestModel;
 use dps_overlay::{CountingSink, DpsConfig, DpsNode, GroupLabel, JoinRule, PubId, SubId};
 use dps_sim::{
@@ -165,6 +165,9 @@ impl DpsNetwork {
             JoinRule::First => 0,
             JoinRule::Explicit => self.rng.random_range(0..filter.predicates().len()),
         };
+        // Wrap once; the oracle, the node's filter index and the facade
+        // registry all share this one allocation.
+        let filter = SharedFilter::from(filter);
         self.oracle.subscribe(node, &filter, join_idx);
         let mut out = None;
         let f = filter.clone();

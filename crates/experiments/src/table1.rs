@@ -120,7 +120,7 @@ pub fn run_workload(w: &Workload, scale: Scale, seed: u64) -> Table1Row {
         }
     } {
         for node in batch {
-            let filter = w.subscription(&mut rng);
+            let filter = dps::SharedFilter::from(w.subscription(&mut rng));
             let join_idx = rng.random_range(0..filter.predicates().len());
             oracle.subscribe(node, &filter, join_idx);
             let f = filter.clone();

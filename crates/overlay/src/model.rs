@@ -15,7 +15,7 @@ use std::collections::{BTreeMap, HashSet};
 
 use dps_content::placement::{choose_branch, must_reparent};
 use dps_content::{
-    match_mode, AttrName, Event, Filter, FilterIndex, MatchMode, MatchScratch, Predicate,
+    match_mode, AttrName, Event, FilterIndex, MatchMode, MatchScratch, Predicate, SharedFilter,
 };
 use dps_sim::NodeId;
 use serde::Serialize;
@@ -295,7 +295,7 @@ impl TreeModel {
 #[derive(Debug, Clone, Default)]
 pub struct ForestModel {
     trees: BTreeMap<AttrName, TreeModel>,
-    subscriptions: Vec<(NodeId, Filter)>,
+    subscriptions: Vec<(NodeId, SharedFilter)>,
     /// Counting-algorithm index over `subscriptions` (handle = position in
     /// the vector), so oracle matching scales past broker-grade populations.
     index: FilterIndex<u32>,
@@ -332,7 +332,7 @@ impl ForestModel {
     pub fn subscribe(
         &mut self,
         node: NodeId,
-        filter: &Filter,
+        filter: &SharedFilter,
         join_idx: usize,
     ) -> (AttrName, Predicate) {
         let pred = filter.predicates()[join_idx].clone();
@@ -341,6 +341,7 @@ impl ForestModel {
             .entry(attr.clone())
             .or_insert_with(|| TreeModel::new(attr.clone()))
             .insert(&pred, node);
+        // Both the index and the registry share the caller's allocation.
         self.index
             .insert(self.subscriptions.len() as u32, filter.clone());
         self.subscriptions.push((node, filter.clone()));
@@ -358,7 +359,7 @@ impl ForestModel {
     }
 
     /// All registered `(subscriber, filter)` pairs.
-    pub fn subscriptions(&self) -> &[(NodeId, Filter)] {
+    pub fn subscriptions(&self) -> &[(NodeId, SharedFilter)] {
         &self.subscriptions
     }
 
@@ -545,9 +546,27 @@ mod tests {
     fn forest_oracle() {
         let mut f = ForestModel::new();
         // s0: a>2 & b>0 joins via a>2; s3: b>3 & c=abc joins via b>3.
-        f.subscribe(n(0), &"a > 2 & b > 0".parse().unwrap(), 0);
-        f.subscribe(n(3), &"b > 3 & c = abc".parse().unwrap(), 0);
-        f.subscribe(n(9), &"a < 11".parse().unwrap(), 0);
+        f.subscribe(
+            n(0),
+            &"a > 2 & b > 0"
+                .parse::<dps_content::Filter>()
+                .unwrap()
+                .into(),
+            0,
+        );
+        f.subscribe(
+            n(3),
+            &"b > 3 & c = abc"
+                .parse::<dps_content::Filter>()
+                .unwrap()
+                .into(),
+            0,
+        );
+        f.subscribe(
+            n(9),
+            &"a < 11".parse::<dps_content::Filter>().unwrap().into(),
+            0,
+        );
         let ev: Event = "a = 4 & b = 5".parse().unwrap();
         // Matching: s0 (a>2 & b>0: 4>2, 5>0 ✓), s3 (b>3 ✓ but c missing ✗), s9 ✓.
         let matching = f.matching_subscribers(&ev);

@@ -1,6 +1,6 @@
 //! Wire messages of the DPS protocol, plus the descriptors they carry.
 
-use dps_content::{AttrName, Event, Predicate};
+use dps_content::{AttrName, Predicate, SharedEvent};
 use dps_sim::{Message, MsgClass, NodeId};
 use serde::{Deserialize, Serialize};
 
@@ -83,8 +83,9 @@ pub struct Ticket {
 pub struct PubTicket {
     /// Publication id.
     pub id: PubId,
-    /// The event itself.
-    pub event: Event,
+    /// The event itself (refcounted: forwarding a ticket to N branches clones
+    /// the `Arc`, never the attribute vector).
+    pub event: SharedEvent,
     /// The attribute tree being visited.
     pub attr: AttrName,
     /// Traversal mode in force.
@@ -256,8 +257,9 @@ pub enum DpsMsg {
     PublishGroup {
         /// Publication id.
         id: PubId,
-        /// The event.
-        event: Event,
+        /// The event (refcounted; group spread and gossip rounds share one
+        /// allocation).
+        event: SharedEvent,
         /// Group concerned (receiver's membership).
         label: GroupLabel,
     },
@@ -399,7 +401,7 @@ mod tests {
         assert_eq!(ping.class(), MsgClass::Management);
         let pt = PubTicket {
             id: PubId(NodeId::from_index(0), 0),
-            event: "a = 1".parse().unwrap(),
+            event: "a = 1".parse::<dps_content::Event>().unwrap().into(),
             attr: "a".into(),
             mode: TraversalKind::Root,
             target: None,

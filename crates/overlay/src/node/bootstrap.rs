@@ -349,7 +349,7 @@ impl DpsNode {
         }
         // Publications waiting for this tree: (re)send them; the attribute stays
         // pending until a tree member acknowledges.
-        let ready: Vec<(crate::msg::PubId, dps_content::Event)> = self
+        let ready: Vec<(crate::msg::PubId, dps_content::SharedEvent)> = self
             .pending_pubs
             .iter()
             .filter(|p| p.attrs.contains(attr))

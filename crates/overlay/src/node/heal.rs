@@ -5,7 +5,7 @@
 
 use std::collections::BTreeSet;
 
-use dps_content::Event;
+use dps_content::SharedEvent;
 use dps_sim::{Context, NodeId};
 use rand::seq::IteratorRandom;
 use rand::Rng;
@@ -1148,7 +1148,7 @@ impl DpsNode {
         if epidemic {
             let now = ctx.now();
             let window = 4 * self.cfg.view_exchange_every;
-            let missing: Vec<(PubId, Event)> = self
+            let missing: Vec<(PubId, SharedEvent)> = self
                 .recent_pubs
                 .iter()
                 .filter(|(id, _, _)| !recent.contains(id))

@@ -26,7 +26,9 @@ mod subscribe;
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::Arc;
 
-use dps_content::{match_mode, AttrName, Event, Filter, FilterIndex, MatchMode, MatchScratch};
+use dps_content::{
+    match_mode, AttrName, Event, Filter, FilterIndex, MatchMode, MatchScratch, SharedEvent,
+};
 use dps_sim::{Context, NodeId, Process, Step};
 
 use crate::config::DpsConfig;
@@ -73,7 +75,7 @@ pub(crate) struct PendingSub {
 #[derive(Debug, Clone)]
 pub(crate) struct PendingPub {
     pub id: PubId,
-    pub event: Event,
+    pub event: SharedEvent,
     pub attrs: Vec<AttrName>,
     pub deadline: Step,
     pub retries: u32,
@@ -93,7 +95,7 @@ pub(crate) struct PendingWalk {
 pub(crate) struct ActiveGossip {
     pub label: GroupLabel,
     pub id: PubId,
-    pub event: Event,
+    pub event: SharedEvent,
     /// Rounds already run (round 0 fires on receipt).
     pub rounds: u32,
 }
@@ -151,13 +153,21 @@ pub struct DpsNode {
     pub(crate) walks: Vec<PendingWalk>,
 
     // Publication bookkeeping.
-    pub(crate) seen_route: SeenCache<(PubId, GroupLabel)>,
+    /// Per-(publication, group) route dedup. Keyed by an interned label id
+    /// (see [`label_id`](Self::label_id)), not the label itself: labels carry
+    /// heap predicates, and this cache is consulted on every forwarded
+    /// publication — cloning a `GroupLabel` per check was measurable churn.
+    pub(crate) seen_route: SeenCache<(PubId, u32)>,
+    /// Intern table backing `seen_route`: each distinct group label this node
+    /// has routed for maps to a small dense id. Bounded by the node's group
+    /// vocabulary (memberships + adjacent groups), not by traffic.
+    pub(crate) label_ids: HashMap<GroupLabel, u32>,
     pub(crate) seen_node: SeenCache<PubId>,
     pub(crate) active_gossip: Vec<ActiveGossip>,
     /// Recently handled matching publications `(id, event, heard_at)`, kept
     /// for [`repub_window`](crate::DpsConfig::repub_window) steps to re-flush
     /// into branches repaired after a failure (see `flush_recent_to_branch`).
-    pub(crate) recent_pubs: VecDeque<(PubId, Event, Step)>,
+    pub(crate) recent_pubs: VecDeque<(PubId, SharedEvent, Step)>,
     pub(crate) pubs_received: u64,
     pub(crate) pubs_notified: u64,
 
@@ -216,6 +226,7 @@ impl DpsNode {
             pending_pubs: Vec::new(),
             walks: Vec::new(),
             seen_route: SeenCache::new(seen_cap * 4),
+            label_ids: HashMap::new(),
             seen_node: SeenCache::new(seen_cap),
             active_gossip: Vec::new(),
             recent_pubs: VecDeque::new(),
@@ -452,6 +463,19 @@ impl DpsNode {
         self.nonce_counter
     }
 
+    /// The interned id of `label` for [`seen_route`](Self::seen_route) keys,
+    /// assigned on first sight. The id is node-local and never leaves this
+    /// node, so assignment order (deterministic: driven by the node's own
+    /// message-processing order) is free to differ between nodes.
+    pub(crate) fn label_id(&mut self, label: &GroupLabel) -> u32 {
+        if let Some(&id) = self.label_ids.get(label) {
+            return id;
+        }
+        let id = self.label_ids.len() as u32;
+        self.label_ids.insert(label.clone(), id);
+        id
+    }
+
     /// Digest of the recently processed publications (for the anti-entropy
     /// exchange riding `ViewPush`: receivers answer only with events missing
     /// from the sender's digest).
@@ -462,7 +486,7 @@ impl DpsNode {
     /// Remembers a publication this node processed, for post-repair
     /// re-flushes. Bounded: entries older than `repub_window` retire, and the
     /// buffer never exceeds [`RECENT_PUBS_CAP`].
-    pub(crate) fn remember_pub(&mut self, id: PubId, event: &Event, now: Step) {
+    pub(crate) fn remember_pub(&mut self, id: PubId, event: &SharedEvent, now: Step) {
         let window = self.cfg.repub_window;
         while let Some((_, _, at)) = self.recent_pubs.front() {
             if now.saturating_sub(*at) > window {
@@ -642,5 +666,46 @@ impl Process for DpsNode {
         self.tick_pending(ctx);
         self.tick_gossip(ctx);
         self.tick_periodic(ctx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn label(s: &str) -> GroupLabel {
+        GroupLabel::from(s.parse::<dps_content::Predicate>().unwrap())
+    }
+
+    /// Route dedup is keyed by `(PubId, interned label id)`: interning is
+    /// stable (same label → same id), dense from zero, and never allocates
+    /// past first sight — so the per-hop dedup check clones no `Label`.
+    #[test]
+    fn route_dedup_uses_interned_label_ids() {
+        let mut node = DpsNode::new(DpsConfig::default());
+        let a = label("a > 2");
+        let b = label("b = 1");
+        let root = GroupLabel::Root("a".into());
+
+        // Dense, first-sight assignment; repeat lookups are stable.
+        assert_eq!(node.label_id(&a), 0);
+        assert_eq!(node.label_id(&b), 1);
+        assert_eq!(node.label_id(&a), 0);
+        assert_eq!(node.label_id(&root), 2);
+        assert_eq!(node.label_ids.len(), 3);
+
+        // The dedup cache distinguishes routes by (publication, label id):
+        // a second arrival of the same publication on the same group is a
+        // duplicate, while the same publication on a sibling group is not.
+        let id = PubId(NodeId::from_index(7), 0);
+        let lid_a = node.label_id(&a);
+        let lid_b = node.label_id(&b);
+        assert!(node.seen_route.insert((id, lid_a)));
+        assert!(!node.seen_route.insert((id, lid_a)));
+        assert!(node.seen_route.insert((id, lid_b)));
+
+        // A structurally equal label parsed afresh interns to the same id —
+        // the property that makes the u32 a faithful stand-in for the label.
+        assert_eq!(node.label_id(&label("a > 2")), lid_a);
     }
 }

@@ -2,7 +2,7 @@
 //! pruning (root-based) or bidirectional diffusion (generic), and intra-group
 //! delivery by leader fan-out or gossip.
 
-use dps_content::{AttrName, Event};
+use dps_content::{AttrName, SharedEvent};
 use dps_sim::{Context, NodeId};
 use rand::seq::IteratorRandom;
 use rand::Rng;
@@ -20,7 +20,15 @@ impl DpsNode {
     /// Trees not yet known to this node are discovered by random walks first; if
     /// a tree cannot be found after the configured retries the attribute is
     /// skipped (no tree means no subscriber on that attribute).
-    pub fn publish(&mut self, event: Event, ctx: &mut Context<'_, DpsMsg>) -> PubId {
+    /// The event is wrapped into a [`SharedEvent`] here (or handed over
+    /// pre-wrapped) — the **only** payload allocation of the publication's
+    /// lifetime; every hop after this point clones the refcount.
+    pub fn publish(
+        &mut self,
+        event: impl Into<SharedEvent>,
+        ctx: &mut Context<'_, DpsMsg>,
+    ) -> PubId {
+        let event = event.into();
         let id = PubId(self.id, self.next_pub);
         self.next_pub += 1;
         let attrs: Vec<AttrName> = event.names().cloned().collect();
@@ -59,7 +67,7 @@ impl DpsNode {
     pub(crate) fn send_publication(
         &mut self,
         id: PubId,
-        event: &Event,
+        event: &SharedEvent,
         attr: AttrName,
         ctx: &mut Context<'_, DpsMsg>,
     ) {
@@ -148,7 +156,7 @@ impl DpsNode {
                 }
             }
         }
-        let resend: Vec<(PubId, dps_content::Event, Vec<AttrName>)> = self
+        let resend: Vec<(PubId, SharedEvent, Vec<AttrName>)> = self
             .pending_pubs
             .iter()
             .filter(|p| p.deadline == now + 40)
@@ -253,8 +261,10 @@ impl DpsNode {
         }
         let t = PubTicket { ack_to: None, ..t };
 
-        // Each group processes a publication once.
-        if !self.seen_route.insert((t.id, label.clone())) {
+        // Each group processes a publication once (dedup keyed by the interned
+        // label id — no label clone per check).
+        let lid = self.label_id(&label);
+        if !self.seen_route.insert((t.id, lid)) {
             return;
         }
 
@@ -321,7 +331,7 @@ impl DpsNode {
         &mut self,
         i: usize,
         id: PubId,
-        event: &Event,
+        event: &SharedEvent,
         from_child: Option<&GroupLabel>,
         ttl: u32,
         ctx: &mut Context<'_, DpsMsg>,
@@ -439,7 +449,7 @@ impl DpsNode {
         &mut self,
         i: usize,
         id: PubId,
-        event: &Event,
+        event: &SharedEvent,
         ctx: &mut Context<'_, DpsMsg>,
     ) {
         match self.cfg.comm {
@@ -480,7 +490,7 @@ impl DpsNode {
         &mut self,
         i: usize,
         id: PubId,
-        event: &Event,
+        event: &SharedEvent,
         ctx: &mut Context<'_, DpsMsg>,
     ) {
         self.gossip_round(i, id, event, ctx);
@@ -495,7 +505,13 @@ impl DpsNode {
     }
 
     /// One gossip round: forward to `k` random live-believed group members.
-    fn gossip_round(&mut self, i: usize, id: PubId, event: &Event, ctx: &mut Context<'_, DpsMsg>) {
+    fn gossip_round(
+        &mut self,
+        i: usize,
+        id: PubId,
+        event: &SharedEvent,
+        ctx: &mut Context<'_, DpsMsg>,
+    ) {
         let k = self.cfg.gossip_fanout.max(1);
         let me = self.id;
         let label = self.memberships[i].label.clone();
@@ -552,7 +568,7 @@ impl DpsNode {
         &mut self,
         _from: NodeId,
         id: PubId,
-        event: Event,
+        event: SharedEvent,
         label: GroupLabel,
         ctx: &mut Context<'_, DpsMsg>,
     ) {
@@ -561,7 +577,8 @@ impl DpsNode {
             self.deliver_local(id, &event, ctx.now());
             return;
         };
-        if !self.seen_route.insert((id, label.clone())) {
+        let lid = self.label_id(&label);
+        if !self.seen_route.insert((id, lid)) {
             return;
         }
         self.deliver_local(id, &event, ctx.now());
@@ -600,7 +617,7 @@ impl DpsNode {
         let now = ctx.now();
         let window = self.cfg.repub_window;
         let mode = self.cfg.traversal;
-        let resend: Vec<(PubId, Event)> = self
+        let resend: Vec<(PubId, SharedEvent)> = self
             .recent_pubs
             .iter()
             .filter(|(_, ev, at)| now.saturating_sub(*at) <= window && b.label.matches_event(ev))

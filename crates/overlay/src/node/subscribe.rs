@@ -2,7 +2,7 @@
 //! `SUBSCRIBE_TO` / `CREATE_GROUP` primitives, plus join/ack handling and the
 //! retry machinery for pending subscriptions.
 
-use dps_content::{Filter, Predicate};
+use dps_content::{Predicate, SharedFilter};
 use dps_sim::{Context, NodeId};
 use rand::seq::IteratorRandom;
 use rand::Rng;
@@ -25,7 +25,11 @@ impl DpsNode {
     ///
     /// Panics if the filter has no predicates (a match-all filter cannot be
     /// placed in any attribute tree).
-    pub fn subscribe(&mut self, filter: Filter, ctx: &mut Context<'_, DpsMsg>) -> SubId {
+    pub fn subscribe(
+        &mut self,
+        filter: impl Into<SharedFilter>,
+        ctx: &mut Context<'_, DpsMsg>,
+    ) -> SubId {
         let idx = match self.cfg.join_rule {
             JoinRule::First | JoinRule::Explicit => 0,
         };
@@ -40,10 +44,11 @@ impl DpsNode {
     /// Panics if `join_idx` is out of range of the filter's predicates.
     pub fn subscribe_with(
         &mut self,
-        filter: Filter,
+        filter: impl Into<SharedFilter>,
         join_idx: usize,
         ctx: &mut Context<'_, DpsMsg>,
     ) -> SubId {
+        let filter = filter.into();
         let pred = filter.predicates()[join_idx].clone();
         let sub_id = SubId(self.id, self.next_sub);
         self.next_sub += 1;

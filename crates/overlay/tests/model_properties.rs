@@ -74,7 +74,7 @@ proptest! {
     ) {
         let mut forest = ForestModel::new();
         for (i, p) in preds.iter().enumerate() {
-            let f = dps_content::Filter::new([p.clone()]);
+            let f = dps_content::SharedFilter::from(dps_content::Filter::new([p.clone()]));
             forest.subscribe(NodeId::from_index(i), &f, 0);
         }
         let contacted = forest.contacted_subscribers(&e);

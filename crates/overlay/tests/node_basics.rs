@@ -39,7 +39,7 @@ fn cfg() -> DpsConfig {
 fn first_subscriber_becomes_owner_and_leader() {
     let (mut sim, nodes, _) = network(cfg(), 4, 1);
     sim.invoke(nodes[0], |n, ctx| {
-        n.subscribe("a > 1".parse().unwrap(), ctx);
+        n.subscribe("a > 1".parse::<dps_content::Filter>().unwrap(), ctx);
     });
     sim.run(300);
     let n0 = sim.node(nodes[0]).unwrap();
@@ -63,7 +63,7 @@ fn co_leaders_are_the_first_joiners() {
     let (mut sim, nodes, _) = network(cfg(), 6, 2);
     for node in &nodes[..4] {
         sim.invoke(*node, |n, ctx| {
-            n.subscribe("a > 1".parse().unwrap(), ctx);
+            n.subscribe("a > 1".parse::<dps_content::Filter>().unwrap(), ctx);
         });
         sim.run(120);
     }
@@ -88,11 +88,11 @@ fn co_leaders_are_the_first_joiners() {
 fn same_predicate_subscriptions_share_one_membership() {
     let (mut sim, nodes, _) = network(cfg(), 3, 3);
     sim.invoke(nodes[0], |n, ctx| {
-        n.subscribe("a > 1 & b > 0".parse().unwrap(), ctx);
+        n.subscribe("a > 1 & b > 0".parse::<dps_content::Filter>().unwrap(), ctx);
     });
     sim.run(200);
     sim.invoke(nodes[0], |n, ctx| {
-        n.subscribe("a > 1 & b < 9".parse().unwrap(), ctx);
+        n.subscribe("a > 1 & b < 9".parse::<dps_content::Filter>().unwrap(), ctx);
     });
     sim.run(100);
     let n0 = sim.node(nodes[0]).unwrap();
@@ -109,13 +109,16 @@ fn same_predicate_subscriptions_share_one_membership() {
 fn notification_requires_full_filter_match() {
     let (mut sim, nodes, sink) = network(cfg(), 4, 4);
     sim.invoke(nodes[0], |n, ctx| {
-        n.subscribe("a > 1 & b > 100".parse().unwrap(), ctx);
+        n.subscribe(
+            "a > 1 & b > 100".parse::<dps_content::Filter>().unwrap(),
+            ctx,
+        );
     });
     sim.run(300);
     // Event matches the joined predicate (a > 1) but not b > 100.
     let mut id = None;
     sim.invoke(nodes[2], |n, ctx| {
-        id = Some(n.publish("a = 5 & b = 3".parse().unwrap(), ctx));
+        id = Some(n.publish("a = 5 & b = 3".parse::<dps_content::Event>().unwrap(), ctx));
     });
     sim.run(120);
     let id = id.unwrap();
@@ -133,12 +136,12 @@ fn notification_requires_full_filter_match() {
 fn publication_messages_are_classified_as_publication() {
     let (mut sim, nodes, _) = network(cfg(), 4, 5);
     sim.invoke(nodes[0], |n, ctx| {
-        n.subscribe("a > 1".parse().unwrap(), ctx);
+        n.subscribe("a > 1".parse::<dps_content::Filter>().unwrap(), ctx);
     });
     sim.run(300);
     let before = sim.metrics().total_sent(MsgClass::Publication);
     sim.invoke(nodes[2], |n, ctx| {
-        n.publish("a = 5".parse().unwrap(), ctx);
+        n.publish("a = 5".parse::<dps_content::Event>().unwrap(), ctx);
     });
     sim.run(100);
     assert!(
@@ -159,7 +162,7 @@ fn epidemic_members_keep_partial_views() {
     let (mut sim, nodes, _) = network(c, 10, 6);
     for node in &nodes[..8] {
         sim.invoke(*node, |n, ctx| {
-            n.subscribe("a > 1".parse().unwrap(), ctx);
+            n.subscribe("a > 1".parse::<dps_content::Filter>().unwrap(), ctx);
         });
         sim.run(60);
     }
@@ -183,7 +186,7 @@ fn unsubscribing_last_subscription_leaves_the_group() {
     let (mut sim, nodes, _) = network(cfg(), 4, 7);
     let mut sub = None;
     sim.invoke(nodes[1], |n, ctx| {
-        sub = Some(n.subscribe("zz > 1".parse().unwrap(), ctx));
+        sub = Some(n.subscribe("zz > 1".parse::<dps_content::Filter>().unwrap(), ctx));
     });
     sim.run(300);
     assert!(sim
@@ -209,12 +212,12 @@ fn deterministic_replay_at_protocol_level() {
         let (mut sim, nodes, sink) = network(cfg(), 6, seed);
         for node in &nodes[..3] {
             sim.invoke(*node, |n, ctx| {
-                n.subscribe("a > 1".parse().unwrap(), ctx);
+                n.subscribe("a > 1".parse::<dps_content::Filter>().unwrap(), ctx);
             });
             sim.run(80);
         }
         sim.invoke(nodes[4], |n, ctx| {
-            n.publish("a = 2".parse().unwrap(), ctx);
+            n.publish("a = 2".parse::<dps_content::Event>().unwrap(), ctx);
         });
         sim.run(150);
         (

@@ -287,6 +287,7 @@ fn synthetic_workload(n: usize) -> Workload {
             sub_dist: Dist::Uniform,
             range_frac: 0.5,
             eq_frac: 0.0,
+            gt_frac: 0.0,
         })
         .collect();
     Workload::new(

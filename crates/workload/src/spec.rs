@@ -25,6 +25,13 @@ pub enum AttrSpec {
         range_frac: f64,
         /// Fraction of equality predicates ("Eq. Perc."); the rest are ranges.
         eq_frac: f64,
+        /// Fraction of one-sided *exceeded-threshold* predicates (`a > t`),
+        /// drawn before the equality/range split. Zero everywhere except
+        /// alert-style workloads: a two-sided range parked on the critical top
+        /// of the scale has a `a < hi` half that matches almost every normal
+        /// (low) reading, which floods the tree with false contacts; a
+        /// one-sided threshold only fires on the rare critical readings.
+        gt_frac: f64,
     },
     /// A string attribute over the 500-word dictionary.
     Str {
@@ -57,10 +64,15 @@ impl AttrSpec {
                 sub_dist,
                 range_frac,
                 eq_frac,
+                gt_frac,
                 ..
             } => {
                 let center = sub_dist.sample(*domain, rng) as i64;
-                if rng.random::<f64>() < *eq_frac {
+                // The `> 0.0` guard keeps the draw sequence of gt-free
+                // workloads byte-identical to what it always was.
+                if *gt_frac > 0.0 && rng.random::<f64>() < *gt_frac {
+                    vec![Predicate::gt(name.as_str(), center)]
+                } else if rng.random::<f64>() < *eq_frac {
                     vec![Predicate::eq(name.as_str(), center)]
                 } else {
                     // A range `lo < a < hi` of roughly `range_frac * domain`
@@ -151,6 +163,7 @@ impl Workload {
                     sub_dist: Dist::Zipf(1.0),
                     range_frac: 0.10,
                     eq_frac: 0.50,
+                    gt_frac: 0.0,
                 },
                 AttrSpec::Str {
                     name: "symbol".into(),
@@ -174,6 +187,7 @@ impl Workload {
             sub_dist: Dist::Uniform,
             range_frac: 0.50,
             eq_frac: 0.0,
+            gt_frac: 0.0,
         };
         Workload::new(
             "multiplayer game (workload 2)",
@@ -183,19 +197,28 @@ impl Workload {
     }
 
     /// **Workload 3** — alert monitoring: subscriptions concentrate on a
-    /// restricted set of critical values; three Zipf/Zipf numeric attributes,
-    /// 20% ranges, 20% equalities; overall match rate very low.
+    /// restricted set of critical values; three numeric attributes, 80%
+    /// one-sided exceeded-threshold alerts and 20% equalities on specific
+    /// critical codes; overall match rate very low.
     pub fn alert_monitoring() -> Self {
         // Events concentrate on low (normal) readings; subscriptions watch the
         // rare critical top of the scale — "the overall number of matches is
-        // very low" (§5.2).
+        // very low" (§5.2). Alerts are one-sided (`cpu > t`): a two-sided
+        // band's lower half would match nearly every normal reading and flood
+        // the trees with false contacts. The exponents are calibrated against
+        // Table 1's alert row (0.42% matching, 17.15% contacted): a typical
+        // reading exceeds a typical threshold with probability ≈ 0.2 per
+        // attribute, so a three-attribute conjunction matches ≈ 0.8³·0.2³
+        // ≈ 0.4% of events while the joined single-threshold group is
+        // contacted by ≈ 16% of them.
         let metric = |name: &str| AttrSpec::Numeric {
             name: name.into(),
             domain: 1000,
-            ev_dist: Dist::Zipf(1.0),
-            sub_dist: Dist::ZipfTail(1.0),
+            ev_dist: Dist::Zipf(0.6),
+            sub_dist: Dist::ZipfTail(0.45),
             range_frac: 0.20,
-            eq_frac: 0.20,
+            eq_frac: 1.0,
+            gt_frac: 0.80,
         };
         Workload::new(
             "alert monitoring (workload 3)",
@@ -296,6 +319,12 @@ mod tests {
             alert < 0.02,
             "alert workload must be very selective: {alert}"
         );
+        // …but not degenerate: Table 1 reports 0.42% matching, so the rare
+        // full alert (all three metrics critical at once) must still occur.
+        assert!(
+            alert > 0.0005,
+            "alert workload must keep a nonzero match rate: {alert}"
+        );
     }
 
     #[test]
@@ -339,6 +368,7 @@ mod tests {
             sub_dist: Dist::Uniform,
             range_frac: 0.1,
             eq_frac: 0.0,
+            gt_frac: 0.0,
         };
         let mut rng = rng();
         for _ in 0..100 {

@@ -28,7 +28,7 @@ const FIGURE1: &[(&str, usize)] = &[
 fn reference() -> ForestModel {
     let mut f = ForestModel::new();
     for (i, (s, idx)) in FIGURE1.iter().enumerate() {
-        let filter: Filter = s.parse().unwrap();
+        let filter: dps::SharedFilter = s.parse::<Filter>().unwrap().into();
         f.subscribe(dps::NodeId::from_index(i), &filter, *idx);
     }
     f
@@ -81,7 +81,7 @@ fn distributed_forest_converges_to_reference() {
         let nodes = net.add_nodes(FIGURE1.len());
         net.run(30);
         for (i, (s, idx)) in FIGURE1.iter().enumerate() {
-            let filter: Filter = s.parse().unwrap();
+            let filter: dps::SharedFilter = s.parse::<Filter>().unwrap().into();
             // Reorder so the figure's join predicate comes first (JoinRule::First).
             let pred = filter.predicates()[*idx].clone();
             let reordered =

@@ -33,7 +33,7 @@ fn subscriptions() -> Vec<String> {
 fn reference() -> ForestModel {
     let mut f = ForestModel::new();
     for (i, s) in subscriptions().iter().enumerate() {
-        let filter: Filter = s.parse().unwrap();
+        let filter: dps::SharedFilter = s.parse::<Filter>().unwrap().into();
         f.subscribe(NodeId::from_index(i), &filter, 0);
     }
     f
