@@ -83,6 +83,7 @@ impl FloodNode {
         };
         if matched {
             self.sink.on_notify(msg.id, self.id, ctx.now());
+            self.sink.on_deliver(msg.id, self.id, &msg.event, ctx.now());
         }
         for n in self.neighbors.clone() {
             ctx.send(n, msg.clone());

@@ -1,0 +1,88 @@
+//! `dps-broker` — serve a DPS overlay shard on a Unix-domain socket.
+//!
+//! ```sh
+//! dps-broker --socket /tmp/dps.sock [--seed 42] [--nodes 8]
+//!            [--traversal root|generic] [--comm leader|epidemic] [--quiet]
+//! ```
+//!
+//! Runs until killed. Logs session lifecycle and protocol errors to stdout
+//! (line-buffered), which the CI smoke job captures as the broker log
+//! artifact.
+
+use dps::{CommKind, DpsConfig, TraversalKind};
+use dps_broker::{Broker, BrokerConfig, Transport, UnixTransport};
+
+fn usage(err: &str) -> ! {
+    eprintln!("error: {err}");
+    eprintln!(
+        "usage: dps-broker --socket PATH [--seed N] [--nodes N] \
+         [--traversal root|generic] [--comm leader|epidemic] [--quiet]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut socket: Option<String> = None;
+    let mut cfg = BrokerConfig::default();
+    let mut traversal = TraversalKind::Root;
+    let mut comm = CommKind::Leader;
+    let mut quiet = false;
+    while let Some(arg) = args.next() {
+        let mut val = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| usage(&format!("{name} needs a value")))
+        };
+        match arg.as_str() {
+            "--socket" => socket = Some(val("--socket")),
+            "--seed" => {
+                cfg.seed = val("--seed")
+                    .parse()
+                    .unwrap_or_else(|_| usage("--seed must be an integer"))
+            }
+            "--nodes" => {
+                cfg.background_nodes = val("--nodes")
+                    .parse()
+                    .unwrap_or_else(|_| usage("--nodes must be an integer"))
+            }
+            "--traversal" => {
+                traversal = match val("--traversal").as_str() {
+                    "root" => TraversalKind::Root,
+                    "generic" => TraversalKind::Generic,
+                    other => usage(&format!("unknown traversal {other:?}")),
+                }
+            }
+            "--comm" => {
+                comm = match val("--comm").as_str() {
+                    "leader" => CommKind::Leader,
+                    "epidemic" => CommKind::Epidemic,
+                    other => usage(&format!("unknown comm {other:?}")),
+                }
+            }
+            "--quiet" => quiet = true,
+            other => usage(&format!("unknown argument {other:?}")),
+        }
+    }
+    let socket = socket.unwrap_or_else(|| usage("--socket is required"));
+    cfg.net = DpsConfig::named(traversal, comm);
+
+    let listener = match UnixTransport.listen(&socket) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("dps-broker: cannot listen on {socket}: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "dps-broker: serving {:?}+{:?} shard (seed {}, {} background nodes) on {socket}",
+        traversal, comm, cfg.seed, cfg.background_nodes
+    );
+    let mut broker = Broker::new(cfg, listener);
+    if !quiet {
+        broker.set_log(Box::new(|line| println!("dps-broker: {line}")));
+    }
+    if let Err(e) = broker.serve(|| false) {
+        eprintln!("dps-broker: listener failed: {e}");
+        std::process::exit(1);
+    }
+}

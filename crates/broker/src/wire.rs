@@ -1,0 +1,347 @@
+//! The DPS wire protocol: length-prefixed, JSON-framed, versioned.
+//!
+//! Every message on a broker connection is one **frame**: a 4-byte big-endian
+//! length prefix followed by that many bytes of JSON encoding one [`Frame`]
+//! value (externally tagged, e.g. `{"Publish": {...}}`). The prefix counts the
+//! JSON body only. Frames larger than [`MAX_FRAME`] are rejected *before* any
+//! allocation sized by the prefix, so a hostile length cannot OOM the peer.
+//!
+//! The full grammar, version rules and credit/close semantics are documented
+//! in `docs/protocol.md` at the repository root.
+
+use dps_content::{SharedEvent, SharedFilter};
+use serde::{Deserialize, Serialize};
+
+/// Protocol revision spoken by this build. A broker rejects a `Hello` carrying
+/// any other version with a `Close` frame naming both sides' versions.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Upper bound on the JSON body of a single frame, in bytes (1 MiB).
+pub const MAX_FRAME: u32 = 1 << 20;
+
+/// A publication identity on the wire: the publishing overlay node and its
+/// per-publisher sequence number. Mirrors the simulator's `PubId`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PubRef {
+    /// Index of the publishing overlay node.
+    pub node: u64,
+    /// The publisher's per-node publication sequence number.
+    pub seq: u32,
+}
+
+/// One protocol message. Externally tagged in JSON: `{"Hello": {...}}`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Frame {
+    /// First frame in both directions. The client sends `session: None`; the
+    /// broker replies with the session id it assigned (or `Close` on version
+    /// mismatch).
+    Hello {
+        /// [`PROTOCOL_VERSION`] of the sender.
+        version: u32,
+        /// Broker-assigned session id (set only in the broker's reply).
+        session: Option<u64>,
+    },
+    /// Client → broker: install a subscription. `sub` is a client-chosen id,
+    /// unique within the session; `credit` is the initial delivery window.
+    Subscribe {
+        /// Client request sequence number, echoed in the `Ack`.
+        seq: u64,
+        /// Client-chosen subscription id.
+        sub: u64,
+        /// The content filter.
+        filter: SharedFilter,
+        /// Initial delivery credit (number of `Deliver` frames the broker may
+        /// send before waiting for `Credit`).
+        credit: u32,
+    },
+    /// Client → broker: cancel subscription `sub`.
+    Unsubscribe {
+        /// Client request sequence number, echoed in the `Ack`.
+        seq: u64,
+        /// The subscription to cancel.
+        sub: u64,
+    },
+    /// Client → broker: publish an event from this session's node.
+    Publish {
+        /// Client request sequence number, echoed in the `Ack`.
+        seq: u64,
+        /// The event body.
+        event: SharedEvent,
+    },
+    /// Broker → client: an event matched subscription `sub`. Consumes one
+    /// credit of that subscription.
+    Deliver {
+        /// The client-chosen id of the matching subscription.
+        sub: u64,
+        /// Index of the publishing overlay node.
+        publisher: u64,
+        /// The publisher's per-node publication sequence number.
+        pub_seq: u32,
+        /// The event body.
+        event: SharedEvent,
+    },
+    /// Broker → client: reply to `Subscribe`/`Unsubscribe`/`Publish`. Carries
+    /// the publication identity for a publish, or an error message when the
+    /// request was refused (the session stays open).
+    Ack {
+        /// The request's sequence number.
+        seq: u64,
+        /// Identity of the accepted publication (publish acks only).
+        pub_id: Option<PubRef>,
+        /// Why the request was refused, if it was.
+        error: Option<String>,
+    },
+    /// Client → broker: extend subscription `sub`'s delivery window by `more`.
+    Credit {
+        /// The subscription whose window to extend.
+        sub: u64,
+        /// Additional `Deliver` frames the broker may send.
+        more: u32,
+    },
+    /// Graceful teardown, either direction. The broker cancels the session's
+    /// subscriptions, retires its node, echoes `Close` and drops the link.
+    Close {
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+/// Why a frame could not be encoded or decoded. Named variants so transport
+/// code can tell a hostile prefix from a short read from garbage JSON.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The underlying transport failed.
+    Io(String),
+    /// The length prefix exceeds [`MAX_FRAME`] (or an encoded body would).
+    FrameTooLarge {
+        /// The offending length.
+        len: u32,
+        /// The cap it exceeds.
+        max: u32,
+    },
+    /// The buffer ends mid-frame and no more bytes will ever come (EOF).
+    Truncated {
+        /// Bytes present.
+        have: usize,
+        /// Bytes the prefix promised.
+        need: usize,
+    },
+    /// The frame body is not valid JSON for any [`Frame`] variant.
+    Decode(String),
+    /// The peer speaks a different protocol revision.
+    Version {
+        /// The peer's version.
+        theirs: u32,
+        /// Our [`PROTOCOL_VERSION`].
+        ours: u32,
+    },
+    /// The connection is closed.
+    Closed,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "transport error: {e}"),
+            WireError::FrameTooLarge { len, max } => {
+                write!(f, "frame of {len} bytes exceeds the {max}-byte cap")
+            }
+            WireError::Truncated { have, need } => {
+                write!(f, "truncated frame: have {have} of {need} bytes")
+            }
+            WireError::Decode(e) => write!(f, "undecodable frame: {e}"),
+            WireError::Version { theirs, ours } => {
+                write!(
+                    f,
+                    "protocol version mismatch: peer speaks v{theirs}, this build v{ours}"
+                )
+            }
+            WireError::Closed => write!(f, "connection closed"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Encodes `frame` as one wire frame (prefix + JSON body).
+///
+/// Fails with [`WireError::FrameTooLarge`] if the body exceeds [`MAX_FRAME`] —
+/// the sender learns immediately instead of the receiver dropping the link.
+pub fn encode(frame: &Frame) -> Result<Vec<u8>, WireError> {
+    let body = serde_json::to_string(frame).map_err(|e| WireError::Decode(e.to_string()))?;
+    if body.len() > MAX_FRAME as usize {
+        return Err(WireError::FrameTooLarge {
+            len: body.len() as u32,
+            max: MAX_FRAME,
+        });
+    }
+    let mut out = Vec::with_capacity(4 + body.len());
+    out.extend_from_slice(&(body.len() as u32).to_be_bytes());
+    out.extend_from_slice(body.as_bytes());
+    Ok(out)
+}
+
+/// Decodes the first complete frame of `buf`, returning it and the number of
+/// bytes it occupied. `Ok(None)` means the buffer holds only a frame prefix or
+/// a partial body — feed more bytes and retry. Errors are terminal for the
+/// connection: a hostile prefix ([`WireError::FrameTooLarge`]) or a body that
+/// is not a [`Frame`] ([`WireError::Decode`]).
+pub fn decode(buf: &[u8]) -> Result<Option<(Frame, usize)>, WireError> {
+    if buf.len() < 4 {
+        return Ok(None);
+    }
+    let len = u32::from_be_bytes([buf[0], buf[1], buf[2], buf[3]]);
+    if len > MAX_FRAME {
+        return Err(WireError::FrameTooLarge {
+            len,
+            max: MAX_FRAME,
+        });
+    }
+    let need = 4 + len as usize;
+    if buf.len() < need {
+        return Ok(None);
+    }
+    let body = std::str::from_utf8(&buf[4..need])
+        .map_err(|e| WireError::Decode(format!("frame body is not UTF-8: {e}")))?;
+    let frame = serde_json::from_str(body).map_err(|e| WireError::Decode(e.to_string()))?;
+    Ok(Some((frame, need)))
+}
+
+/// Incremental frame reassembly over a byte stream: feed it whatever chunks
+/// the transport produces, take complete frames out. Never allocates based on
+/// the length prefix — a hostile prefix errors out at 4 bytes read.
+#[derive(Debug, Default)]
+pub struct FrameReader {
+    buf: Vec<u8>,
+    /// Bytes of `buf` already consumed by decoded frames (compacted lazily).
+    consumed: usize,
+}
+
+impl FrameReader {
+    /// An empty reader.
+    pub fn new() -> Self {
+        FrameReader::default()
+    }
+
+    /// Appends raw transport bytes.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        // Compact before growing: keeps the buffer near one frame in size.
+        if self.consumed > 0 {
+            self.buf.drain(..self.consumed);
+            self.consumed = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Takes the next complete frame, if one is buffered. `Ok(None)` means
+    /// "need more bytes"; errors mean the stream is unrecoverable and the
+    /// connection should be dropped.
+    pub fn next_frame(&mut self) -> Result<Option<Frame>, WireError> {
+        match decode(&self.buf[self.consumed..])? {
+            Some((frame, used)) => {
+                self.consumed += used;
+                Ok(Some(frame))
+            }
+            None => Ok(None),
+        }
+    }
+
+    /// Called at EOF: a cleanly drained reader returns `Ok(())`; leftover
+    /// bytes mean the peer died mid-frame ([`WireError::Truncated`]).
+    pub fn finish(&self) -> Result<(), WireError> {
+        let rest = &self.buf[self.consumed..];
+        if rest.is_empty() {
+            return Ok(());
+        }
+        let need = if rest.len() >= 4 {
+            4 + u32::from_be_bytes([rest[0], rest[1], rest[2], rest[3]]) as usize
+        } else {
+            4
+        };
+        Err(WireError::Truncated {
+            have: rest.len(),
+            need,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_one_frame() {
+        let f = Frame::Publish {
+            seq: 7,
+            event: "price = 150".parse::<dps_content::Event>().unwrap().into(),
+        };
+        let bytes = encode(&f).unwrap();
+        let (back, used) = decode(&bytes).unwrap().unwrap();
+        assert_eq!(used, bytes.len());
+        assert_eq!(back, f);
+    }
+
+    #[test]
+    fn hostile_length_prefix_is_rejected_before_allocation() {
+        let mut buf = u32::MAX.to_be_bytes().to_vec();
+        buf.extend_from_slice(b"whatever");
+        assert_eq!(
+            decode(&buf).unwrap_err(),
+            WireError::FrameTooLarge {
+                len: u32::MAX,
+                max: MAX_FRAME
+            }
+        );
+    }
+
+    #[test]
+    fn reader_reassembles_across_arbitrary_chunking() {
+        let frames = vec![
+            Frame::Hello {
+                version: PROTOCOL_VERSION,
+                session: None,
+            },
+            Frame::Credit { sub: 3, more: 16 },
+            Frame::Close {
+                reason: "done".into(),
+            },
+        ];
+        let mut stream = Vec::new();
+        for f in &frames {
+            stream.extend_from_slice(&encode(f).unwrap());
+        }
+        // Feed one byte at a time: every frame still comes out intact.
+        let mut r = FrameReader::new();
+        let mut got = Vec::new();
+        for b in stream {
+            r.feed(&[b]);
+            while let Some(f) = r.next_frame().unwrap() {
+                got.push(f);
+            }
+        }
+        assert_eq!(got, frames);
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn eof_mid_frame_is_a_named_truncation() {
+        let bytes = encode(&Frame::Credit { sub: 1, more: 1 }).unwrap();
+        let mut r = FrameReader::new();
+        r.feed(&bytes[..bytes.len() - 2]);
+        assert_eq!(r.next_frame().unwrap(), None);
+        assert_eq!(
+            r.finish().unwrap_err(),
+            WireError::Truncated {
+                have: bytes.len() - 2,
+                need: bytes.len(),
+            }
+        );
+    }
+
+    #[test]
+    fn garbage_body_is_a_decode_error() {
+        let mut buf = 9u32.to_be_bytes().to_vec();
+        buf.extend_from_slice(b"not json!");
+        assert!(matches!(decode(&buf), Err(WireError::Decode(_))));
+    }
+}

@@ -1,0 +1,337 @@
+//! Lockstep broker tests over the in-process [`ChannelTransport`]: a
+//! single-threaded driver alternates client frame writes with
+//! [`Broker::pump`] calls, so every run is fully deterministic — the final
+//! test pins that determinism down to the exact bytes each client receives.
+
+use dps_broker::wire::{encode, Frame, FrameReader, PROTOCOL_VERSION};
+use dps_broker::{Broker, BrokerConfig, ChannelTransport, Connection, Transport};
+use dps_content::Event;
+
+/// A wire-level test client: frames out, frames (and raw bytes) in.
+struct TestClient {
+    conn: Box<dyn Connection>,
+    reader: FrameReader,
+    /// Every byte ever received, for byte-identity assertions.
+    received_bytes: Vec<u8>,
+    frames: Vec<Frame>,
+}
+
+impl TestClient {
+    fn connect(t: &ChannelTransport, addr: &str) -> Self {
+        TestClient {
+            conn: t.connect(addr).expect("broker is listening"),
+            reader: FrameReader::new(),
+            received_bytes: Vec::new(),
+            frames: Vec::new(),
+        }
+    }
+
+    fn send(&mut self, frame: &Frame) {
+        let bytes = encode(frame).unwrap();
+        let n = self.conn.send(&bytes).expect("channel accepts all bytes");
+        assert_eq!(n, bytes.len());
+    }
+
+    fn read(&mut self) {
+        let mut buf = [0u8; 4096];
+        loop {
+            match self.conn.recv(&mut buf) {
+                Ok(0) => break,
+                Ok(n) => {
+                    self.received_bytes.extend_from_slice(&buf[..n]);
+                    self.reader.feed(&buf[..n]);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) => panic!("recv: {e}"),
+            }
+        }
+        while let Some(f) = self
+            .reader
+            .next_frame()
+            .expect("broker speaks the protocol")
+        {
+            self.frames.push(f);
+        }
+    }
+
+    fn hello(&mut self) {
+        self.send(&Frame::Hello {
+            version: PROTOCOL_VERSION,
+            session: None,
+        });
+    }
+
+    fn deliveries(&self) -> Vec<(u64, String)> {
+        self.frames
+            .iter()
+            .filter_map(|f| match f {
+                Frame::Deliver { sub, event, .. } => Some((*sub, event.to_string())),
+                _ => None,
+            })
+            .collect()
+    }
+
+    fn acks(&self) -> Vec<&Frame> {
+        self.frames
+            .iter()
+            .filter(|f| matches!(f, Frame::Ack { .. }))
+            .collect()
+    }
+}
+
+fn broker_on(t: &ChannelTransport, addr: &str, seed: u64) -> Broker {
+    let cfg = BrokerConfig {
+        seed,
+        ..BrokerConfig::default()
+    };
+    Broker::new(cfg, t.listen(addr).expect("fresh address"))
+}
+
+/// One lockstep turn: broker pump, then every client drains its socket.
+fn turn(broker: &mut Broker, clients: &mut [&mut TestClient]) {
+    broker.pump().expect("channel listener cannot fail");
+    for c in clients.iter_mut() {
+        c.read();
+    }
+}
+
+fn settle(broker: &mut Broker, clients: &mut [&mut TestClient], turns: usize) {
+    for _ in 0..turns {
+        turn(broker, clients);
+    }
+}
+
+fn ev(s: &str) -> Event {
+    s.parse().unwrap()
+}
+
+#[test]
+fn end_to_end_delivery_over_channels() {
+    let t = ChannelTransport::new();
+    let mut broker = broker_on(&t, "hub", 7);
+    let mut sub = TestClient::connect(&t, "hub");
+    let mut pubc = TestClient::connect(&t, "hub");
+    sub.hello();
+    pubc.hello();
+    settle(&mut broker, &mut [&mut sub, &mut pubc], 3);
+    assert!(matches!(
+        sub.frames[0],
+        Frame::Hello {
+            session: Some(_),
+            ..
+        }
+    ));
+
+    sub.send(&Frame::Subscribe {
+        seq: 1,
+        sub: 10,
+        filter: "price > 100".parse::<dps::Filter>().unwrap().into(),
+        credit: 64,
+    });
+    settle(&mut broker, &mut [&mut sub, &mut pubc], 60);
+    assert!(
+        matches!(
+            sub.frames[1],
+            Frame::Ack {
+                seq: 1,
+                error: None,
+                ..
+            }
+        ),
+        "subscribe is acked: {:?}",
+        sub.frames
+    );
+
+    for (seq, event) in [(1, "price = 150"), (2, "price = 50"), (3, "price = 101")] {
+        pubc.send(&Frame::Publish {
+            seq,
+            event: ev(event).into(),
+        });
+    }
+    settle(&mut broker, &mut [&mut sub, &mut pubc], 80);
+
+    assert_eq!(pubc.acks().len(), 3, "every publish is acked");
+    let got = sub.deliveries();
+    assert_eq!(
+        got,
+        vec![
+            (10, "price = 150".to_string()),
+            (10, "price = 101".to_string())
+        ],
+        "exactly the matching events, in publish order"
+    );
+    assert_eq!(broker.network().delivered_ratio(), 1.0);
+}
+
+#[test]
+fn stalled_subscriber_does_not_stall_the_broker_or_other_sessions() {
+    let t = ChannelTransport::new();
+    let mut broker = broker_on(&t, "hub", 11);
+    let mut stalled = TestClient::connect(&t, "hub");
+    let mut healthy = TestClient::connect(&t, "hub");
+    let mut pubc = TestClient::connect(&t, "hub");
+    stalled.hello();
+    healthy.hello();
+    pubc.hello();
+    settle(&mut broker, &mut [&mut stalled, &mut healthy, &mut pubc], 3);
+
+    let filter = || "load > 0".parse::<dps::Filter>().unwrap();
+    // The stalled session grants a window of 2 and never replenishes.
+    stalled.send(&Frame::Subscribe {
+        seq: 1,
+        sub: 1,
+        filter: filter().into(),
+        credit: 2,
+    });
+    healthy.send(&Frame::Subscribe {
+        seq: 1,
+        sub: 1,
+        filter: filter().into(),
+        credit: 1 << 16,
+    });
+    settle(
+        &mut broker,
+        &mut [&mut stalled, &mut healthy, &mut pubc],
+        60,
+    );
+
+    for seq in 0..12u64 {
+        pubc.send(&Frame::Publish {
+            seq,
+            event: ev(&format!("load = {}", seq + 1)).into(),
+        });
+        settle(
+            &mut broker,
+            &mut [&mut stalled, &mut healthy, &mut pubc],
+            20,
+        );
+    }
+
+    assert_eq!(pubc.acks().len(), 12, "the broker never stopped acking");
+    assert_eq!(
+        healthy.deliveries().len(),
+        12,
+        "the healthy session got everything"
+    );
+    assert_eq!(
+        stalled.deliveries().len(),
+        2,
+        "the stalled session got exactly its credit window"
+    );
+
+    // Granting credit later releases the queued (bounded) backlog.
+    stalled.send(&Frame::Credit { sub: 1, more: 100 });
+    settle(
+        &mut broker,
+        &mut [&mut stalled, &mut healthy, &mut pubc],
+        10,
+    );
+    assert_eq!(
+        stalled.deliveries().len(),
+        12,
+        "credit releases the queued deliveries"
+    );
+}
+
+#[test]
+fn graceful_close_retires_the_session() {
+    let t = ChannelTransport::new();
+    let mut broker = broker_on(&t, "hub", 3);
+    let mut client = TestClient::connect(&t, "hub");
+    client.hello();
+    settle(&mut broker, &mut [&mut client], 3);
+    client.send(&Frame::Subscribe {
+        seq: 1,
+        sub: 1,
+        filter: "a > 0".parse::<dps::Filter>().unwrap().into(),
+        credit: 8,
+    });
+    settle(&mut broker, &mut [&mut client], 40);
+    assert_eq!(broker.session_count(), 1);
+
+    client.send(&Frame::Close {
+        reason: "test done".into(),
+    });
+    settle(&mut broker, &mut [&mut client], 5);
+    assert!(
+        client
+            .frames
+            .iter()
+            .any(|f| matches!(f, Frame::Close { .. })),
+        "the broker echoes Close before dropping the link"
+    );
+    assert_eq!(broker.session_count(), 0, "the session is reaped");
+    // And the link reads EOF now.
+    let mut buf = [0u8; 8];
+    assert_eq!(client.conn.recv(&mut buf).unwrap(), 0);
+}
+
+#[test]
+fn version_mismatch_is_refused_by_name() {
+    let t = ChannelTransport::new();
+    let mut broker = broker_on(&t, "hub", 3);
+    let mut client = TestClient::connect(&t, "hub");
+    client.send(&Frame::Hello {
+        version: 99,
+        session: None,
+    });
+    settle(&mut broker, &mut [&mut client], 3);
+    match &client.frames[..] {
+        [Frame::Close { reason }] => {
+            assert!(
+                reason.contains("version") && reason.contains("99"),
+                "the refusal names the versions: {reason}"
+            );
+        }
+        other => panic!("expected a lone Close, got {other:?}"),
+    }
+    assert_eq!(broker.session_count(), 0);
+}
+
+/// The determinism acceptance: the same scripted run, twice, produces
+/// byte-identical streams to every client.
+#[test]
+fn channel_runs_are_byte_identical_for_the_same_seed() {
+    fn scripted_run(seed: u64) -> (Vec<u8>, Vec<u8>) {
+        let t = ChannelTransport::new();
+        let mut broker = broker_on(&t, "hub", seed);
+        let mut sub = TestClient::connect(&t, "hub");
+        let mut pubc = TestClient::connect(&t, "hub");
+        sub.hello();
+        pubc.hello();
+        settle(&mut broker, &mut [&mut sub, &mut pubc], 3);
+        sub.send(&Frame::Subscribe {
+            seq: 1,
+            sub: 1,
+            filter: "temp > 10 & temp < 90"
+                .parse::<dps::Filter>()
+                .unwrap()
+                .into(),
+            credit: 32,
+        });
+        settle(&mut broker, &mut [&mut sub, &mut pubc], 60);
+        for seq in 0..20u64 {
+            pubc.send(&Frame::Publish {
+                seq,
+                event: ev(&format!("temp = {}", (seq * 13) % 100)).into(),
+            });
+            settle(&mut broker, &mut [&mut sub, &mut pubc], 10);
+        }
+        sub.send(&Frame::Close {
+            reason: "end".into(),
+        });
+        pubc.send(&Frame::Close {
+            reason: "end".into(),
+        });
+        settle(&mut broker, &mut [&mut sub, &mut pubc], 5);
+        (sub.received_bytes, pubc.received_bytes)
+    }
+
+    let first = scripted_run(1234);
+    let second = scripted_run(1234);
+    assert!(!first.0.is_empty() && !first.1.is_empty());
+    // Sanity: the subscriber actually received deliveries, not just the
+    // handshake, so the identity assertion covers the full delivery path.
+    assert!(first.0.len() > 500, "subscriber stream is substantial");
+    assert_eq!(first, second, "same seed, same script, same bytes");
+}

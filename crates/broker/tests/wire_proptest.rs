@@ -1,0 +1,142 @@
+//! Property tests for the wire codec: every frame type survives a round
+//! trip; truncation, garbage, and hostile length prefixes are rejected with
+//! named errors (never a panic, never an allocation sized by the attacker).
+
+use dps_broker::wire::{decode, encode, Frame, FrameReader, PubRef, WireError, MAX_FRAME};
+use dps_content::strategies as st;
+use proptest::prelude::*;
+
+/// A strategy producing every [`Frame`] variant, with realistic payloads from
+/// the content-model strategies.
+fn frame() -> BoxedStrategy<Frame> {
+    prop_oneof![
+        (0u32..3, 0u64..1 << 48, (0u32..2).prop_map(|b| b == 1)).prop_map(|(version, s, some)| {
+            Frame::Hello {
+                version,
+                session: some.then_some(s),
+            }
+        }),
+        (0u64..1 << 32, 0u64..1 << 16, st::filter(), 0u32..1 << 16).prop_map(
+            |(seq, sub, filter, credit)| Frame::Subscribe {
+                seq,
+                sub,
+                filter: filter.into(),
+                credit,
+            }
+        ),
+        (0u64..1 << 32, 0u64..1 << 16).prop_map(|(seq, sub)| Frame::Unsubscribe { seq, sub }),
+        (0u64..1 << 32, st::event()).prop_map(|(seq, event)| Frame::Publish {
+            seq,
+            event: event.into(),
+        }),
+        (
+            0u64..1 << 16,
+            0u64..1 << 32,
+            0u32..1 << 20,
+            st::full_event()
+        )
+            .prop_map(|(sub, publisher, pub_seq, event)| Frame::Deliver {
+                sub,
+                publisher,
+                pub_seq,
+                event: event.into(),
+            }),
+        (
+            0u64..1 << 32,
+            (0u32..2).prop_map(|b| b == 1),
+            0u64..1 << 32,
+            0u32..1 << 20,
+            st::short_string(),
+            (0u32..2).prop_map(|b| b == 1)
+        )
+            .prop_map(|(seq, has_id, node, pseq, err, has_err)| Frame::Ack {
+                seq,
+                pub_id: has_id.then_some(PubRef { node, seq: pseq }),
+                error: has_err.then_some(err),
+            }),
+        (0u64..1 << 16, 0u32..1 << 16).prop_map(|(sub, more)| Frame::Credit { sub, more }),
+        st::short_string().prop_map(|reason| Frame::Close { reason }),
+    ]
+    .boxed()
+}
+
+proptest! {
+    /// Encode → decode is the identity, and consumes exactly the frame.
+    #[test]
+    fn round_trip_every_frame_type(f in frame()) {
+        let bytes = encode(&f).expect("well-formed frames encode");
+        let (back, used) = decode(&bytes).expect("own encoding decodes").expect("complete");
+        prop_assert_eq!(used, bytes.len());
+        prop_assert_eq!(back, f);
+    }
+
+    /// Any strict prefix of a frame is "incomplete", never an error or panic;
+    /// EOF at that point is a named truncation.
+    #[test]
+    fn truncation_is_incomplete_then_named_at_eof(f in frame(), frac in 0u32..1000) {
+        let bytes = encode(&f).unwrap();
+        let cut = (bytes.len() - 1) * frac as usize / 1000;
+        prop_assert_eq!(decode(&bytes[..cut]).unwrap(), None);
+        let mut r = FrameReader::new();
+        r.feed(&bytes[..cut]);
+        prop_assert_eq!(r.next_frame().unwrap(), None);
+        if cut > 0 {
+            prop_assert!(matches!(r.finish(), Err(WireError::Truncated { .. })));
+        }
+    }
+
+    /// A length prefix past the cap is rejected no matter what follows —
+    /// before any allocation of that size could happen.
+    #[test]
+    fn oversized_prefix_is_rejected(over in 1u32..u32::MAX - MAX_FRAME, junk in 0u64..u64::MAX) {
+        let len = MAX_FRAME + over;
+        let mut buf = len.to_be_bytes().to_vec();
+        buf.extend_from_slice(&junk.to_be_bytes());
+        prop_assert_eq!(
+            decode(&buf).unwrap_err(),
+            WireError::FrameTooLarge { len, max: MAX_FRAME }
+        );
+    }
+
+    /// A well-framed body that is not a Frame decodes to a named error, and
+    /// the error message is loud about why.
+    #[test]
+    fn garbage_body_is_a_decode_error(s in st::short_string(), pad in 0u64..u64::MAX) {
+        let body = format!("{s}{pad}");
+        let mut buf = (body.len() as u32).to_be_bytes().to_vec();
+        buf.extend_from_slice(body.as_bytes());
+        prop_assert!(matches!(decode(&buf), Err(WireError::Decode(_))));
+    }
+
+    /// Reassembly is chunking-independent: any chunk size yields the same
+    /// frame sequence as one contiguous feed.
+    #[test]
+    fn reader_is_chunking_independent(a in frame(), b in frame(), c in frame(), chunk in 1usize..9) {
+        let frames = vec![a, b, c];
+        let mut stream = Vec::new();
+        for f in &frames {
+            stream.extend_from_slice(&encode(f).unwrap());
+        }
+        let mut r = FrameReader::new();
+        let mut got = Vec::new();
+        for piece in stream.chunks(chunk) {
+            r.feed(piece);
+            while let Some(f) = r.next_frame().unwrap() {
+                got.push(f);
+            }
+        }
+        prop_assert_eq!(got, frames);
+        r.finish().unwrap();
+    }
+}
+
+/// The encoder refuses to emit a frame whose body would bust the cap — the
+/// sender finds out, not the receiver.
+#[test]
+fn encoder_enforces_the_cap_too() {
+    let reason = "x".repeat(MAX_FRAME as usize + 1);
+    match encode(&Frame::Close { reason }) {
+        Err(WireError::FrameTooLarge { max, .. }) => assert_eq!(max, MAX_FRAME),
+        other => panic!("expected FrameTooLarge, got {other:?}"),
+    }
+}

@@ -1,0 +1,116 @@
+//! `dps-pub` — publish events to a `dps-broker` over its Unix socket.
+//!
+//! ```sh
+//! dps-pub --socket /tmp/dps.sock "price = 150" "temp = 20 & unit = celsius"
+//! dps-pub --socket /tmp/dps.sock --stdin          # one event per line
+//! dps-pub --socket /tmp/dps.sock --repeat 100 --interval-ms 5 "price = 150"
+//! ```
+//!
+//! Each publication is acked by the broker; the assigned identity is printed
+//! as `published <node>:<seq> <event>`. Exits non-zero on the first refused
+//! or failed publish.
+
+use std::io::BufRead;
+use std::time::Duration;
+
+use dps_broker::UnixTransport;
+use dps_client::Session;
+
+fn usage(err: &str) -> ! {
+    eprintln!("error: {err}");
+    eprintln!(
+        "usage: dps-pub --socket PATH [--repeat N] [--interval-ms M] \
+         [--timeout-ms T] [--stdin | EVENT...]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut socket: Option<String> = None;
+    let mut events: Vec<String> = Vec::new();
+    let mut from_stdin = false;
+    let mut repeat = 1u64;
+    let mut interval = Duration::ZERO;
+    let mut timeout = Duration::from_secs(10);
+    while let Some(arg) = args.next() {
+        let mut val = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| usage(&format!("{name} needs a value")))
+        };
+        match arg.as_str() {
+            "--socket" => socket = Some(val("--socket")),
+            "--stdin" => from_stdin = true,
+            "--repeat" => {
+                repeat = val("--repeat")
+                    .parse()
+                    .unwrap_or_else(|_| usage("--repeat must be an integer"))
+            }
+            "--interval-ms" => {
+                interval = Duration::from_millis(
+                    val("--interval-ms")
+                        .parse()
+                        .unwrap_or_else(|_| usage("--interval-ms must be an integer")),
+                )
+            }
+            "--timeout-ms" => {
+                timeout = Duration::from_millis(
+                    val("--timeout-ms")
+                        .parse()
+                        .unwrap_or_else(|_| usage("--timeout-ms must be an integer")),
+                )
+            }
+            other if other.starts_with("--") => usage(&format!("unknown argument {other:?}")),
+            event => events.push(event.to_string()),
+        }
+    }
+    let socket = socket.unwrap_or_else(|| usage("--socket is required"));
+    if from_stdin {
+        for line in std::io::stdin().lock().lines() {
+            let line = line.unwrap_or_else(|e| usage(&format!("stdin: {e}")));
+            if !line.trim().is_empty() {
+                events.push(line);
+            }
+        }
+    }
+    if events.is_empty() {
+        usage("nothing to publish (pass events or --stdin)");
+    }
+    let parsed: Vec<dps::Event> = events
+        .iter()
+        .map(|s| {
+            s.parse::<dps::Event>()
+                .unwrap_or_else(|e| usage(&format!("bad event {s:?}: {e}")))
+        })
+        .collect();
+
+    let session = match Session::connect(&UnixTransport, &socket, timeout) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("dps-pub: cannot connect to {socket}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let publisher = session.publisher().expect("fresh session is open");
+    for round in 0..repeat {
+        for event in &parsed {
+            match publisher.publish(event.clone()) {
+                Ok(id) => println!("published {}:{} {event}", id.node, id.seq),
+                Err(e) => {
+                    eprintln!("dps-pub: publish {event} failed: {e}");
+                    std::process::exit(1);
+                }
+            }
+            if !interval.is_zero() {
+                std::thread::sleep(interval);
+            }
+        }
+        if round + 1 < repeat && !interval.is_zero() {
+            std::thread::sleep(interval);
+        }
+    }
+    if let Err(e) = session.close() {
+        eprintln!("dps-pub: close: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,161 @@
+//! End-to-end tests against a live `dps-broker` process over a Unix socket:
+//! the client library (and the `dps-pub`/`dps-sub` CLI tools) drive a real
+//! broker in another OS process — real sockets, real scheduling, real
+//! teardown.
+
+mod common;
+
+use std::process::{Command, Stdio};
+use std::time::{Duration, Instant};
+
+use common::{bin, BrokerProc};
+use dps_broker::UnixTransport;
+use dps_client::Session;
+
+const TIMEOUT: Duration = Duration::from_secs(10);
+
+#[test]
+fn unix_socket_end_to_end_delivers_the_full_matching_workload() {
+    let mut broker = BrokerProc::start(7);
+
+    // Two subscriber sessions with overlapping filters, one publisher.
+    let hot = Session::connect(&UnixTransport, &broker.socket, TIMEOUT).unwrap();
+    let hot_sub = hot
+        .subscriber("price > 100".parse::<dps::Filter>().unwrap())
+        .unwrap();
+    let band = Session::connect(&UnixTransport, &broker.socket, TIMEOUT).unwrap();
+    let band_sub = band
+        .subscriber("price > 100 & price < 200".parse::<dps::Filter>().unwrap())
+        .unwrap();
+    // Let the overlay place the subscriptions before publishing.
+    std::thread::sleep(Duration::from_millis(300));
+
+    let feed = Session::connect(&UnixTransport, &broker.socket, TIMEOUT).unwrap();
+    let publisher = feed.publisher().unwrap();
+    let workload: Vec<i64> = (0..30).map(|k| (k * 37) % 300).collect();
+    for price in &workload {
+        publisher
+            .publish(format!("price = {price}").parse::<dps::Event>().unwrap())
+            .unwrap();
+    }
+
+    // Expected sets, computed from the workload (publish order preserved).
+    let expect_hot: Vec<String> = workload
+        .iter()
+        .filter(|p| **p > 100)
+        .map(|p| format!("price = {p}"))
+        .collect();
+    let expect_band: Vec<String> = workload
+        .iter()
+        .filter(|p| **p > 100 && **p < 200)
+        .map(|p| format!("price = {p}"))
+        .collect();
+    assert!(expect_hot.len() >= 10, "workload exercises the filters");
+
+    let collect = |sub: &dps_client::Subscriber, want: usize| -> Vec<String> {
+        let mut got = Vec::new();
+        let deadline = Instant::now() + TIMEOUT;
+        while got.len() < want && Instant::now() < deadline {
+            if let Some(d) = sub.recv_timeout(Duration::from_millis(100)) {
+                got.push(d.event.to_string());
+            }
+        }
+        got
+    };
+    let got_hot = collect(&hot_sub, expect_hot.len());
+    let got_band = collect(&band_sub, expect_band.len());
+
+    // Delivered:expected ratio must be exactly 1.0, with the right events.
+    assert_eq!(got_hot, expect_hot, "hot subscriber: every match, in order");
+    assert_eq!(
+        got_band, expect_band,
+        "band subscriber: every match, in order"
+    );
+
+    broker.assert_alive();
+    feed.close().unwrap();
+    hot.close().unwrap();
+    band.close().unwrap();
+}
+
+#[test]
+fn refused_requests_are_typed_errors_not_session_killers() {
+    let mut broker = BrokerProc::start(3);
+    let session = Session::connect(&UnixTransport, &broker.socket, TIMEOUT).unwrap();
+
+    // An empty filter is refused by the overlay; the error surfaces as a
+    // typed DpsError and the session keeps working afterwards.
+    let err = session.subscriber(dps::Filter::all()).unwrap_err();
+    assert!(matches!(err, dps::DpsError::Protocol(_)), "got {err:?}");
+
+    let sub = session
+        .subscriber("a > 0".parse::<dps::Filter>().unwrap())
+        .unwrap();
+    std::thread::sleep(Duration::from_millis(200));
+    let publisher = session.publisher().unwrap();
+    publisher
+        .publish("a = 1".parse::<dps::Event>().unwrap())
+        .unwrap();
+    assert!(
+        sub.recv_timeout(TIMEOUT).is_some(),
+        "the session still delivers after a refused request"
+    );
+    broker.assert_alive();
+    session.close().unwrap();
+}
+
+/// CLI round trip: dps-pub → dps-broker → dps-sub, diffing delivered lines
+/// against the expected set (the same check the CI smoke job scripts).
+#[test]
+fn cli_pub_sub_round_trip() {
+    let mut broker = BrokerProc::start(11);
+
+    let sub = Command::new(bin("dps-sub"))
+        .args([
+            "--socket",
+            &broker.socket,
+            "--filter",
+            "temp > 20",
+            "--count",
+            "3",
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .expect("dps-sub starts");
+    // Give the subscription time to be placed in the overlay.
+    std::thread::sleep(Duration::from_millis(300));
+
+    let out = Command::new(bin("dps-pub"))
+        .args([
+            "--socket",
+            &broker.socket,
+            "temp = 25",
+            "temp = 10",
+            "temp = 30",
+            "temp = 15",
+            "temp = 21",
+        ])
+        .output()
+        .expect("dps-pub runs");
+    assert!(out.status.success(), "dps-pub failed: {out:?}");
+    assert_eq!(
+        String::from_utf8_lossy(&out.stdout).lines().count(),
+        5,
+        "every publish acked and printed"
+    );
+
+    let sub_out = sub.wait_with_output().expect("dps-sub finishes");
+    assert!(sub_out.status.success(), "dps-sub failed: {sub_out:?}");
+    let delivered: Vec<String> = String::from_utf8_lossy(&sub_out.stdout)
+        .lines()
+        .filter(|l| l.starts_with("deliver "))
+        .map(|l| l.splitn(3, ' ').nth(2).unwrap().to_string())
+        .collect();
+    assert_eq!(
+        delivered,
+        vec!["temp = 25", "temp = 30", "temp = 21"],
+        "exactly the matching events, in publish order"
+    );
+    broker.assert_alive();
+}

@@ -1,0 +1,127 @@
+//! Wall-clock soak: `dps-pub` and `dps-sub` processes against a live broker
+//! under subscriber churn. The CI variant runs ~10 seconds; the `#[ignore]`d
+//! long variant runs two minutes (`cargo test -p dps-client --test soak --
+//! --ignored`). Asserts delivery floors and that the broker survives the
+//! whole run without exiting (no panics, no wedged event loop).
+
+mod common;
+
+use std::process::{Command, Stdio};
+use std::time::{Duration, Instant};
+
+use common::{bin, BrokerProc};
+
+/// Parses the `received N` summary line a finished `dps-sub` prints.
+fn received_count(stdout: &[u8]) -> u64 {
+    String::from_utf8_lossy(stdout)
+        .lines()
+        .rev()
+        .find_map(|l| l.strip_prefix("received ")?.trim().parse().ok())
+        .unwrap_or(0)
+}
+
+fn soak(total: Duration) {
+    let mut broker = BrokerProc::start(5);
+
+    // A long-lived subscriber spanning the whole run.
+    let long_ms = total.as_millis() as u64;
+    let long_sub = Command::new(bin("dps-sub"))
+        .args([
+            "--socket",
+            &broker.socket,
+            "--filter",
+            "load > 0",
+            "--duration-ms",
+            &long_ms.to_string(),
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .expect("long dps-sub starts");
+    std::thread::sleep(Duration::from_millis(300));
+
+    // A continuous publisher: one `load` event every ~10ms. Each publish
+    // waits for its ack, so the effective rate is well under 100/s — size
+    // the feed to finish comfortably inside the long subscriber's window.
+    let events_total = (long_ms / 40).max(50);
+    let feed = Command::new(bin("dps-pub"))
+        .args([
+            "--socket",
+            &broker.socket,
+            "--repeat",
+            &events_total.to_string(),
+            "--interval-ms",
+            "10",
+            "load = 1",
+        ])
+        .stdout(Stdio::null())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .expect("dps-pub starts");
+
+    // Subscriber churn: short-lived dps-sub processes joining, taking a few
+    // deliveries, and leaving — sequentially, for the duration of the run.
+    let deadline = Instant::now() + total - Duration::from_millis(1500);
+    let mut churned = 0u32;
+    let mut churn_received = 0u64;
+    while Instant::now() < deadline {
+        let out = Command::new(bin("dps-sub"))
+            .args([
+                "--socket",
+                &broker.socket,
+                "--filter",
+                "load > 0",
+                "--count",
+                "2",
+                "--duration-ms",
+                "3000",
+            ])
+            .output()
+            .expect("churn dps-sub runs");
+        assert!(out.status.success(), "churn subscriber failed: {out:?}");
+        churned += 1;
+        churn_received += received_count(&out.stdout);
+        broker.assert_alive();
+    }
+
+    let feed_out = feed.wait_with_output().expect("dps-pub finishes");
+    assert!(
+        feed_out.status.success(),
+        "publisher survived the whole run: {feed_out:?}"
+    );
+    let long_out = long_sub.wait_with_output().expect("long dps-sub finishes");
+    assert!(
+        long_out.status.success(),
+        "long subscriber failed: {long_out:?}"
+    );
+
+    // Delivery floors: the long-lived subscriber saw most of the stream (it
+    // was placed before publishing began); churn subscribers collectively
+    // made progress too.
+    let long_received = received_count(&long_out.stdout);
+    assert!(
+        long_received >= events_total * 8 / 10,
+        "long subscriber floor: got {long_received} of {events_total}"
+    );
+    assert!(churned >= 2, "churn actually happened ({churned} joins)");
+    assert!(
+        churn_received >= churned as u64,
+        "churn subscribers made progress: {churn_received} deliveries over {churned} joins"
+    );
+
+    // Zero broker panics: still serving after everything above.
+    broker.assert_alive();
+}
+
+/// ~10-second variant, cheap enough for every CI run.
+#[test]
+fn soak_ci_ten_seconds() {
+    soak(Duration::from_secs(10));
+}
+
+/// Long soak for manual runs: `cargo test -p dps-client --test soak -- --ignored`.
+#[test]
+#[ignore = "two-minute wall-clock soak; run explicitly"]
+fn soak_long_two_minutes() {
+    soak(Duration::from_secs(120));
+}

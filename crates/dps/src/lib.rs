@@ -5,32 +5,41 @@
 //! *"A Semantic Overlay for Self-\* Peer-to-Peer Publish/Subscribe"*
 //! (Anceaume, Datta, Gradinariu, Simon, Virgillito — ICDCS 2006). It re-exports
 //! the content model ([`dps_content`]), the protocol engine ([`dps_overlay`]) and
-//! the simulator ([`dps_sim`]), and adds [`DpsNetwork`]: a batteries-included
-//! driver that builds a network of DPS nodes, runs it step by step, injects
-//! subscriptions, publications and failures, and measures delivery against an
-//! omniscient oracle.
+//! the simulator ([`dps_sim`]), and adds two surfaces on top:
+//!
+//! - the **session-first API** ([`Hub`] → [`Session`] →
+//!   [`Publisher`]/[`Subscriber`]) — how applications attach to the system,
+//!   with explicit open/close lifecycle and [`DpsError`]-typed failures. The
+//!   `dps-client` crate exposes the same shape against a live `dps-broker`
+//!   process, so application code ports across backends unchanged;
+//! - the **simulation driver** ([`DpsNetwork`]) — builds a network of DPS
+//!   nodes, runs it step by step, injects subscriptions, publications and
+//!   failures, and measures delivery against an omniscient oracle.
 //!
 //! # Quickstart
 //!
 //! ```
-//! use dps::{DpsNetwork, DpsConfig};
+//! use dps::{DpsConfig, Event, Hub};
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! // A small network running the root-based + leader-based flavor.
-//! let mut net = DpsNetwork::new(DpsConfig::default(), 42);
-//! let nodes = net.add_nodes(8);
+//! let hub = Hub::new(DpsConfig::default(), 42);
+//! hub.add_nodes(8); // background overlay population
 //!
 //! // Subscribers self-organize into per-attribute semantic trees.
-//! net.subscribe(nodes[0], "price > 100".parse()?);
-//! net.subscribe(nodes[1], "price > 100 & price < 200".parse()?);
-//! net.subscribe(nodes[2], "price < 50".parse()?);
-//! net.run(120); // let the overlay converge
+//! let trader = hub.open_session()?;
+//! let ticks = trader.subscriber("price > 100".parse::<dps::Filter>()?)?;
+//! hub.run(120); // let the overlay converge
 //!
 //! // Publish an event; only matching subscribers are notified.
-//! net.publish(nodes[7], "price = 150".parse()?);
-//! net.run(40);
+//! let feed = hub.open_session()?;
+//! feed.publisher()?.publish("price = 150".parse::<Event>()?)?;
+//! hub.run(40);
 //!
-//! assert_eq!(net.delivered_ratio(), 1.0);
+//! assert_eq!(ticks.drain().len(), 1);
+//! assert_eq!(hub.delivered_ratio(), 1.0);
+//! trader.close()?;
+//! feed.close()?;
 //! # Ok(())
 //! # }
 //! ```
@@ -38,7 +47,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod error;
 mod network;
+pub mod session;
+
+pub use error::DpsError;
+pub use session::{Delivery, Hub, Publisher, Session, Subscriber};
 
 pub use dps_content::{
     AttrName, AttrType, Event, Filter, Op, ParseError, Predicate, SharedEvent, SharedFilter, Value,

@@ -4,7 +4,11 @@
 use std::collections::HashSet;
 use std::sync::Arc;
 
-use dps_content::{match_mode, Event, Filter, FilterIndex, MatchMode, MatchScratch, SharedFilter};
+use dps_content::{
+    match_mode, Event, Filter, FilterIndex, MatchMode, MatchScratch, SharedEvent, SharedFilter,
+};
+
+use crate::error::DpsError;
 use dps_overlay::model::ForestModel;
 use dps_overlay::{CountingSink, DpsConfig, DpsNode, GroupLabel, JoinRule, PubId, SubId};
 use dps_sim::{
@@ -156,40 +160,91 @@ impl DpsNetwork {
     /// Issues a subscription from `node`. The predicate used to join the overlay
     /// is the filter's first one under [`JoinRule::First`], or picked uniformly at
     /// random under [`JoinRule::Explicit`] (the paper's "arbitrarily chosen").
-    /// Returns `None` if the node is dead or the filter empty.
-    pub fn subscribe(&mut self, node: NodeId, filter: Filter) -> Option<SubId> {
-        if filter.is_empty() || !self.sim.is_alive(node) {
-            return None;
+    ///
+    /// Errors with [`DpsError::EmptyFilter`] on a predicate-less filter and
+    /// [`DpsError::NodeDead`] when `node` is not alive.
+    pub fn try_subscribe(
+        &mut self,
+        node: NodeId,
+        filter: impl Into<SharedFilter>,
+    ) -> Result<SubId, DpsError> {
+        let filter = filter.into();
+        if filter.is_empty() {
+            return Err(DpsError::EmptyFilter);
+        }
+        if !self.sim.is_alive(node) {
+            return Err(DpsError::NodeDead(node));
         }
         let join_idx = match self.cfg.join_rule {
             JoinRule::First => 0,
             JoinRule::Explicit => self.rng.random_range(0..filter.predicates().len()),
         };
-        // Wrap once; the oracle, the node's filter index and the facade
-        // registry all share this one allocation.
-        let filter = SharedFilter::from(filter);
+        // Wrapped once (by `into`); the oracle, the node's filter index and
+        // the facade registry all share that one allocation.
         self.oracle.subscribe(node, &filter, join_idx);
         let mut out = None;
         let f = filter.clone();
         self.sim.invoke(node, |n, ctx| {
             out = Some(n.subscribe_with(f, join_idx, ctx));
         });
-        let sub_id = out?;
+        let sub_id = out.ok_or(DpsError::NodeDead(node))?;
         self.filters.insert((node, sub_id), filter);
-        Some(sub_id)
+        Ok(sub_id)
     }
 
-    /// Cancels a subscription.
-    pub fn unsubscribe(&mut self, node: NodeId, sub_id: SubId) {
-        self.filters.remove((node, sub_id));
+    /// Deprecated spelling of [`try_subscribe`](Self::try_subscribe): collapses
+    /// every refusal into `None`.
+    #[deprecated(since = "0.2.0", note = "use try_subscribe (or a session Subscriber)")]
+    pub fn subscribe(&mut self, node: NodeId, filter: Filter) -> Option<SubId> {
+        self.try_subscribe(node, filter).ok()
+    }
+
+    /// Cancels a subscription previously issued through this facade.
+    ///
+    /// Errors with [`DpsError::UnknownSubscription`] when `(node, sub_id)` is
+    /// not a live registration. Cancelling on a dead node still removes the
+    /// registration (the overlay side died with the node) but reports
+    /// [`DpsError::NodeDead`].
+    pub fn try_unsubscribe(&mut self, node: NodeId, sub_id: SubId) -> Result<(), DpsError> {
+        if self.filters.remove((node, sub_id)) == 0 {
+            return Err(DpsError::UnknownSubscription { node, sub: sub_id });
+        }
+        if !self.sim.is_alive(node) {
+            return Err(DpsError::NodeDead(node));
+        }
         self.sim.invoke(node, |n, ctx| n.unsubscribe(sub_id, ctx));
+        Ok(())
+    }
+
+    /// Deprecated spelling of [`try_unsubscribe`](Self::try_unsubscribe):
+    /// ignores every refusal.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use try_unsubscribe (or close the session Subscriber)"
+    )]
+    pub fn unsubscribe(&mut self, node: NodeId, sub_id: SubId) {
+        let _ = self.try_unsubscribe(node, sub_id);
+    }
+
+    /// Deprecated spelling of [`try_publish`](Self::try_publish): collapses
+    /// every refusal into `None`.
+    #[deprecated(since = "0.2.0", note = "use try_publish (or a session Publisher)")]
+    pub fn publish(&mut self, node: NodeId, event: Event) -> Option<PubId> {
+        self.try_publish(node, event).ok()
     }
 
     /// Publishes `event` from `node`, recording the ground-truth recipient set
     /// (alive matching subscribers at publish time) for delivery accounting.
-    pub fn publish(&mut self, node: NodeId, event: Event) -> Option<PubId> {
+    ///
+    /// Errors with [`DpsError::NodeDead`] when the publisher is not alive.
+    pub fn try_publish(
+        &mut self,
+        node: NodeId,
+        event: impl Into<SharedEvent>,
+    ) -> Result<PubId, DpsError> {
+        let event = event.into();
         if !self.sim.is_alive(node) {
-            return None;
+            return Err(DpsError::NodeDead(node));
         }
         // Scan the registry by reference; the event itself is moved into the
         // node, not cloned.
@@ -231,14 +286,14 @@ impl DpsNetwork {
         self.sim.invoke(node, |n, ctx| {
             out = Some(n.publish(event, ctx));
         });
-        let id = out?;
+        let id = out.ok_or(DpsError::NodeDead(node))?;
         self.pubs.push(PubRecord {
             id,
             at: now,
             expected,
             reachable,
         });
-        Some(id)
+        Ok(id)
     }
 
     /// Runs `steps` simulation steps.
@@ -418,6 +473,23 @@ impl DpsNetwork {
     /// fresh network, **before** [`add_nodes`](Self::add_nodes) (the
     /// simulator rejects later installs). The default is
     /// [`LatencyModel::Unit`] — the classic cycle engine, byte for byte.
+    ///
+    /// Errors with [`DpsError::InvalidLatency`] on a malformed model and
+    /// [`DpsError::LatencyAfterStart`] once the simulation has moved.
+    pub fn try_set_latency(&mut self, model: LatencyModel) -> Result<(), DpsError> {
+        if let Err(e) = model.validate() {
+            return Err(DpsError::InvalidLatency(e));
+        }
+        if self.sim.now() != 0 || self.sim.snapshot().in_flight != 0 {
+            return Err(DpsError::LatencyAfterStart);
+        }
+        self.sim.set_latency(model);
+        Ok(())
+    }
+
+    /// Deprecated spelling of [`try_set_latency`](Self::try_set_latency):
+    /// panics on refusal.
+    #[deprecated(since = "0.2.0", note = "use try_set_latency")]
     pub fn set_latency(&mut self, model: LatencyModel) {
         self.sim.set_latency(model);
     }

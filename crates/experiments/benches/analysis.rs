@@ -46,7 +46,7 @@ fn main() {
         net.run(30);
         let mut rng: rand::rngs::StdRng = rand::SeedableRng::seed_from_u64(31 + ci as u64);
         for (i, node) in nodes.iter().enumerate() {
-            net.subscribe(*node, w.subscription(&mut rng));
+            let _ = net.try_subscribe(*node, w.subscription(&mut rng));
             if i % 10 == 9 {
                 net.run(1);
             }
@@ -64,7 +64,7 @@ fn main() {
         let before = net.metrics().total_sent(MsgClass::Publication);
         for _ in 0..n_events {
             let publisher = nodes[rand::Rng::random_range(&mut rng, 0..nodes.len())];
-            net.publish(publisher, w.event(&mut rng));
+            let _ = net.try_publish(publisher, w.event(&mut rng));
             net.run(15);
         }
         net.run(100);

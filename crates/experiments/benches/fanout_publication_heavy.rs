@@ -36,7 +36,7 @@ fn bench_fanout(c: &mut Criterion) {
             net.run(30);
             let mut rng = rand::rngs::StdRng::seed_from_u64(4);
             for n in &nodes {
-                net.subscribe(*n, w.subscription(&mut rng));
+                let _ = net.try_subscribe(*n, w.subscription(&mut rng));
             }
             net.quiesce(6000);
             let events: Vec<Event> = (0..1024).map(|_| w.event(&mut rng)).collect();
@@ -45,7 +45,7 @@ fn bench_fanout(c: &mut Criterion) {
             // (diagnostic print; not part of the timing).
             let mut i = 0usize;
             let tick = |net: &mut DpsNetwork, i: &mut usize| {
-                net.publish(nodes[*i % nodes.len()], events[*i % events.len()].clone());
+                let _ = net.try_publish(nodes[*i % nodes.len()], events[*i % events.len()].clone());
                 net.run(1);
                 *i += 1;
             };

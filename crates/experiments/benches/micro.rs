@@ -175,7 +175,7 @@ fn bench_sim_step(c: &mut Criterion) {
             let w = Workload::multiplayer_game();
             let mut rng = rand::rngs::StdRng::seed_from_u64(4);
             for n in &nodes {
-                net.subscribe(*n, w.subscription(&mut rng));
+                let _ = net.try_subscribe(*n, w.subscription(&mut rng));
             }
             net.quiesce(3000);
             b.iter(|| {
@@ -204,14 +204,14 @@ fn bench_event_queue(c: &mut Criterion) {
         c.bench_function(&format!("event_queue_1k_nodes_one_step_{label}"), |b| {
             let mut net = DpsNetwork::new(DpsConfig::default(), 3);
             if let Some(m) = model.clone() {
-                net.set_latency(m);
+                net.try_set_latency(m).unwrap();
             }
             let nodes = net.add_nodes(1000);
             net.run(30);
             let w = Workload::multiplayer_game();
             let mut rng = rand::rngs::StdRng::seed_from_u64(4);
             for n in &nodes {
-                net.subscribe(*n, w.subscription(&mut rng));
+                let _ = net.try_subscribe(*n, w.subscription(&mut rng));
             }
             net.quiesce(6000);
             // Steady-state delivery rate, so events/sec can be derived from

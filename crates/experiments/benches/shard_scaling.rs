@@ -20,7 +20,7 @@ fn build(n: usize, shards: usize) -> DpsNetwork {
     let w = Workload::multiplayer_game();
     let mut rng = rand::rngs::StdRng::seed_from_u64(4);
     for node in &nodes {
-        net.subscribe(*node, w.subscription(&mut rng));
+        let _ = net.try_subscribe(*node, w.subscription(&mut rng));
     }
     net.run(200); // settle most traversals; leftovers are steady-state traffic
     net

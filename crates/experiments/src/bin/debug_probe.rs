@@ -15,7 +15,7 @@ fn run_cell(cfg: DpsConfig, p: f64, n: usize, steps: u64, label: &str) {
     let mut rng = StdRng::seed_from_u64(42 ^ 0xabcd);
     for _round in 0..3 {
         for (i, node) in nodes.iter().enumerate() {
-            net.subscribe(*node, w.subscription(&mut rng));
+            let _ = net.try_subscribe(*node, w.subscription(&mut rng));
             if i % 25 == 24 {
                 net.run(1);
             }
@@ -38,7 +38,7 @@ fn run_cell(cfg: DpsConfig, p: f64, n: usize, steps: u64, label: &str) {
         }
         if t % 10 == 0 {
             if let Some(publisher) = net.random_alive() {
-                net.publish(publisher, w.event(&mut w_rng));
+                let _ = net.try_publish(publisher, w.event(&mut w_rng));
             }
         }
         net.run(1);

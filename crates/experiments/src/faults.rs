@@ -61,7 +61,7 @@ fn partition_cell(cfg: DpsConfig, ci: usize, n: usize, phase_steps: u64) -> Vec<
     for t in 0..phase_steps {
         if t % 10 == 0 {
             if let Some(publisher) = net.random_alive() {
-                net.publish(publisher, w.event(&mut w_rng));
+                let _ = net.try_publish(publisher, w.event(&mut w_rng));
             }
         }
         net.run(1);
@@ -72,7 +72,7 @@ fn partition_cell(cfg: DpsConfig, ci: usize, n: usize, phase_steps: u64) -> Vec<
     for t in 0..phase_steps {
         if t % 10 == 0 {
             if let Some(publisher) = net.random_alive() {
-                net.publish(publisher, w.event(&mut w_rng));
+                let _ = net.try_publish(publisher, w.event(&mut w_rng));
             }
         }
         net.run(1);
@@ -158,7 +158,7 @@ fn loss_cell(cfg: DpsConfig, ci: usize, loss: f64, n: usize, steps: u64) -> Loss
     for t in 0..steps {
         if t % 10 == 0 {
             if let Some(publisher) = net.random_alive() {
-                net.publish(publisher, w.event(&mut w_rng));
+                let _ = net.try_publish(publisher, w.event(&mut w_rng));
             }
         }
         net.run(1);

@@ -49,7 +49,7 @@ pub(crate) fn build_overlay(
     let mut rng = StdRng::seed_from_u64(seed ^ 0xabcd);
     for _round in 0..subs_per_node {
         for (i, node) in nodes.iter().enumerate() {
-            net.subscribe(*node, w.subscription(&mut rng));
+            let _ = net.try_subscribe(*node, w.subscription(&mut rng));
             if i % 25 == 24 {
                 net.run(1);
             }
@@ -91,7 +91,7 @@ pub fn fig3a_cell(cfg: DpsConfig, p: f64, pi: usize, n: usize, steps: u64) -> Fi
         // "A new event is published every 10 steps."
         if t % 10 == 0 {
             if let Some(publisher) = net.random_alive() {
-                net.publish(publisher, w.event(&mut w_rng));
+                let _ = net.try_publish(publisher, w.event(&mut w_rng));
             }
         }
         net.run(1);
@@ -190,7 +190,7 @@ pub fn fig3b(scale: Scale) -> Vec<Fig3bPoint> {
                     }
                     if t % 10 == 0 {
                         if let Some(publisher) = net.random_alive() {
-                            net.publish(publisher, w.event(&mut w_rng));
+                            let _ = net.try_publish(publisher, w.event(&mut w_rng));
                         }
                     }
                     net.run(1);
@@ -269,12 +269,12 @@ pub fn fig3cd(scale: Scale) -> Vec<Fig3cdPoint> {
                     // emits a new subscription."
                     if t % 2 == 0 {
                         let id = net.add_node();
-                        net.subscribe(id, w.subscription(&mut w_rng));
+                        let _ = net.try_subscribe(id, w.subscription(&mut w_rng));
                     }
                     // "10 new events every 100 steps."
                     if t % 10 == 0 {
                         if let Some(publisher) = net.random_alive() {
-                            net.publish(publisher, w.event(&mut w_rng));
+                            let _ = net.try_publish(publisher, w.event(&mut w_rng));
                         }
                     }
                     net.run(1);
@@ -351,12 +351,12 @@ fn load_run(mut cfg: DpsConfig, scale: Scale, seed: u64) -> Vec<LoadPoint> {
         // Each node emits a new subscription every `sub_every` steps (staggered).
         for (i, node) in nodes.iter().enumerate() {
             if (t + i as u64).is_multiple_of(sub_every) {
-                net.subscribe(*node, w.subscription(&mut w_rng));
+                let _ = net.try_subscribe(*node, w.subscription(&mut w_rng));
             }
         }
         if t % 10 == 0 {
             if let Some(publisher) = net.random_alive() {
-                net.publish(publisher, w.event(&mut w_rng));
+                let _ = net.try_publish(publisher, w.event(&mut w_rng));
             }
         }
         net.run(1);

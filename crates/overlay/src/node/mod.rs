@@ -454,6 +454,7 @@ impl DpsNode {
         if matched {
             self.pubs_notified += 1;
             self.sink.on_notify(id, self.id, now);
+            self.sink.on_deliver(id, self.id, event, now);
         }
         true
     }

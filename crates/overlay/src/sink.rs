@@ -10,6 +10,7 @@
 use std::collections::{HashMap, HashSet};
 use std::sync::Mutex;
 
+use dps_content::{Event, SharedEvent};
 use dps_sim::{NodeId, Step};
 
 use crate::msg::PubId;
@@ -25,6 +26,12 @@ pub trait StatsSink: Send + Sync {
     /// `node` received publication `id` at step `now` and it matched one of
     /// its subscription filters (the `Notify` upcall of the paper).
     fn on_notify(&self, id: PubId, node: NodeId, now: Step);
+    /// Like [`on_notify`](StatsSink::on_notify), but carrying the event body,
+    /// called at the same site. Default: ignored — counting-only sinks never
+    /// touch the payload, so the simulator's zero-copy fan-out is unaffected.
+    /// Session hosts (the in-process `dps::session::Hub` and the broker)
+    /// override it to queue payloads for *watched* nodes.
+    fn on_deliver(&self, _id: PubId, _node: NodeId, _event: &Event, _now: Step) {}
 }
 
 /// A sink that ignores everything.
@@ -52,6 +59,17 @@ struct CountingInner {
     contacts: HashSet<(PubId, NodeId)>,
     /// First-notify step per `(publication, node)` pair.
     notifies: HashMap<(PubId, NodeId), Step>,
+    /// Delivery queues for *watched* nodes (session endpoints): payloads are
+    /// retained only here, so unwatched — i.e. simulation-only — runs never
+    /// clone an event body. Each queue dedups by publication id: redundant
+    /// re-deliveries through other trees enqueue nothing.
+    watched: HashMap<NodeId, WatchQueue>,
+}
+
+#[derive(Debug, Default)]
+struct WatchQueue {
+    seen: HashSet<PubId>,
+    queue: Vec<(PubId, SharedEvent)>,
 }
 
 impl CountingSink {
@@ -112,6 +130,30 @@ impl CountingSink {
             f(*p, *n);
         }
     }
+
+    /// Starts retaining delivery payloads for `node`. Idempotent. Deliveries
+    /// that happened before the watch began are not replayed.
+    pub fn watch(&self, node: NodeId) {
+        self.inner.lock().unwrap().watched.entry(node).or_default();
+    }
+
+    /// Stops retaining payloads for `node` and discards anything queued.
+    pub fn unwatch(&self, node: NodeId) {
+        self.inner.lock().unwrap().watched.remove(&node);
+    }
+
+    /// Whether `node` is currently watched.
+    pub fn is_watched(&self, node: NodeId) -> bool {
+        self.inner.lock().unwrap().watched.contains_key(&node)
+    }
+
+    /// Moves everything queued for `node` since the last drain into `into`
+    /// (oldest first). A node that is not watched drains nothing.
+    pub fn drain_deliveries(&self, node: NodeId, into: &mut Vec<(PubId, SharedEvent)>) {
+        if let Some(w) = self.inner.lock().unwrap().watched.get_mut(&node) {
+            into.append(&mut w.queue);
+        }
+    }
 }
 
 impl StatsSink for CountingSink {
@@ -128,6 +170,17 @@ impl StatsSink for CountingSink {
             .notifies
             .entry((id, node))
             .or_insert(now);
+    }
+
+    fn on_deliver(&self, id: PubId, node: NodeId, event: &Event, _now: Step) {
+        let mut inner = self.inner.lock().unwrap();
+        if let Some(w) = inner.watched.get_mut(&node) {
+            if w.seen.insert(id) {
+                // The one payload clone of a watched delivery: queues hold the
+                // event by refcount from here on.
+                w.queue.push((id, SharedEvent::new(event.clone())));
+            }
+        }
     }
 }
 
@@ -166,6 +219,38 @@ mod tests {
         s.on_notify(p, n, 7);
         s.on_notify(p, n, 12); // a slower redundant path re-delivers
         assert_eq!(s.notify_step(p, n), Some(7));
+    }
+
+    #[test]
+    fn watch_queues_payloads_only_for_watched_nodes() {
+        let s = CountingSink::new();
+        let p = PubId(NodeId::from_index(0), 1);
+        let q = PubId(NodeId::from_index(0), 2);
+        let n1 = NodeId::from_index(1);
+        let n2 = NodeId::from_index(2);
+        let ev: Event = "a = 1".parse().unwrap();
+        s.watch(n1);
+        assert!(s.is_watched(n1));
+        assert!(!s.is_watched(n2));
+        s.on_deliver(p, n1, &ev, 3);
+        s.on_deliver(p, n1, &ev, 9); // redundant re-delivery: deduped
+        s.on_deliver(q, n1, &ev, 4);
+        s.on_deliver(p, n2, &ev, 3); // unwatched: dropped
+        let mut got = Vec::new();
+        s.drain_deliveries(n1, &mut got);
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].0, p);
+        assert_eq!(got[1].0, q);
+        assert_eq!(*got[0].1, ev);
+        got.clear();
+        s.drain_deliveries(n1, &mut got);
+        assert!(got.is_empty(), "drain consumes");
+        s.drain_deliveries(n2, &mut got);
+        assert!(got.is_empty());
+        s.unwatch(n1);
+        s.on_deliver(q, n1, &ev, 5);
+        s.drain_deliveries(n1, &mut got);
+        assert!(got.is_empty(), "unwatch discards and stops retention");
     }
 
     #[test]

@@ -136,14 +136,15 @@ impl ScenarioRun {
         // insists on a fresh simulation, and `add_nodes` already enqueues the
         // nodes' start-up sends.
         if let Some(model) = compiled.latency.clone() {
-            net.set_latency(model);
+            net.try_set_latency(model)
+                .expect("compile() validated the model and the network is fresh");
         }
         let nodes = net.add_nodes(compiled.nodes);
         net.run(30);
         let mut sub_rng = StdRng::seed_from_u64(compiled.seed ^ SUB_RNG_SALT);
         for _round in 0..compiled.subs_per_node {
             for (i, node) in nodes.iter().enumerate() {
-                net.subscribe(*node, subscription(&compiled, &mut sub_rng));
+                let _ = net.try_subscribe(*node, subscription(&compiled, &mut sub_rng));
                 if i % 25 == 24 {
                     net.run(1);
                 }
@@ -224,7 +225,7 @@ impl ScenarioRun {
                         ChurnEvent::Join => {
                             let id = self.net.add_node();
                             let f = subscription(&self.compiled, &mut self.event_rng);
-                            self.net.subscribe(id, f);
+                            let _ = self.net.try_subscribe(id, f);
                             rec.joins += 1;
                         }
                     }
@@ -234,7 +235,7 @@ impl ScenarioRun {
                 next_sub += 1;
                 if let Some(node) = self.net.random_alive() {
                     let f = subscription(&self.compiled, &mut self.event_rng);
-                    self.net.subscribe(node, f);
+                    let _ = self.net.try_subscribe(node, f);
                     rec.subscriptions += 1;
                 }
             }
@@ -242,7 +243,7 @@ impl ScenarioRun {
                 if (t - 1) % every == 0 {
                     if let Some(publisher) = self.net.random_alive() {
                         let ev = self.compiled.workload.event(&mut self.event_rng);
-                        if self.net.publish(publisher, ev).is_some() {
+                        if self.net.try_publish(publisher, ev).is_ok() {
                             rec.published += 1;
                         }
                     }

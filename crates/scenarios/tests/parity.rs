@@ -79,7 +79,7 @@ fn hand_built() -> Measures {
     net.run(30);
     let mut sub_rng = StdRng::seed_from_u64(SEED ^ 0xabcd);
     for (i, node) in nodes.iter().enumerate() {
-        net.subscribe(*node, w.subscription(&mut sub_rng));
+        let _ = net.try_subscribe(*node, w.subscription(&mut sub_rng));
         if i % 25 == 24 {
             net.run(1);
         }
@@ -108,7 +108,7 @@ fn hand_built() -> Measures {
             }
             if (t - 1) % publish_every == 0 {
                 if let Some(publisher) = net.random_alive() {
-                    if net.publish(publisher, w.event(&mut event_rng)).is_some() {
+                    if net.try_publish(publisher, w.event(&mut event_rng)).is_ok() {
                         published += 1;
                     }
                 }

@@ -6,47 +6,52 @@
 //! cargo run --release --example alert_monitor
 //! ```
 
-use dps::{CommKind, DpsConfig, DpsNetwork, JoinRule, MsgClass, TraversalKind};
+use dps::{CommKind, DpsConfig, Hub, JoinRule, MsgClass, Session, Subscriber, TraversalKind};
 use dps_workload::Workload;
 use rand::SeedableRng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut cfg = DpsConfig::named(TraversalKind::Root, CommKind::Leader);
     cfg.join_rule = JoinRule::Explicit;
-    let mut net = DpsNetwork::new(cfg, 3);
-    let operators = net.add_nodes(100);
-    net.run(30);
+    let hub = Hub::new(cfg, 3);
+    hub.run(30);
 
     let w = Workload::alert_monitoring();
     let mut rng = rand::rngs::StdRng::seed_from_u64(13);
     println!("operators installing alert thresholds...");
-    for (i, op) in operators.iter().enumerate() {
-        net.subscribe(*op, w.subscription(&mut rng));
+    let mut operators: Vec<(Session, Subscriber)> = Vec::new();
+    for i in 0..100 {
+        let s = hub.open_session()?;
+        let sub = s.subscriber(w.subscription(&mut rng))?;
+        operators.push((s, sub));
         if i % 10 == 9 {
-            net.run(2);
+            hub.run(2);
         }
     }
-    net.quiesce(3000);
-    net.run(150);
+    hub.quiesce(3000);
+    hub.run(150);
 
     println!("streaming 100 telemetry readings...");
-    let before = net.metrics().total_sent(MsgClass::Publication);
+    let before = hub.with_network(|net| net.metrics().total_sent(MsgClass::Publication));
     for k in 0..100usize {
-        let sensor = operators[k % operators.len()];
-        net.publish(sensor, w.event(&mut rng));
-        net.run(8);
+        let (sensor, _) = &operators[k % operators.len()];
+        sensor.publisher()?.publish(w.event(&mut rng))?;
+        hub.run(8);
     }
-    net.run(400);
-    let msgs = net.metrics().total_sent(MsgClass::Publication) - before;
+    hub.run(400);
+    let msgs = hub.with_network(|net| net.metrics().total_sent(MsgClass::Publication)) - before;
 
-    let mut alerts = 0usize;
-    let mut contacted = 0usize;
-    for r in net.reports() {
-        alerts += r.expected.len();
-        contacted += r.contacted;
-    }
+    let (mut alerts, mut contacted) = (0usize, 0usize);
+    hub.with_network(|net| {
+        for r in net.reports() {
+            alerts += r.expected.len();
+            contacted += r.contacted;
+        }
+    });
+    let received: usize = operators.iter().map(|(_, sub)| sub.drain().len()).sum();
     println!("\n100 readings against {} thresholds:", operators.len());
     println!("  alerts fired (matching pairs): {alerts}");
+    println!("  alerts received on sessions:   {received}");
     println!(
         "  nodes contacted in total: {contacted} ({:.1} per reading, of {} nodes)",
         contacted as f64 / 100.0,
@@ -56,8 +61,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "  publication messages: {msgs} ({:.1} per reading)",
         msgs as f64 / 100.0
     );
-    println!("  delivered ratio: {:.3}", net.delivered_ratio());
+    println!("  delivered ratio: {:.3}", hub.delivered_ratio());
     println!("\nmost readings die at the first non-matching group: that is the pruning");
     println!("the semantic overlay exists for (Table 1, workload 3).");
+
+    for (s, _) in operators {
+        s.close()?;
+    }
     Ok(())
 }

@@ -1,53 +1,72 @@
-//! Quickstart: build a small DPS network, subscribe, publish, observe delivery.
+//! Quickstart: open sessions on a DPS hub, subscribe, publish, receive.
 //!
 //! ```sh
 //! cargo run --example quickstart
 //! ```
+//!
+//! The session-first surface (`Hub` → `Session` → `Publisher`/`Subscriber`)
+//! is the same shape `dps-client` exposes against a live `dps-broker`
+//! process, so this program ports to the served system by swapping the hub
+//! for a connection.
 
-use dps::{DpsConfig, DpsNetwork};
+use dps::{DpsConfig, DpsError, Event, Filter, Hub};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Default flavor: root-based traversal, leader-based communication.
-    let mut net = DpsNetwork::new(DpsConfig::default(), 42);
-    let nodes = net.add_nodes(16);
-    net.run(30); // peer sampling warms up
+    let hub = Hub::new(DpsConfig::default(), 42);
+    hub.add_nodes(12); // background overlay population
+    hub.run(30); // peer sampling warms up
 
     // Subscribers self-organize into per-attribute semantic trees. The first
     // subscriber to mention attribute "temp" creates (and owns) its tree.
-    println!("subscribing...");
-    net.subscribe(nodes[0], "temp > 30".parse()?);
-    net.subscribe(nodes[1], "temp > 30 & temp < 40".parse()?);
-    net.subscribe(nodes[2], "temp < 0".parse()?);
-    net.subscribe(nodes[3], "temp = 35 & unit = celsius".parse()?);
-    assert!(net.quiesce(800), "overlay should converge");
-    net.run(60);
+    println!("opening subscriber sessions...");
+    let sessions: Vec<_> = [
+        "temp > 30",
+        "temp > 30 & temp < 40",
+        "temp < 0",
+        "temp = 35 & unit = celsius",
+    ]
+    .iter()
+    .map(|f| -> Result<_, DpsError> {
+        let s = hub.open_session()?;
+        let sub = s.subscriber(f.parse::<Filter>().expect("filter parses"))?;
+        Ok((s, sub, *f))
+    })
+    .collect::<Result<_, _>>()?;
+    assert!(hub.quiesce(800), "overlay should converge");
+    hub.run(60);
 
     // The distributed forest, as recorded at group leaders:
     println!("\nsemantic groups:");
-    for g in net.distributed_groups() {
-        println!(
-            "  {:<18} parent={:<14} members={:?}",
-            g.label.to_string(),
-            g.parent.map(|p| p.to_string()).unwrap_or_default(),
-            g.members.iter().map(|n| n.index()).collect::<Vec<_>>()
-        );
-    }
+    hub.with_network(|net| {
+        for g in net.distributed_groups() {
+            println!(
+                "  {:<18} parent={:<14} members={:?}",
+                g.label.to_string(),
+                g.parent.map(|p| p.to_string()).unwrap_or_default(),
+                g.members.iter().map(|n| n.index()).collect::<Vec<_>>()
+            );
+        }
+    });
 
-    // Publish an event from a node with no subscriptions at all.
-    let id = net
-        .publish(nodes[10], "temp = 35 & unit = celsius".parse()?)
-        .expect("publisher alive");
-    net.run(60);
+    // Publish an event from a session with no subscriptions at all.
+    let feed = hub.open_session()?;
+    feed.publisher()?
+        .publish("temp = 35 & unit = celsius".parse::<Event>()?)?;
+    hub.run(60);
 
     println!("\nevent 'temp = 35 & unit = celsius':");
-    for (i, n) in nodes.iter().enumerate().take(4) {
-        println!(
-            "  node {i}: contacted={} notified={}",
-            net.sink().was_contacted(id, *n),
-            net.sink().was_notified(id, *n)
-        );
+    for (_, sub, filter) in &sessions {
+        let got = sub.drain();
+        println!("  {filter:<24} received={}", got.len());
     }
-    println!("\ndelivered ratio: {}", net.delivered_ratio());
-    assert_eq!(net.delivered_ratio(), 1.0);
+    println!("\ndelivered ratio: {}", hub.delivered_ratio());
+    assert_eq!(hub.delivered_ratio(), 1.0);
+
+    // Explicit lifecycle: close every session before the hub goes away.
+    for (s, _, _) in sessions {
+        s.close()?;
+    }
+    feed.close()?;
     Ok(())
 }

@@ -10,7 +10,7 @@ fn build(comm: CommKind, seed: u64, subs: &[&str]) -> (DpsNetwork, Vec<NodeId>) 
     let nodes = net.add_nodes(subs.len() + 8);
     net.run(30);
     for (i, s) in subs.iter().enumerate() {
-        net.subscribe(nodes[i], s.parse().unwrap());
+        let _ = net.try_subscribe(nodes[i], s.parse::<dps::Filter>().unwrap());
         net.run(12);
     }
     assert!(net.quiesce(1500), "overlay did not converge");
@@ -26,7 +26,9 @@ fn leader_crash_is_healed_by_co_leader() {
     let (mut net, nodes) = build(CommKind::Leader, 31, &subs);
     let publisher = nodes[subs.len() + 1];
 
-    let before = net.publish(publisher, "a = 5".parse().unwrap()).unwrap();
+    let before = net
+        .try_publish(publisher, "a = 5".parse::<dps::Event>().unwrap())
+        .unwrap();
     net.run(60);
     for node in &nodes[..3] {
         assert!(
@@ -61,7 +63,9 @@ fn leader_crash_is_healed_by_co_leader() {
     // Let failure detection (10–25 step heartbeats) and takeover run.
     net.run(150);
 
-    let after = net.publish(publisher, "a = 7".parse().unwrap()).unwrap();
+    let after = net
+        .try_publish(publisher, "a = 7".parse::<dps::Event>().unwrap())
+        .unwrap();
     net.run(80);
     let survivors: Vec<_> = (0..3)
         .map(|i| nodes[i])
@@ -88,7 +92,9 @@ fn whole_group_failure_is_bridged() {
     net.crash(nodes[1]);
     net.run(200); // detection + adoption through deeper succview entries
 
-    let id = net.publish(publisher, "a = 100".parse().unwrap()).unwrap();
+    let id = net
+        .try_publish(publisher, "a = 100".parse::<dps::Event>().unwrap())
+        .unwrap();
     net.run(80);
     assert!(
         net.sink().was_notified(id, nodes[0]),
@@ -122,7 +128,9 @@ fn owner_crash_rebuilds_root() {
     net.crash(owner);
     net.run(300); // detection, re-rooting, owner announcements
 
-    let id = net.publish(publisher, "a = 20".parse().unwrap()).unwrap();
+    let id = net
+        .try_publish(publisher, "a = 20".parse::<dps::Event>().unwrap())
+        .unwrap();
     // The publisher may hold a stale contact for the dead owner; entry-hop acks
     // re-walk and resend every request_timeout steps.
     net.run(350);
@@ -152,7 +160,7 @@ fn churn_during_group_creation_still_converges() {
     // entry hops / group contacts die.
     for (i, n) in nodes.iter().enumerate().take(40) {
         let c = (i % 8) as i64;
-        net.subscribe(*n, format!("a > {c}").parse().unwrap());
+        let _ = net.try_subscribe(*n, format!("a > {c}").parse::<dps::Filter>().unwrap());
         if i % 5 == 4 {
             net.crash_random();
             net.run(2);
@@ -174,7 +182,8 @@ fn churn_during_group_creation_still_converges() {
         .find(|n| n.index() >= 40)
         .expect("an alive publisher remains");
     let at = net.sim().now();
-    net.publish(publisher, "a = 100".parse().unwrap()).unwrap();
+    net.try_publish(publisher, "a = 100".parse::<dps::Event>().unwrap())
+        .unwrap();
     net.run(250);
     let ratio = net.delivered_ratio_between(at, u64::MAX);
     assert!(
@@ -195,7 +204,7 @@ fn epidemic_heals_after_leader_crash_burst() {
     net.run(30);
     for (i, n) in nodes.iter().enumerate().take(40) {
         let c = (i % 10) as i64;
-        net.subscribe(*n, format!("a > {c}").parse().unwrap());
+        let _ = net.try_subscribe(*n, format!("a > {c}").parse::<dps::Filter>().unwrap());
         if i % 4 == 0 {
             net.run(8);
         }
@@ -228,7 +237,8 @@ fn epidemic_heals_after_leader_crash_burst() {
         .find(|n| n.index() >= 40)
         .expect("an alive publisher remains");
     let healed = net.sim().now();
-    net.publish(publisher, "a = 100".parse().unwrap()).unwrap();
+    net.try_publish(publisher, "a = 100".parse::<dps::Event>().unwrap())
+        .unwrap();
     net.run(250);
     let ratio = net.delivered_ratio_between(healed, u64::MAX);
     assert!(
@@ -251,7 +261,7 @@ fn epidemic_overlay_survives_a_storm() {
     // epidemic robustness relies on that redundancy).
     for (i, n) in nodes.iter().enumerate().take(40) {
         let c = (i % 10) as i64;
-        net.subscribe(*n, format!("a > {c}").parse().unwrap());
+        let _ = net.try_subscribe(*n, format!("a > {c}").parse::<dps::Filter>().unwrap());
         if i % 4 == 0 {
             net.run(8);
         }
@@ -273,7 +283,9 @@ fn epidemic_overlay_survives_a_storm() {
         .rev()
         .find(|n| n.index() >= 40)
         .expect("an alive publisher remains");
-    let id = net.publish(publisher, "a = 100".parse().unwrap()).unwrap();
+    let id = net
+        .try_publish(publisher, "a = 100".parse::<dps::Event>().unwrap())
+        .unwrap();
     // The publisher's cached contacts may be dead; entry-hop acks re-walk and
     // resend every `request_timeout` steps, so allow a few rounds.
     net.run(250);

@@ -28,7 +28,7 @@ fn run_scheme(cfg: DpsConfig) -> Outcome {
         "c = abc",
     ];
     for (i, s) in subs.iter().enumerate() {
-        net.subscribe(nodes[i], s.parse().unwrap());
+        let _ = net.try_subscribe(nodes[i], s.parse::<dps::Filter>().unwrap());
         net.run(12);
     }
     assert!(
@@ -49,7 +49,7 @@ fn run_scheme(cfg: DpsConfig) -> Outcome {
     let mut ids = Vec::new();
     for (k, e) in events.iter().enumerate() {
         let id = net
-            .publish(nodes[20 + (k % 4)], e.parse().unwrap())
+            .try_publish(nodes[20 + (k % 4)], e.parse::<dps::Event>().unwrap())
             .unwrap();
         ids.push((k as u32, id));
         net.run(40);

@@ -24,13 +24,13 @@ fn single_attribute_scenario(cfg: DpsConfig, seed: u64) -> f64 {
         "a < 4",
     ];
     for (i, s) in subs.iter().enumerate() {
-        net.subscribe(nodes[i], s.parse().unwrap());
+        let _ = net.try_subscribe(nodes[i], s.parse::<dps::Filter>().unwrap());
         net.run(10); // stagger, as the paper's scenarios do
     }
     assert!(net.quiesce(600), "overlay failed to converge");
     net.run(50);
     for v in [4i64, 1, 10, 100, -5] {
-        net.publish(nodes[11], format!("a = {v}").parse().unwrap());
+        let _ = net.try_publish(nodes[11], format!("a = {v}").parse::<dps::Event>().unwrap());
         net.run(30);
     }
     net.run(60);
@@ -78,20 +78,20 @@ fn multi_attribute_events_and_false_positives() {
     let nodes = net.add_nodes(10);
     net.run(30);
     // s0 joins tree "a" (first predicate) but requires b > 0 too.
-    net.subscribe(nodes[0], "a > 2 & b > 0".parse().unwrap());
+    let _ = net.try_subscribe(nodes[0], "a > 2 & b > 0".parse::<dps::Filter>().unwrap());
     net.run(10);
     // s3 joins tree "b" and requires c = abc.
-    net.subscribe(nodes[3], "b > 3 & c = abc".parse().unwrap());
+    let _ = net.try_subscribe(nodes[3], "b > 3 & c = abc".parse::<dps::Filter>().unwrap());
     net.run(10);
     // s9 joins tree "a" alone.
-    net.subscribe(nodes[9], "a < 11".parse().unwrap());
+    let _ = net.try_subscribe(nodes[9], "a < 11".parse::<dps::Filter>().unwrap());
     assert!(net.quiesce(600));
     net.run(50);
 
     // Event matching s0 (via a & b) and s9 (via a), contacting s3 (b > 3 matches,
     // but its c = abc predicate cannot: false positive).
     let id = net
-        .publish(nodes[5], "a = 4 & b = 5".parse().unwrap())
+        .try_publish(nodes[5], "a = 4 & b = 5".parse::<dps::Event>().unwrap())
         .unwrap();
     net.run(60);
 
@@ -114,18 +114,24 @@ fn unsubscribe_stops_delivery() {
     let mut net = DpsNetwork::new(config(TraversalKind::Root, CommKind::Leader), 9);
     let nodes = net.add_nodes(8);
     net.run(30);
-    let sub = net.subscribe(nodes[0], "a > 0".parse().unwrap()).unwrap();
-    net.subscribe(nodes[1], "a > 0".parse().unwrap());
+    let sub = net
+        .try_subscribe(nodes[0], "a > 0".parse::<dps::Filter>().unwrap())
+        .unwrap();
+    let _ = net.try_subscribe(nodes[1], "a > 0".parse::<dps::Filter>().unwrap());
     assert!(net.quiesce(600));
     net.run(40);
 
-    let first = net.publish(nodes[5], "a = 1".parse().unwrap()).unwrap();
+    let first = net
+        .try_publish(nodes[5], "a = 1".parse::<dps::Event>().unwrap())
+        .unwrap();
     net.run(40);
     assert!(net.sink().was_notified(first, nodes[0]));
 
-    net.unsubscribe(nodes[0], sub);
+    net.try_unsubscribe(nodes[0], sub).unwrap();
     net.run(60);
-    let second = net.publish(nodes[5], "a = 2".parse().unwrap()).unwrap();
+    let second = net
+        .try_publish(nodes[5], "a = 2".parse::<dps::Event>().unwrap())
+        .unwrap();
     net.run(40);
     assert!(
         !net.sink().was_notified(second, nodes[0]),
@@ -143,17 +149,19 @@ fn dissemination_prunes_non_matching_branches() {
     net.run(30);
     // nodes[3] subscribes first and becomes the tree owner: the owner/root relays
     // every event, so the pruning claim is only meaningful for non-owners.
-    net.subscribe(nodes[3], "a > 1000".parse().unwrap());
+    let _ = net.try_subscribe(nodes[3], "a > 1000".parse::<dps::Filter>().unwrap());
     net.run(60);
-    net.subscribe(nodes[0], "a > 100".parse().unwrap());
+    let _ = net.try_subscribe(nodes[0], "a > 100".parse::<dps::Filter>().unwrap());
     net.run(10);
-    net.subscribe(nodes[1], "a < 0".parse().unwrap());
+    let _ = net.try_subscribe(nodes[1], "a < 0".parse::<dps::Filter>().unwrap());
     net.run(10);
-    net.subscribe(nodes[2], "a < -50".parse().unwrap());
+    let _ = net.try_subscribe(nodes[2], "a < -50".parse::<dps::Filter>().unwrap());
     assert!(net.quiesce(600));
     net.run(50);
 
-    let id = net.publish(nodes[7], "a = -60".parse().unwrap()).unwrap();
+    let id = net
+        .try_publish(nodes[7], "a = -60".parse::<dps::Event>().unwrap())
+        .unwrap();
     net.run(40);
     assert!(net.sink().was_notified(id, nodes[1]));
     assert!(net.sink().was_notified(id, nodes[2]));

@@ -86,7 +86,7 @@ fn distributed_forest_converges_to_reference() {
             let pred = filter.predicates()[*idx].clone();
             let reordered =
                 Filter::new(std::iter::once(pred).chain(filter.predicates().iter().cloned()));
-            net.subscribe(nodes[i], reordered);
+            let _ = net.try_subscribe(nodes[i], reordered);
             net.run(15);
         }
         assert!(

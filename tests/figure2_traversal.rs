@@ -17,7 +17,7 @@ fn build(traversal: TraversalKind, seed: u64) -> (DpsNetwork, Vec<NodeId>) {
     .iter()
     .enumerate()
     {
-        net.subscribe(nodes[i], s.parse().unwrap());
+        let _ = net.try_subscribe(nodes[i], s.parse::<dps::Filter>().unwrap());
         net.run(12);
     }
     assert!(net.quiesce(1500), "tree construction did not converge");
@@ -32,7 +32,7 @@ fn build(traversal: TraversalKind, seed: u64) -> (DpsNetwork, Vec<NodeId>) {
 fn subscription_a_eq_3_lands_under_a_gt_2() {
     for traversal in [TraversalKind::Root, TraversalKind::Generic] {
         let (mut net, nodes) = build(traversal, 21);
-        net.subscribe(nodes[7], "a = 3".parse().unwrap());
+        let _ = net.try_subscribe(nodes[7], "a = 3".parse::<dps::Filter>().unwrap());
         assert!(net.quiesce(1000), "a = 3 not placed ({traversal:?})");
         net.run(100);
         let group = net
@@ -56,7 +56,9 @@ fn subscription_a_eq_3_lands_under_a_gt_2() {
 fn publication_a_eq_4_reaches_matching_groups_only() {
     for traversal in [TraversalKind::Root, TraversalKind::Generic] {
         let (mut net, nodes) = build(traversal, 22);
-        let id = net.publish(nodes[9], "a = 4".parse().unwrap()).unwrap();
+        let id = net
+            .try_publish(nodes[9], "a = 4".parse::<dps::Event>().unwrap())
+            .unwrap();
         net.run(80);
         // Matching subscribers are notified.
         for (i, s) in ["a > 2", "a > 3", "a < 20", "a < 11", "a = 4"]
@@ -97,7 +99,9 @@ fn generic_contact_point_reaches_other_branches() {
     let (mut net, nodes) = build(TraversalKind::Generic, 23);
     // Publish from the a < 4 subscriber: its own group does not match, the event
     // must climb and re-descend into the greater-than branch and the a = 4 leaf.
-    let id = net.publish(nodes[5], "a = 4".parse().unwrap()).unwrap();
+    let id = net
+        .try_publish(nodes[5], "a = 4".parse::<dps::Event>().unwrap())
+        .unwrap();
     net.run(80);
     assert!(net.sink().was_notified(id, nodes[0]), "a > 2 missed");
     assert!(net.sink().was_notified(id, nodes[6]), "a = 4 missed");

@@ -48,7 +48,7 @@ fn eight_attribute_forest_matches_oracle_and_routes_across_trees() {
     let nodes = net.add_nodes(subs.len());
     net.run(30);
     for (i, s) in subs.iter().enumerate() {
-        net.subscribe(nodes[i], s.parse().unwrap());
+        let _ = net.try_subscribe(nodes[i], s.parse::<dps::Filter>().unwrap());
         net.run(5);
     }
     assert!(net.quiesce(2000), "forest failed to converge");
@@ -124,7 +124,9 @@ fn eight_attribute_forest_matches_oracle_and_routes_across_trees() {
     for k in 0..ATTRS {
         let publisher = nodes[(k * 5) % nodes.len()];
         let ev = format!("m{k} = 30 & m{} = 30", (k + 1) % ATTRS);
-        let id = net.publish(publisher, ev.parse().unwrap()).unwrap();
+        let id = net
+            .try_publish(publisher, ev.parse::<dps::Event>().unwrap())
+            .unwrap();
         // The oracle agrees on who should see it.
         let expected = reference.matching_subscribers(&ev.parse().unwrap());
         assert!(
@@ -143,7 +145,8 @@ fn eight_attribute_forest_matches_oracle_and_routes_across_trees() {
     // A publication on an attribute nobody subscribes to must not inflate the
     // measure (no tree exists; the publisher's walks come back empty).
     let before = net.delivered_ratio();
-    net.publish(nodes[0], "zz = 5".parse().unwrap()).unwrap();
+    net.try_publish(nodes[0], "zz = 5".parse::<dps::Event>().unwrap())
+        .unwrap();
     net.run(100);
     let report = net.reports().pop().unwrap();
     assert!(report.expected.is_empty(), "zz = 5 matches no subscription");

@@ -25,13 +25,13 @@ fn run_digest(latency: Option<LatencyModel>, shards: usize) -> String {
     cfg.join_rule = JoinRule::First;
     let mut net = DpsNetwork::new_sharded(cfg, 4242, shards);
     if let Some(model) = latency {
-        net.set_latency(model);
+        net.try_set_latency(model).unwrap();
     }
     let nodes = net.add_nodes(N);
     net.run(40);
     for (i, n) in nodes.iter().enumerate() {
         let filter = if i % 2 == 0 { "load > 10" } else { "load < 40" };
-        net.subscribe(*n, filter.parse().unwrap());
+        let _ = net.try_subscribe(*n, filter.parse::<dps::Filter>().unwrap());
         net.run(3);
     }
     assert!(net.quiesce(2500), "overlay failed to converge");
@@ -54,7 +54,12 @@ fn run_digest(latency: Option<LatencyModel>, shards: usize) -> String {
         }
         if t % 12 == 0 {
             if let Some(p) = net.random_alive() {
-                net.publish(p, format!("load = {}", 15 + (t % 20)).parse().unwrap());
+                let _ = net.try_publish(
+                    p,
+                    format!("load = {}", 15 + (t % 20))
+                        .parse::<dps::Event>()
+                        .unwrap(),
+                );
             }
         }
         net.run(1);
@@ -142,18 +147,21 @@ fn classed_latency_shows_a_nondegenerate_tail() {
     let mut cfg = DpsConfig::named(TraversalKind::Root, CommKind::Epidemic).with_fanout(2);
     cfg.join_rule = JoinRule::First;
     let mut net = DpsNetwork::new_sharded(cfg, 99, 2);
-    net.set_latency(model);
+    net.try_set_latency(model).unwrap();
     let nodes = net.add_nodes(18);
     net.run(40);
     for n in &nodes {
-        net.subscribe(*n, "load > 0".parse().unwrap());
+        let _ = net.try_subscribe(*n, "load > 0".parse::<dps::Filter>().unwrap());
         net.run(3);
     }
     assert!(net.quiesce(2500), "overlay failed to converge");
     net.run(150);
     for k in 0..20 {
         let p = net.random_alive().unwrap();
-        net.publish(p, format!("load = {}", 1 + k).parse().unwrap());
+        let _ = net.try_publish(
+            p,
+            format!("load = {}", 1 + k).parse::<dps::Event>().unwrap(),
+        );
         net.run(6);
     }
     net.run(600);

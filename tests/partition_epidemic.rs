@@ -50,7 +50,9 @@ fn run_scenario_once() -> String {
     // Two nodes join and subscribe on the high side while the cut holds.
     let joiners = run.network_mut().add_nodes(2);
     for j in &joiners {
-        run.network_mut().subscribe(*j, FILTER.parse().unwrap());
+        let _ = run
+            .network_mut()
+            .try_subscribe(*j, FILTER.parse::<dps::Filter>().unwrap());
     }
     assert_eq!(run.run_phase(), Some("place-joiners"));
     assert_eq!(
@@ -83,7 +85,7 @@ fn run_scenario_once() -> String {
     // the generous drain the descent retries need.
     let pub_at = run.network().sim().now();
     run.network_mut()
-        .publish(nodes[0], "load = 50".parse().unwrap())
+        .try_publish(nodes[0], "load = 50".parse::<dps::Event>().unwrap())
         .unwrap();
     assert_eq!(run.run_phase(), Some("deliver-across-cut"));
     let net = run.network();
@@ -133,7 +135,7 @@ fn run_scenario_once() -> String {
         "the scheduled window must have healed itself"
     );
     run.network_mut()
-        .publish(nodes[0], "load = 77".parse().unwrap())
+        .try_publish(nodes[0], "load = 77".parse::<dps::Event>().unwrap())
         .unwrap();
     assert_eq!(run.run_phase(), Some("post-heal-drain"));
     assert_eq!(run.run_phase(), None, "timeline exhausted");

@@ -45,7 +45,7 @@ fn run_case(
     net.run(30);
     for (i, f) in filters.iter().enumerate() {
         let filter: Filter = f.parse().unwrap();
-        net.subscribe(nodes[i], filter);
+        let _ = net.try_subscribe(nodes[i], filter);
         net.run(10);
     }
     assert!(net.quiesce(3000), "{label}: convergence failed");
@@ -61,7 +61,7 @@ fn run_case(
             .filter(|(_, f)| f.parse::<Filter>().unwrap().matches(&ev))
             .map(|(i, _)| nodes[i])
             .collect();
-        let id = net.publish(publisher, ev).unwrap();
+        let id = net.try_publish(publisher, ev).unwrap();
         ids.push((id, expected));
         net.run(30);
     }
@@ -113,7 +113,7 @@ proptest! {
         let nodes = net.add_nodes(filters.len() + 2);
         net.run(30);
         for (i, f) in filters.iter().enumerate() {
-            net.subscribe(nodes[i], f.parse().unwrap());
+            let _ = net.try_subscribe(nodes[i], f.parse::<dps::Filter>().unwrap());
             net.run(10);
         }
         prop_assert!(net.quiesce(3000), "convergence failed");

@@ -26,7 +26,7 @@ fn run_digest(shards: usize) -> String {
     net.run(30);
     for (i, n) in nodes.iter().enumerate() {
         let filter = if i % 2 == 0 { "load > 10" } else { "load < 40" };
-        net.subscribe(*n, filter.parse().unwrap());
+        let _ = net.try_subscribe(*n, filter.parse::<dps::Filter>().unwrap());
         net.run(2);
     }
     assert!(net.quiesce(1500), "overlay failed to converge");
@@ -49,7 +49,12 @@ fn run_digest(shards: usize) -> String {
         }
         if t % 10 == 0 {
             if let Some(p) = net.random_alive() {
-                net.publish(p, format!("load = {}", 15 + (t % 20)).parse().unwrap());
+                let _ = net.try_publish(
+                    p,
+                    format!("load = {}", 15 + (t % 20))
+                        .parse::<dps::Event>()
+                        .unwrap(),
+                );
                 published += 1;
             }
         }
@@ -119,14 +124,17 @@ fn leader_mode_sharded_run_is_byte_identical() {
         let nodes = net.add_nodes(16);
         net.run(30);
         for n in &nodes {
-            net.subscribe(*n, "temp > 5".parse().unwrap());
+            let _ = net.try_subscribe(*n, "temp > 5".parse::<dps::Filter>().unwrap());
             net.run(2);
         }
         assert!(net.quiesce(1000));
         for k in 0..4 {
             net.crash_random();
             let publisher = net.random_alive().unwrap();
-            net.publish(publisher, format!("temp = {}", 10 + k).parse().unwrap());
+            let _ = net.try_publish(
+                publisher,
+                format!("temp = {}", 10 + k).parse::<dps::Event>().unwrap(),
+            );
             net.run(40);
         }
         let m = net.metrics();

@@ -1,27 +1,71 @@
 //! Fast end-to-end smoke test mirroring the `dps` crate's quickstart example:
 //! a small network converges and a publication reaches exactly the matching
-//! subscribers. Runs in well under a second, so CI exercises publish→deliver
-//! on every push even when heavier scenario suites grow `#[ignore]` markers.
+//! subscribers — driven through the session-first API (`Hub` → `Session` →
+//! `Publisher`/`Subscriber`). Runs in well under a second, so CI exercises
+//! the session lifecycle and publish→deliver on every push.
 
-use dps::{DpsConfig, DpsNetwork};
+use dps::{DpsConfig, Event, Filter, Hub};
 
 #[test]
-fn quickstart_publish_reaches_matching_subscribers() {
-    let mut net = DpsNetwork::new(DpsConfig::default(), 42);
-    let nodes = net.add_nodes(8);
+fn quickstart_session_publish_reaches_matching_subscribers() {
+    let hub = Hub::new(DpsConfig::default(), 42);
+    hub.add_nodes(8);
 
-    net.subscribe(nodes[0], "price > 100".parse().unwrap());
-    net.subscribe(nodes[1], "price > 100 & price < 200".parse().unwrap());
-    net.subscribe(nodes[2], "price < 50".parse().unwrap());
-    net.run(120);
+    // Three subscriber sessions self-organize into per-attribute trees.
+    let traders: Vec<_> = ["price > 100", "price > 100 & price < 200", "price < 50"]
+        .iter()
+        .map(|f| {
+            let s = hub.open_session().expect("session opens");
+            let sub = s
+                .subscriber(f.parse::<Filter>().unwrap())
+                .expect("subscribes");
+            (s, sub)
+        })
+        .collect();
+    hub.run(120);
 
-    net.publish(nodes[7], "price = 150".parse().unwrap());
-    net.run(40);
+    // Publish an event from its own session; only matching subscribers see it.
+    let feed = hub.open_session().expect("session opens");
+    feed.publisher()
+        .expect("publisher handle")
+        .publish("price = 150".parse::<Event>().unwrap())
+        .expect("publish accepted");
+    hub.run(40);
 
     assert_eq!(
-        net.delivered_ratio(),
+        hub.delivered_ratio(),
         1.0,
-        "every matching subscriber must be notified: {:?}",
-        net.snapshot()
+        "every matching subscriber must be notified"
     );
+    let got: Vec<usize> = traders.iter().map(|(_, sub)| sub.drain().len()).collect();
+    assert_eq!(got, vec![1, 1, 0], "150 matches the first two filters only");
+
+    // Explicit teardown: closed handles refuse further use.
+    for (s, _) in traders {
+        s.close().expect("close once");
+    }
+    feed.close().expect("close once");
+}
+
+#[test]
+fn deprecated_facade_names_still_forward() {
+    // The pre-session facade entry points remain as deprecated forwards; this
+    // pins that they keep compiling and behaving until removal.
+    #![allow(deprecated)]
+    use dps::DpsNetwork;
+    let mut net = DpsNetwork::new(DpsConfig::default(), 42);
+    let nodes = net.add_nodes(8);
+    assert!(net
+        .subscribe(nodes[0], "price > 100".parse().unwrap())
+        .is_some());
+    assert!(
+        net.subscribe(nodes[1], Filter::all()).is_none(),
+        "empty filter"
+    );
+    net.run(120);
+    assert!(net
+        .publish(nodes[7], "price = 150".parse().unwrap())
+        .is_some());
+    net.run(40);
+    assert_eq!(net.delivered_ratio(), 1.0);
 }

@@ -88,7 +88,7 @@ fn steady_state_publish_performs_zero_payload_allocations() {
         let f: Filter = format!("k{} > {}", i % PAYLOAD_ATTRS, i % 3)
             .parse()
             .expect("filter spec");
-        net.subscribe(*node, f);
+        let _ = net.try_subscribe(*node, f);
     }
     net.run(1200); // quiesce: trees built, ownerships settled
 
@@ -96,7 +96,7 @@ fn steady_state_publish_performs_zero_payload_allocations() {
     // queues, label-intern table and recent-pub ring to steady capacity.
     let publisher = nodes[0];
     for tick in 0..8 {
-        net.publish(publisher, payload_event(tick));
+        let _ = net.try_publish(publisher, payload_event(tick));
         net.run(60);
     }
 
@@ -105,7 +105,7 @@ fn steady_state_publish_performs_zero_payload_allocations() {
     let event = payload_event(99);
 
     ARMED.store(true, Ordering::SeqCst);
-    net.publish(publisher, event);
+    let _ = net.try_publish(publisher, event);
     net.run(80);
     ARMED.store(false, Ordering::SeqCst);
 
